@@ -1,0 +1,56 @@
+// Design-choice ablation: GroupTile geometry.
+//
+// TCA-BME fixes BitmapTile (8x8, the TC atom) and TCTile (16x16, the mma
+// shape) by hardware contract, but the GroupTile — the thread-block tile —
+// trades off offset-array overhead, padding waste, shared-memory pressure
+// (occupancy) and grid parallelism. This bench sweeps the geometry across
+// representative LLM shapes and shows what the autotuner picks.
+#include "bench/bench_util.h"
+#include "src/core/autotuner.h"
+#include "src/gpusim/occupancy.h"
+
+int main() {
+  using namespace spinfer;
+  const DeviceSpec dev = Rtx4090();
+
+  struct Shape {
+    const char* label;
+    int64_t m, k;
+  };
+  const Shape shapes[] = {
+      {"OPT-13B out_proj", 5120, 5120},
+      {"OPT-30B fc1", 28672, 7168},
+      {"LLaMA2-70B down", 8192, 28672},
+      {"short-M strip", 512, 16384},
+  };
+
+  PrintHeader("Ablation: GroupTile geometry (modeled us, N=16, s=60%, RTX4090)");
+  for (const Shape& s : shapes) {
+    const SpmmProblem p = MakeProblem(s.m, s.k, 16, 0.6);
+    Table t({"GT geometry", "time_us", "smem/block", "warps/SM", "split_k"});
+    for (int gr : {16, 32, 64, 128}) {
+      for (int gc : {16, 64, 128}) {
+        SpInferKernelConfig cfg;
+        cfg.format.gt_rows = gr;
+        cfg.format.gt_cols = gc;
+        cfg.split_k = 0;
+        const SpInferSpmmKernel kernel(cfg);
+        const KernelEstimate est = kernel.Estimate(p, dev);
+        const KernelResources res = kernel.Resources(0.6, 16);
+        const OccupancyResult occ = ComputeOccupancy(res, dev);
+        t.AddRow({std::to_string(gr) + "x" + std::to_string(gc),
+                  FormatF(est.time.total_us, 1), FormatBytes(res.smem_bytes_per_block),
+                  std::to_string(occ.warps_per_sm),
+                  std::to_string(ChooseSplitK(p.m, p.k, cfg.format, dev))});
+      }
+    }
+    const AutotuneResult tuned = AutotuneSpInfer(p, dev);
+    std::printf("%s (%ldx%ld):\n%sautotuner picks %dx%d -> %.1f us\n\n", s.label,
+                static_cast<long>(s.m), static_cast<long>(s.k), t.Render().c_str(),
+                tuned.config.format.gt_rows, tuned.config.format.gt_cols,
+                tuned.time.total_us);
+  }
+  std::printf("Takeaway: the default 64x64 GroupTile is near-optimal for square LLM\n"
+              "shapes; short-M strips prefer smaller row tiles to keep the grid full.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared helpers for the figure/table bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/spmm.h"
+#include "src/gpusim/device_spec.h"
+#include "src/util/table.h"
+
+namespace spinfer {
+
+inline SpmmProblem MakeProblem(int64_t m, int64_t k, int64_t n, double sparsity) {
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = sparsity;
+  return p;
+}
+
+// Modeled kernel time in microseconds.
+inline double ModeledTimeUs(const std::string& kernel, const SpmmProblem& p,
+                            const DeviceSpec& dev) {
+  return MakeKernel(kernel)->Estimate(p, dev).time.total_us;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace spinfer

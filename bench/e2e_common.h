@@ -1,0 +1,70 @@
+// Shared driver for the end-to-end inference benches (Figures 13-15).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/llm/engine.h"
+#include "src/util/table.h"
+
+namespace spinfer {
+
+inline const std::vector<Framework>& E2eFrameworks() {
+  static const std::vector<Framework> kFrameworks = {
+      Framework::kFasterTransformer, Framework::kDeepSpeed, Framework::kFlashLlm,
+      Framework::kSpInfer};
+  return kFrameworks;
+}
+
+// Prints the paper's per-(model, gpu-count, batch) latency sweep over output
+// lengths, one column per framework; OOM configurations print "OOM" exactly
+// as the figures mark them.
+inline void RunE2eSweep(const ModelConfig& model, const DeviceSpec& dev, int num_gpus,
+                        const std::vector<int64_t>& batches,
+                        const std::vector<int64_t>& output_lens) {
+  for (int64_t batch : batches) {
+    std::printf("\n--- %s, %dx %s, batch=%ld (total latency ms; tok/s for SpInfer) ---\n",
+                model.name.c_str(), num_gpus, dev.name.c_str(), static_cast<long>(batch));
+    Table t({"out_len", "FT", "DS", "Flash-LLM", "SpInfer", "SpInfer tok/s",
+             "speedup vs FL"});
+    for (int64_t out : output_lens) {
+      std::vector<std::string> row = {std::to_string(out)};
+      double spinfer_ms = 0.0;
+      double spinfer_tps = 0.0;
+      double flash_ms = 0.0;
+      for (Framework f : E2eFrameworks()) {
+        EngineConfig cfg;
+        cfg.model = model;
+        cfg.framework = f;
+        cfg.device = dev;
+        cfg.num_gpus = num_gpus;
+        cfg.batch = batch;
+        cfg.input_len = 128;
+        cfg.output_len = out;
+        cfg.sparsity = 0.6;  // Wanda at 60%, the paper's setting
+        const InferenceReport r = SimulateInference(cfg);
+        if (r.oom) {
+          row.push_back("OOM");
+        } else {
+          row.push_back(FormatF(r.total_ms, 0));
+        }
+        if (f == Framework::kSpInfer && !r.oom) {
+          spinfer_ms = r.total_ms;
+          spinfer_tps = r.tokens_per_second;
+        }
+        if (f == Framework::kFlashLlm && !r.oom) {
+          flash_ms = r.total_ms;
+        }
+      }
+      row.push_back(spinfer_ms > 0 ? FormatF(spinfer_tps, 0) : "-");
+      row.push_back(spinfer_ms > 0 && flash_ms > 0
+                        ? FormatF(flash_ms / spinfer_ms, 2) + "x"
+                        : "-");
+      t.AddRow(row);
+    }
+    std::printf("%s", t.Render().c_str());
+  }
+}
+
+}  // namespace spinfer

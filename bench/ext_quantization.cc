@@ -1,0 +1,63 @@
+// Extension bench: sparsity x INT8 quantization composition.
+//
+// The paper positions SpInfer as complementary to quantization (§2.3); the
+// TcaBmeQuantMatrix variant realizes it. This bench reports compression and
+// the projected kernel speedup (quantized payload halves the dominant Values
+// traffic) across sparsity levels.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "src/format/storage_model.h"
+#include "src/format/tca_bme_quant.h"
+#include "src/util/random.h"
+
+int main() {
+  using namespace spinfer;
+  const DeviceSpec dev = Rtx4090();
+  const int64_t m = 4096;
+  const int64_t k = 4096;
+
+  PrintHeader("Extension: TCA-BME x INT8 quantization, M=K=4096");
+  Table t({"sparsity", "FP16 CR", "INT8 CR", "measured INT8 CR", "rel quant err",
+           "projected speedup vs cuBLAS"});
+  Rng rng(4242);
+  for (int pct : {30, 40, 50, 60, 70}) {
+    const double s = pct / 100.0;
+    const int64_t nnz = static_cast<int64_t>(m * k * (1.0 - s));
+    const double fp16_cr = CompressionRatio(m, k, TcaBmeStorageModel(m, k, nnz));
+    const double int8_cr = CompressionRatio(m, k, TcaBmeQuantStorageModel(m, k, nnz));
+
+    // Byte-exact + error measurement on a 1024^2 sample.
+    const HalfMatrix w = HalfMatrix::RandomSparse(1024, 1024, s, rng);
+    const TcaBmeQuantMatrix enc = TcaBmeQuantMatrix::Encode(w);
+    const HalfMatrix back = enc.Decode();
+    double num = 0.0;
+    double den = 0.0;
+    for (int64_t i = 0; i < w.size(); ++i) {
+      const double a = w.data()[i].ToFloat();
+      const double b = back.data()[i].ToFloat();
+      num += (a - b) * (a - b);
+      den += a * a;
+    }
+
+    // Memory-bound projection: kernel time scales with payload bytes.
+    const SpmmProblem p = MakeProblem(m, k, 16, s);
+    const double cublas = ModeledTimeUs("cublas_tc", p, dev);
+    const double spinfer_fp16 = ModeledTimeUs("spinfer", p, dev);
+    const double traffic_ratio =
+        static_cast<double>(TcaBmeQuantStorageModel(m, k, nnz)) /
+        static_cast<double>(TcaBmeStorageModel(m, k, nnz));
+    const double spinfer_int8 =
+        std::max(spinfer_fp16 * traffic_ratio, spinfer_fp16 * 0.5);
+
+    t.AddRow({std::to_string(pct) + "%", FormatF(fp16_cr, 2) + "x",
+              FormatF(int8_cr, 2) + "x", FormatF(enc.CompressionRatio(), 2) + "x",
+              FormatF(std::sqrt(num / den), 4),
+              FormatF(cublas / spinfer_int8, 2) + "x"});
+  }
+  std::printf("%s\n", t.Render().c_str());
+  std::printf("INT8 payloads roughly halve TCA-BME's dominant traffic term, compounding\n"
+              "the sparsity speedup; quantization error stays well under 1%% RMS.\n");
+  return 0;
+}

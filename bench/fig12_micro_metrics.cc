@@ -1,0 +1,59 @@
+// Figure 12: micro-level comparison of SpInfer against cuBLAS_TC and
+// Flash-LLM — registers per thread, DRAM bytes read, bandwidth utilization,
+// shared-memory bank conflicts, and Tensor Core pipe utilization.
+//
+// Modeled metrics come from the analytical estimators at a full LLM shape;
+// bank conflicts are measured by the functional simulator on a sampled tile
+// (they are per-byte properties, independent of scale).
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/util/random.h"
+
+int main() {
+  using namespace spinfer;
+  const DeviceSpec dev = Rtx4090();
+  const SpmmProblem p = MakeProblem(8192, 8192, 16, 0.5);
+
+  // Functional sample for bank-conflict and register measurements.
+  Rng rng(1212);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(256, 16, rng, 0.5f);
+
+  PrintHeader("Figure 12: micro metrics, M=K=8192 N=16 s=50%, RTX4090");
+  Table t({"metric", "cublas_tc", "flash_llm", "spinfer"});
+
+  std::map<std::string, KernelEstimate> est;
+  std::map<std::string, PerfCounters> run;
+  for (const char* name : {"cublas_tc", "flash_llm", "spinfer"}) {
+    const auto kernel = MakeKernel(name);
+    est[name] = kernel->Estimate(p, dev);
+    kernel->Run(w, x, &run[name]);
+  }
+
+  auto add = [&](const std::string& metric, auto getter, int precision,
+                 const std::string& suffix) {
+    t.AddRow({metric, FormatF(getter("cublas_tc"), precision) + suffix,
+              FormatF(getter("flash_llm"), precision) + suffix,
+              FormatF(getter("spinfer"), precision) + suffix});
+  };
+  add("registers/thread",
+      [&](const std::string& k) { return double(run[k].registers_per_thread); }, 0, "");
+  add("DRAM read (MB)",
+      [&](const std::string& k) { return est[k].counters.dram_bytes_read / 1e6; }, 1, "");
+  add("bandwidth util",
+      [&](const std::string& k) { return 100.0 * est[k].time.bw_utilization; }, 1, "%");
+  add("bank conflicts (per 64KB tile)",
+      [&](const std::string& k) { return double(run[k].smem_bank_conflicts); }, 0, "");
+  add("TC pipe util",
+      [&](const std::string& k) { return 100.0 * est[k].time.tc_utilization; }, 1, "%");
+  add("modeled time (us)",
+      [&](const std::string& k) { return est[k].time.total_us; }, 1, "");
+  std::printf("%s\n", t.Render().c_str());
+  std::printf(
+      "Paper shape check: SpInfer has the fewest registers, least DRAM traffic,\n"
+      "highest bandwidth utilization, zero bank conflicts (Flash-LLM's scattered\n"
+      "extraction conflicts heavily), and the best TC pipe utilization among the\n"
+      "sparse kernels.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 13: end-to-end inference of OPT-13B and OPT-30B on RTX4090 GPUs
+// (PCIe platform) — latency across batch sizes, output lengths and GPU
+// counts for SpInfer vs Flash-LLM vs FasterTransformer vs DeepSpeed, with
+// OOM patterns.
+#include "bench/bench_util.h"
+#include "bench/e2e_common.h"
+
+int main() {
+  using namespace spinfer;
+  const DeviceSpec dev = Rtx4090();
+  PrintHeader("Figure 13: end-to-end inference on RTX4090 (modeled; Wanda 60%)");
+
+  RunE2eSweep(Opt13B(), dev, /*num_gpus=*/1, {8, 16, 32}, {64, 128, 256, 512, 1024});
+  RunE2eSweep(Opt13B(), dev, /*num_gpus=*/2, {8, 16, 32}, {64, 128, 256, 512, 1024});
+  RunE2eSweep(Opt30B(), dev, /*num_gpus=*/2, {8, 16, 32}, {64, 128, 256, 512, 1024});
+  RunE2eSweep(Opt30B(), dev, /*num_gpus=*/4, {8, 16, 32}, {64, 128, 256, 512, 1024});
+
+  std::printf(
+      "\nPaper reference: SpInfer averages 1.35x over Flash-LLM, 1.42x over FT,\n"
+      "1.49x over DS on RTX4090; Flash-LLM OOMs for OPT-30B on 2 GPUs at every\n"
+      "batch size, while SpInfer reaches batch 16 x 512 tokens.\n");
+  return 0;
+}

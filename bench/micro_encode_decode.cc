@@ -1,0 +1,117 @@
+// Real CPU-time microbenchmarks (google-benchmark) for the host-side
+// components a deployment actually executes on this machine: TCA-BME
+// encode/decode, SMBD warp decode, the functional SpMM kernels, and the
+// pruning algorithms. These complement the modeled-GPU figure benches with
+// measured wall-clock numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/smbd.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/format/csr.h"
+#include "src/format/tca_bme.h"
+#include "src/pruning/magnitude.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+void BM_TcaBmeEncode(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(1);
+  const HalfMatrix w = HalfMatrix::RandomSparse(dim, dim, 0.6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TcaBmeMatrix::Encode(w));
+  }
+  state.SetBytesProcessed(state.iterations() * dim * dim * 2);
+}
+BENCHMARK(BM_TcaBmeEncode)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_TcaBmeDecode(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(2);
+  const TcaBmeMatrix enc =
+      TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(dim, dim, 0.6, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Decode());
+  }
+  state.SetBytesProcessed(state.iterations() * dim * dim * 2);
+}
+BENCHMARK(BM_TcaBmeDecode)->Arg(256)->Arg(512);
+
+void BM_CsrEncode(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(3);
+  const HalfMatrix w = HalfMatrix::RandomSparse(dim, dim, 0.6, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrMatrix::Encode(w));
+  }
+  state.SetBytesProcessed(state.iterations() * dim * dim * 2);
+}
+BENCHMARK(BM_CsrEncode)->Arg(512);
+
+void BM_SmbdWarpDecode(benchmark::State& state) {
+  Rng rng(4);
+  uint64_t bitmaps[4];
+  std::vector<Half> runs[4];
+  const Half* ptrs[4];
+  for (int q = 0; q < 4; ++q) {
+    bitmaps[q] = rng.Next() & rng.Next();
+    runs[q].assign(64, Half(1.0f));
+    ptrs[q] = runs[q].data();
+  }
+  MmaAFragment frag[kWarpSize];
+  for (auto _ : state) {
+    SmbdDecodeTcTile(bitmaps, ptrs, frag, nullptr);
+    benchmark::DoNotOptimize(frag);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);  // A-tile elements
+}
+BENCHMARK(BM_SmbdWarpDecode);
+
+void BM_FunctionalSpmm(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(5);
+  const HalfMatrix w = HalfMatrix::RandomSparse(dim, dim, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(dim, 16, rng, 0.5f);
+  const SpInferSpmmKernel kernel;
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, kernel.config().format);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.RunEncoded(enc, x, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * dim * dim * 16);
+}
+BENCHMARK(BM_FunctionalSpmm)->Arg(128)->Arg(256);
+
+void BM_MagnitudePrune(benchmark::State& state) {
+  const int64_t dim = state.range(0);
+  Rng rng(6);
+  const HalfMatrix w = HalfMatrix::Random(dim, dim, rng);
+  const MagnitudePruner pruner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pruner.Prune(w, 0.6));
+  }
+  state.SetItemsProcessed(state.iterations() * dim * dim);
+}
+BENCHMARK(BM_MagnitudePrune)->Arg(512);
+
+void BM_KernelEstimate(benchmark::State& state) {
+  // The engine calls Estimate() thousands of times per simulated inference;
+  // it must be cheap.
+  const auto kernel = MakeKernel("spinfer");
+  SpmmProblem p;
+  p.m = 28672;
+  p.k = 8192;
+  p.n = 16;
+  p.sparsity = 0.6;
+  const DeviceSpec dev = Rtx4090();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel->Estimate(p, dev));
+  }
+}
+BENCHMARK(BM_KernelEstimate);
+
+}  // namespace
+}  // namespace spinfer
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Prune-and-infer: the per-layer workflow the paper's end-to-end system
+// applies to OPT — prune a dense projection layer with Wanda (activation-
+// aware, 60% sparsity), compare against magnitude pruning, encode the
+// survivor to TCA-BME, and run the SpMM, reporting output fidelity and
+// memory savings.
+//
+// Usage: prune_and_infer [--rows=2048] [--cols=2048] [--sparsity=0.6]
+#include <cmath>
+#include <cstdio>
+
+#include "src/core/spinfer.h"
+#include "src/pruning/calibration.h"
+#include "src/pruning/magnitude.h"
+#include "src/pruning/wanda.h"
+#include "src/util/cli.h"
+#include "src/util/random.h"
+#include "src/util/table.h"
+
+namespace {
+
+// Relative output error of the pruned layer vs the dense layer.
+double OutputRelError(const spinfer::HalfMatrix& dense, const spinfer::HalfMatrix& pruned,
+                      const spinfer::HalfMatrix& x) {
+  using namespace spinfer;
+  const FloatMatrix want = ReferenceGemm(dense, x);
+  const FloatMatrix got = ReferenceGemm(pruned, x);
+  double num = 0.0;
+  double den = 0.0;
+  for (int64_t i = 0; i < want.size(); ++i) {
+    const double d = got.data()[i] - want.data()[i];
+    num += d * d;
+    den += static_cast<double>(want.data()[i]) * want.data()[i];
+  }
+  return std::sqrt(num / (den + 1e-30));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spinfer;
+  const CliFlags flags(argc, argv);
+  const int64_t rows = flags.GetInt("rows", 2048);
+  const int64_t cols = flags.GetInt("cols", 2048);
+  const double sparsity = flags.GetDouble("sparsity", 0.6);
+
+  Rng rng(7);
+  const HalfMatrix dense = HalfMatrix::Random(rows, cols, rng, 0.05f);
+
+  // Calibration activations with transformer-style outlier channels; the
+  // probe X reuses the same per-feature scales so Wanda's advantage shows.
+  CalibrationConfig cal;
+  cal.num_features = cols;
+  Rng cal_rng(8);
+  const auto norms = SyntheticFeatureNorms(cal, cal_rng);
+  HalfMatrix x = HalfMatrix::Random(cols, 16, rng, 1.0f);
+  for (int64_t r = 0; r < x.rows(); ++r) {
+    const float scale = norms[r] / std::sqrt(128.0f);
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      x.at(r, c) = Half(x.at(r, c).ToFloat() * scale);
+    }
+  }
+
+  std::printf("Layer %ldx%ld, target sparsity %.0f%%\n\n", static_cast<long>(rows),
+              static_cast<long>(cols), sparsity * 100);
+
+  Table t({"pruner", "sparsity", "output rel err", "TCA-BME bytes", "CR"});
+  const WandaPruner wanda(norms);
+  const MagnitudePruner magnitude;
+  HalfMatrix chosen;
+  for (const Pruner* pruner : std::initializer_list<const Pruner*>{&wanda, &magnitude}) {
+    const HalfMatrix pruned = pruner->Prune(dense, sparsity);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(pruned);
+    t.AddRow({pruner->name(), FormatF(100 * pruned.Sparsity(), 1) + "%",
+              FormatF(OutputRelError(dense, pruned, x), 4),
+              FormatBytes(enc.StorageBytes()), FormatF(enc.CompressionRatio(), 2) + "x"});
+    if (pruner->name() == "wanda") {
+      chosen = pruned;
+    }
+  }
+  std::printf("%s\n", t.Render().c_str());
+
+  // Run the SpInfer kernel on the Wanda-pruned layer, verify, and price it.
+  const SpInferSpmmKernel kernel;
+  PerfCounters counters;
+  const FloatMatrix out = kernel.Run(chosen, x, &counters);
+  const CompareResult check = CompareMatrices(out, ReferenceGemm(chosen, x), 2e-3, 5e-2);
+  std::printf("SpInfer-SpMM on the pruned layer: %s\n", check.ok ? "VERIFIED" : "WRONG");
+
+  SpmmProblem p;
+  p.m = rows;
+  p.k = cols;
+  p.n = 16;
+  p.sparsity = chosen.Sparsity();
+  const double sparse_us = kernel.Estimate(p, Rtx4090()).time.total_us;
+  p.sparsity = 0.0;
+  std::printf("modeled RTX4090 time: %.1f us sparse (dense layer: 2x weight bytes)\n",
+              sparse_us);
+  return check.ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+// Tiny-transformer generation: an end-to-end *functional* demonstration
+// that a pruned, TCA-BME-encoded model generates exactly the same tokens as
+// its dense counterpart — the property that makes SpInfer a drop-in
+// replacement for dense inference.
+//
+// Usage: tiny_generation [--sparsity=0.5] [--steps=12]
+#include <cstdio>
+
+#include "src/llm/tiny_transformer.h"
+#include "src/pruning/magnitude.h"
+#include "src/util/cli.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace spinfer;
+  const CliFlags flags(argc, argv);
+  const double sparsity = flags.GetDouble("sparsity", 0.5);
+  const int steps = static_cast<int>(flags.GetInt("steps", 12));
+
+  TinyConfig cfg;
+  cfg.vocab = 128;
+  cfg.hidden = 64;
+  cfg.layers = 2;
+  cfg.heads = 4;
+  cfg.ffn = 128;
+  cfg.max_seq = 48;
+  TinyTransformer model(cfg, /*seed=*/2025);
+
+  std::printf("tiny transformer: %ld layers, hidden %ld, vocab %ld\n",
+              static_cast<long>(cfg.layers), static_cast<long>(cfg.hidden),
+              static_cast<long>(cfg.vocab));
+  std::printf("dense weights: %s\n", FormatBytes(model.DenseWeightBytes()).c_str());
+
+  model.PruneWeights(MagnitudePruner(), sparsity);
+  std::printf("pruned to %.1f%% sparsity; TCA-BME weights: %s\n",
+              100.0 * model.WeightSparsity(),
+              FormatBytes(model.EncodedWeightBytes()).c_str());
+
+  const std::vector<int32_t> prompt = {10, 42, 7};
+  const auto dense_out = model.Generate(prompt, steps, MatmulBackend::kDense);
+  const auto sparse_out = model.Generate(prompt, steps, MatmulBackend::kTcaBmeCpu);
+
+  auto print_tokens = [](const char* label, const std::vector<int32_t>& toks) {
+    std::printf("%-22s", label);
+    for (int32_t t : toks) {
+      std::printf(" %3d", t);
+    }
+    std::printf("\n");
+  };
+  print_tokens("dense backend:", dense_out);
+  print_tokens("TCA-BME CPU backend:", sparse_out);
+  const bool match = dense_out == sparse_out;
+  std::printf("greedy decodes %s\n", match ? "MATCH exactly" : "DIVERGE");
+  return match ? 0 : 1;
+}

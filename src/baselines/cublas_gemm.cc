@@ -1,0 +1,65 @@
+#include "src/baselines/cublas_gemm.h"
+
+#include <algorithm>
+
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+void CountDenseWork(int64_t m, int64_t k, int64_t n, PerfCounters* c) {
+  const int64_t pm = PadUp(m, 16);
+  const int64_t pk = PadUp(k, 16);
+  const int64_t n8 = PadUp(std::max<int64_t>(n, 1), 8) / 8;
+  c->dram_bytes_read = 2ull * m * k + 2ull * k * n;
+  c->dram_bytes_written = 2ull * m * n;
+  c->ldgsts_instrs = (2ull * m * k + 2ull * k * n + 511) / 512;
+  c->mma_instrs = static_cast<uint64_t>(pm / 16) * (pk / 16) * n8;
+  c->flops = c->mma_instrs * 4096ull;
+  c->ldsm_instrs = c->mma_instrs;  // one fragment load per mma on average
+  // LDGSTS stages all operands through shared memory (Fig. 7 ideal path).
+  c->smem_bytes_written = 2ull * m * k + 2ull * k * n;
+  c->registers_per_thread = 128;
+}
+
+}  // namespace
+
+FloatMatrix CublasGemmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
+                                  PerfCounters* counters) const {
+  FloatMatrix out = ReferenceGemm(w, x);
+  if (counters != nullptr) {
+    PerfCounters c;
+    CountDenseWork(w.rows(), w.cols(), x.cols(), &c);
+    *counters += c;
+  }
+  return out;
+}
+
+KernelTraits CublasGemmKernel::Traits() const {
+  KernelTraits t;
+  t.name = "cublas_tc";
+  t.bw_eff = 0.92;
+  t.tc_eff_max = 0.85;
+  t.tc_n_sat = 12.0;
+  t.uses_tensor_core = true;
+  t.decode_serial_fraction = 0.0;
+  t.fixed_us = 4.0;
+  return t;
+}
+
+KernelEstimate CublasGemmKernel::Estimate(const SpmmProblem& p,
+                                          const DeviceSpec& dev) const {
+  KernelEstimate est;
+  CountDenseWork(p.m, p.k, p.n, &est.counters);
+  KernelWork work;
+  work.dram_bytes_read = est.counters.dram_bytes_read;
+  work.dram_bytes_written = est.counters.dram_bytes_written;
+  work.flops = est.counters.flops;
+  work.decode_ops = 0;
+  work.n = p.n;
+  est.time = EstimateKernelTime(Traits(), work, dev);
+  return est;
+}
+
+}  // namespace spinfer

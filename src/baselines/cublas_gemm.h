@@ -1,0 +1,25 @@
+// Dense Tensor-Core GEMM — the cuBLAS_TC baseline every speedup in the paper
+// is normalized against (Figs. 1, 10, 16).
+//
+// cuBLAS reads the full dense weight matrix regardless of sparsity; its
+// LDGSTS data path and mature tiling make it the bandwidth-efficiency
+// reference point (Fig. 7 "ideal case").
+#pragma once
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+class CublasGemmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "cublas_tc"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  KernelTraits Traits() const;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,25 @@
+// cuSPARSE-style general CSR SpMM (the vendor baseline, paper §5.1).
+//
+// cuSPARSE targets scientific matrices (high sparsity, irregular structure);
+// its general-purpose CSR path is dramatically inefficient at 40–70%
+// density — the paper measures it ~18x slower than SpInfer. Functionally it
+// is the same CSR traversal as Sputnik; the profile differs.
+#pragma once
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+class CusparseSpmmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "cusparse"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  KernelTraits Traits() const;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,32 @@
+// Flash-LLM's Load-as-Sparse-Compute-as-Dense SpMM (Xia et al., VLDB'23).
+//
+// The kernel LDG-loads Tiled-CSL NonZeros into registers, scatters them into
+// a dense shared-memory tile ("extraction"), then computes the tile densely
+// on Tensor Cores. The scatter addresses are data-dependent, so extraction
+// suffers shared-memory bank conflicts (paper Fig. 12), and the
+// register-file round trip costs SM-internal bandwidth (paper Fig. 7).
+#pragma once
+
+#include "src/core/spmm.h"
+#include "src/format/tiled_csl.h"
+
+namespace spinfer {
+
+class FlashLlmSpmmKernel final : public SpmmKernel {
+ public:
+  explicit FlashLlmSpmmKernel(TiledCslConfig format = {});
+
+  std::string name() const override { return "flash_llm"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  KernelTraits Traits() const;
+
+ private:
+  TiledCslConfig format_;
+};
+
+}  // namespace spinfer

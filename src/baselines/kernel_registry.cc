@@ -1,0 +1,55 @@
+#include "src/baselines/kernel_registry.h"
+
+#include "src/baselines/cublas_gemm.h"
+#include "src/baselines/cusparse_spmm.h"
+#include "src/baselines/flashllm_spmm.h"
+#include "src/baselines/smat_spmm.h"
+#include "src/baselines/sparta_spmm.h"
+#include "src/baselines/sputnik_spmm.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+std::vector<std::unique_ptr<SpmmKernel>> AllKernels() {
+  std::vector<std::unique_ptr<SpmmKernel>> kernels;
+  kernels.push_back(std::make_unique<CusparseSpmmKernel>());
+  kernels.push_back(std::make_unique<SputnikSpmmKernel>());
+  kernels.push_back(std::make_unique<SpartaSpmmKernel>());
+  kernels.push_back(std::make_unique<FlashLlmSpmmKernel>());
+  kernels.push_back(std::make_unique<SmatSpmmKernel>());
+  kernels.push_back(std::make_unique<SpInferSpmmKernel>());
+  kernels.push_back(std::make_unique<CublasGemmKernel>());
+  return kernels;
+}
+
+std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name) {
+  if (name == "spinfer") {
+    return std::make_unique<SpInferSpmmKernel>();
+  }
+  if (name == "cublas_tc") {
+    return std::make_unique<CublasGemmKernel>();
+  }
+  if (name == "flash_llm") {
+    return std::make_unique<FlashLlmSpmmKernel>();
+  }
+  if (name == "sputnik") {
+    return std::make_unique<SputnikSpmmKernel>();
+  }
+  if (name == "cusparse") {
+    return std::make_unique<CusparseSpmmKernel>();
+  }
+  if (name == "sparta") {
+    return std::make_unique<SpartaSpmmKernel>();
+  }
+  if (name == "smat") {
+    return std::make_unique<SmatSpmmKernel>();
+  }
+  SPINFER_UNREACHABLE("unknown kernel name: " + name);
+}
+
+std::vector<std::string> KernelNames() {
+  return {"cusparse", "sputnik", "sparta", "flash_llm", "smat", "spinfer", "cublas_tc"};
+}
+
+}  // namespace spinfer

@@ -1,0 +1,24 @@
+// Central registry of every SpMM kernel in the evaluation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+// Constructs one instance of every kernel (SpInfer with default config plus
+// the five baselines), in the order the paper's figures list them.
+std::vector<std::unique_ptr<SpmmKernel>> AllKernels();
+
+// Constructs a single kernel by registry name ("spinfer", "cublas_tc",
+// "flash_llm", "sputnik", "cusparse", "sparta", "smat"); aborts on unknown
+// names.
+std::unique_ptr<SpmmKernel> MakeKernel(const std::string& name);
+
+// Names accepted by MakeKernel.
+std::vector<std::string> KernelNames();
+
+}  // namespace spinfer

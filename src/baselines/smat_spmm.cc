@@ -1,0 +1,103 @@
+#include "src/baselines/smat_spmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/format/bcsr.h"
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+FloatMatrix SmatSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
+                                PerfCounters* counters) const {
+  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  const BcsrMatrix enc = BcsrMatrix::Encode(w);
+  const int64_t m = w.rows();
+  const int64_t k = w.cols();
+  const int64_t n = x.cols();
+  FloatMatrix out(m, n);
+
+  for (int64_t br = 0; br < enc.num_block_rows(); ++br) {
+    for (uint32_t b = enc.block_row_ptr()[br]; b < enc.block_row_ptr()[br + 1]; ++b) {
+      const int64_t bc = enc.block_cols()[b];
+      const Half* block =
+          enc.block_values().data() + static_cast<size_t>(b) * kBcsrBlockDim * kBcsrBlockDim;
+      for (int r = 0; r < kBcsrBlockDim; ++r) {
+        const int64_t row = br * kBcsrBlockDim + r;
+        if (row >= m) {
+          break;
+        }
+        for (int c = 0; c < kBcsrBlockDim; ++c) {
+          const int64_t col = bc * kBcsrBlockDim + c;
+          const float v = block[r * kBcsrBlockDim + c].ToFloat();
+          if (v == 0.0f || col >= k) {
+            continue;
+          }
+          for (int64_t j = 0; j < n; ++j) {
+            out.at(row, j) += v * x.at(col, j).ToFloat();
+          }
+        }
+      }
+    }
+  }
+
+  if (counters != nullptr) {
+    PerfCounters c;
+    c.dram_bytes_read = enc.StorageBytes() + 2ull * k * n;
+    c.dram_bytes_written = 2ull * m * n;
+    const int64_t n8 = PadUp(std::max<int64_t>(n, 1), 8) / 8;
+    // Each mma.m16n8k16 consumes a 2x2 group of 8x8 blocks; zero blocks in a
+    // group still ride along, so charge mma work per nonzero block rounded
+    // up to half an instruction (two blocks per instruction K-depth).
+    c.mma_instrs = (static_cast<uint64_t>(enc.num_nonzero_blocks()) * n8 + 3) / 4;
+    c.flops = static_cast<uint64_t>(enc.num_nonzero_blocks()) * 2 * 64 * 8 * n8;
+    c.registers_per_thread = 128;
+    *counters += c;
+  }
+  return out;
+}
+
+KernelTraits SmatSpmmKernel::Traits() const {
+  KernelTraits t;
+  t.name = "smat";
+  t.bw_eff = 0.85;
+  t.tc_eff_max = 0.70;
+  t.tc_n_sat = 20.0;
+  t.uses_tensor_core = true;
+  t.decode_serial_fraction = 0.0;
+  t.fixed_us = 5.0;
+  return t;
+}
+
+KernelEstimate SmatSpmmKernel::Estimate(const SpmmProblem& p,
+                                        const DeviceSpec& dev) const {
+  const int64_t block_rows = PadUp(p.m, kBcsrBlockDim) / kBcsrBlockDim;
+  const int64_t block_cols = PadUp(p.k, kBcsrBlockDim) / kBcsrBlockDim;
+  // Expected nonzero blocks under an i.i.d. Bernoulli(1-s) mask:
+  // P[8x8 block has any nonzero] = 1 - s^64.
+  const double p_nonzero = 1.0 - std::pow(p.sparsity, 64.0);
+  const uint64_t nnz_blocks = static_cast<uint64_t>(
+      std::llround(static_cast<double>(block_rows * block_cols) * p_nonzero));
+  const int64_t n8 = PadUp(std::max<int64_t>(p.n, 1), 8) / 8;
+
+  KernelEstimate est;
+  PerfCounters& c = est.counters;
+  c.dram_bytes_read = nnz_blocks * (2ull * 64 + 4) + 4ull * (block_rows + 1) +
+                      2ull * p.k * p.n;
+  c.dram_bytes_written = 2ull * p.m * p.n;
+  c.mma_instrs = (nnz_blocks * static_cast<uint64_t>(n8) + 3) / 4;
+  c.flops = nnz_blocks * 2ull * 64 * 8 * static_cast<uint64_t>(n8);
+  c.registers_per_thread = 128;
+
+  KernelWork work;
+  work.dram_bytes_read = c.dram_bytes_read;
+  work.dram_bytes_written = c.dram_bytes_written;
+  work.flops = c.flops;
+  work.decode_ops = nnz_blocks * 4;  // block-pointer chasing
+  work.n = p.n;
+  est.time = EstimateKernelTime(Traits(), work, dev);
+  return est;
+}
+
+}  // namespace spinfer

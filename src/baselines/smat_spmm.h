@@ -1,0 +1,27 @@
+// SMaT: Tensor-Core SpMM for scientific (highly sparse) matrices
+// (Okanovic et al.; paper §5.1, Fig. 11).
+//
+// BCSR with 8x8 blocks; fully-zero blocks are skipped so both traffic and
+// mma work scale with the number of nonzero blocks. At LLM densities nearly
+// every block is nonzero (P[block empty] = s^64), so SMaT degenerates to a
+// dense-plus-index kernel — the paper's Fig. 11 shows SpInfer 2.12x faster
+// at 50% sparsity, with SMaT taking over only above ~99.7%.
+#pragma once
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+class SmatSpmmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "smat"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  KernelTraits Traits() const;
+};
+
+}  // namespace spinfer

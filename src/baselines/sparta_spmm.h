@@ -1,0 +1,27 @@
+// SparTA composable SpMM (Zheng et al., OSDI'22).
+//
+// Executes the 2:4 semi-structured component on Sparse Tensor Cores and the
+// CSR residual on CUDA cores, then sums the two partial products. Total time
+// models the two sub-kernels plus a combine pass; at uniform 50% sparsity
+// roughly 9% of nonzeros overflow into the residual (paper Eq. 4).
+#pragma once
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+class SpartaSpmmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "sparta"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  // Profiles of the two sub-kernels.
+  KernelTraits StructuredTraits() const;
+  KernelTraits ResidualTraits() const;
+};
+
+}  // namespace spinfer

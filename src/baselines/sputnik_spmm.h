@@ -1,0 +1,26 @@
+// Sputnik-style CUDA-core SpMM (Gale et al., SC'20).
+//
+// One-dimensional row tiling over a CSR matrix, executed on CUDA cores (no
+// Tensor Cores): each thread block processes a strip of rows, streaming
+// values + column indices and gathering X rows. Skips zeros entirely —
+// FLOPs scale with NNZ — but pays 4B of index per nonzero and forgoes
+// Tensor-Core throughput.
+#pragma once
+
+#include "src/core/spmm.h"
+
+namespace spinfer {
+
+class SputnikSpmmKernel final : public SpmmKernel {
+ public:
+  std::string name() const override { return "sputnik"; }
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  KernelTraits Traits() const;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,33 @@
+#include "src/core/autotuner.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+AutotuneResult AutotuneSpInfer(const SpmmProblem& problem, const DeviceSpec& dev) {
+  SPINFER_CHECK(problem.m > 0 && problem.k > 0 && problem.n > 0);
+  AutotuneResult result;
+  for (int gt_rows : {16, 32, 64, 128}) {
+    for (int gt_cols : {16, 32, 64, 128}) {
+      SpInferKernelConfig cfg;
+      cfg.format.gt_rows = gt_rows;
+      cfg.format.gt_cols = gt_cols;
+      cfg.split_k = 0;  // auto per shape
+      const SpInferSpmmKernel kernel(cfg);
+      const KernelEstimate est = kernel.Estimate(problem, dev);
+      result.candidates.push_back({cfg, est.time.total_us});
+    }
+  }
+  std::sort(result.candidates.begin(), result.candidates.end(),
+            [](const AutotuneCandidate& a, const AutotuneCandidate& b) {
+              return a.modeled_us < b.modeled_us;
+            });
+  result.config = result.candidates.front().config;
+  result.time =
+      SpInferSpmmKernel(result.config).Estimate(problem, dev).time;
+  return result;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,33 @@
+// Offline autotuner for the SpInfer-SpMM kernel.
+//
+// The paper fixes one GroupTile geometry; a production integration tunes it
+// per weight shape (the FasterTransformer integration selects kernels at
+// engine-build time). This tuner sweeps GroupTile geometries and split-K
+// against the cost model — occupancy-aware, so configurations whose
+// double-buffered tiles exhaust shared memory are rejected — and returns the
+// fastest launchable configuration.
+#pragma once
+
+#include <vector>
+
+#include "src/core/spinfer_kernel.h"
+
+namespace spinfer {
+
+struct AutotuneCandidate {
+  SpInferKernelConfig config;
+  double modeled_us = 0.0;
+};
+
+struct AutotuneResult {
+  // The winning configuration and its modeled time.
+  SpInferKernelConfig config;
+  TimeBreakdown time;
+  // Every explored candidate, best first (for ablation reporting).
+  std::vector<AutotuneCandidate> candidates;
+};
+
+// Sweeps gt_rows x gt_cols over {16,32,64,128}^2 with automatic split-K.
+AutotuneResult AutotuneSpInfer(const SpmmProblem& problem, const DeviceSpec& dev);
+
+}  // namespace spinfer

@@ -1,0 +1,62 @@
+#include "src/core/cpu_backend.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+void CpuSpmmAccumulate(const TcaBmeMatrix& w, const HalfMatrix& x, FloatMatrix* out) {
+  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  SPINFER_CHECK_EQ(out->rows(), w.rows());
+  SPINFER_CHECK_EQ(out->cols(), x.cols());
+  const int64_t n = x.cols();
+  const int64_t m = w.rows();
+  const int64_t k = w.cols();
+  const int tc_rows = w.tc_rows_per_gt();
+  const int tc_cols = w.tc_cols_per_gt();
+  const TcaBmeConfig& cfg = w.config();
+
+  for (int64_t gt = 0; gt < w.num_group_tiles(); ++gt) {
+    const int64_t base_r = (gt / w.gt_grid_cols()) * cfg.gt_rows;
+    const int64_t base_c = (gt % w.gt_grid_cols()) * cfg.gt_cols;
+    size_t cursor = w.gtile_offsets()[gt];
+    // Nested traversal mirrors the storage order exactly, so `cursor` walks
+    // the Values run without any index lookups.
+    for (int tcc = 0; tcc < tc_cols; ++tcc) {
+      for (int tcr = 0; tcr < tc_rows; ++tcr) {
+        const int tc = tcc * tc_rows + tcr;
+        for (int q = 0; q < 4; ++q) {
+          uint64_t bitmap = w.bitmaps()[w.BitmapIndex(gt, tc, q)];
+          const int64_t bt_r = base_r + static_cast<int64_t>(tcr) * kTcTileDim +
+                               (q % 2) * kBitmapTileDim;
+          const int64_t bt_c = base_c + static_cast<int64_t>(tcc) * kTcTileDim +
+                               (q / 2) * kBitmapTileDim;
+          while (bitmap != 0) {
+            const int bit = std::countr_zero(bitmap);
+            bitmap &= bitmap - 1;
+            const float v = w.values()[cursor++].ToFloat();
+            const int64_t r = bt_r + bit / kBitmapTileDim;
+            const int64_t c = bt_c + bit % kBitmapTileDim;
+            if (r >= m || c >= k) {
+              continue;  // padding region holds no nonzeros by construction
+            }
+            float* out_row = out->data() + r * n;
+            const Half* x_row = x.data() + c * n;
+            for (int64_t j = 0; j < n; ++j) {
+              out_row[j] += v * x_row[j].ToFloat();
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x) {
+  FloatMatrix out(w.rows(), x.cols());
+  CpuSpmmAccumulate(w, x, &out);
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,25 @@
+// Bitmap-direct CPU SpMM backend.
+//
+// The warp-level functional simulator (SpInferSpmmKernel::Run) exists to
+// validate the GPU algorithm bit-for-bit; it is deliberately literal and
+// slow. This backend is the *production CPU path* for TCA-BME models: it
+// walks each BitmapTile's 64-bit mask with count-trailing-zeros, consumes
+// the compressed Values run sequentially (the same order SMBD implies), and
+// FMAs whole X rows — no fragment emulation. The tiny-transformer example
+// and the CPU-deployment story run on this.
+#pragma once
+
+#include "src/format/tca_bme.h"
+#include "src/gpusim/perf_counters.h"
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+// O(M x N) = W * X with FP32 accumulation. Results match the reference GEMM
+// within FP32 reassociation tolerance.
+FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x);
+
+// Same, accumulating into `out` (+=), for callers that fuse bias/residual.
+void CpuSpmmAccumulate(const TcaBmeMatrix& w, const HalfMatrix& x, FloatMatrix* out);
+
+}  // namespace spinfer

@@ -1,0 +1,23 @@
+#include "src/core/kernel_config.h"
+
+#include <algorithm>
+
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+int ChooseSplitK(int64_t m, int64_t k, const TcaBmeConfig& format, const DeviceSpec& dev) {
+  SPINFER_CHECK(m > 0 && k > 0);
+  const int64_t m_blocks = PadUp(m, format.gt_rows) / format.gt_rows;
+  const int64_t k_tiles = PadUp(k, format.gt_cols) / format.gt_cols;
+  int split = 1;
+  // Double the split while the grid underfills the device and K still has
+  // at least one GroupTile column per partition.
+  while (m_blocks * split < 2 * dev.sm_count && split * 2 <= k_tiles && split < 16) {
+    split *= 2;
+  }
+  return split;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,41 @@
+// SpInfer-SpMM kernel configuration and launch heuristics.
+#pragma once
+
+#include <cstdint>
+
+#include "src/format/tca_bme.h"
+#include "src/gpusim/device_spec.h"
+
+namespace spinfer {
+
+struct SpInferKernelConfig {
+  // Thread-block tile = one GroupTile of the TCA-BME format.
+  TcaBmeConfig format;
+
+  // Number of K-dimension partitions (CUTLASS-style split-K, §4.3.1). Each
+  // partition writes FP32 partial sums to a reduction workspace that a
+  // lightweight epilogue sums. 0 = choose automatically per shape/device
+  // (ChooseSplitK); the functional simulator treats 0 as 1.
+  int split_k = 0;
+
+  // INT8 value payload (the TcaBmeQuantMatrix composition): halves the
+  // dominant Values traffic at the cost of a dequantization step fused into
+  // SMBD. Only the cost model consumes this — functional INT8 execution
+  // lives in TcaBmeQuantMatrix/CpuSpmm paths.
+  bool int8_values = false;
+
+  // Ablation switches (paper Table 1).
+  // smbd=false models the no-SMBD variant: sparse data is staged through the
+  // register file and expanded into shared memory (Flash-LLM-style), adding
+  // register pressure and smem round trips.
+  bool smbd = true;
+  // async_pipe=false serializes tile loading, decoding and Tensor Core
+  // computation instead of overlapping them with double buffering.
+  bool async_pipe = true;
+};
+
+// Picks split_k so that (M/GT_rows) * split_k thread blocks give every SM
+// work, without slicing K below one GroupTile column.
+int ChooseSplitK(int64_t m, int64_t k, const TcaBmeConfig& format, const DeviceSpec& dev);
+
+}  // namespace spinfer

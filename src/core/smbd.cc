@@ -1,0 +1,62 @@
+#include "src/core/smbd.h"
+
+namespace spinfer {
+
+void SmbdDecodeLane(uint64_t bitmap, int lane, const Half* values, Half out[2],
+                    int* loads) {
+  int n_loads = 0;
+  // Phase I: element a0 at bit 2*lane.
+  const bool bit0 = (bitmap >> (2 * lane)) & 1ull;
+  int offset = 0;
+  if (bit0) {
+    offset = MaskedPopCount(bitmap, lane);
+    out[0] = values[offset];
+    ++n_loads;
+  } else {
+    out[0] = Half(0.0f);
+  }
+  // Phase II: element a1 at bit 2*lane+1 reuses Phase I's offset (paper:
+  // "if the first value (a0) was non-zero, the offset is incremented by one").
+  const bool bit1 = (bitmap >> (2 * lane + 1)) & 1ull;
+  if (bit1) {
+    if (!bit0) {
+      // a0 absent: the masked count below 2*lane is also the offset of a1.
+      offset = MaskedPopCount(bitmap, lane);
+      out[1] = values[offset];
+    } else {
+      out[1] = values[offset + 1];
+    }
+    ++n_loads;
+  } else {
+    out[1] = Half(0.0f);
+  }
+  if (loads != nullptr) {
+    *loads = n_loads;
+  }
+}
+
+void SmbdDecodeTcTile(const uint64_t bitmaps[4], const Half* const quadrant_values[4],
+                      MmaAFragment frag[kWarpSize], PerfCounters* counters) {
+  for (int q = 0; q < 4; ++q) {
+    uint64_t lane_loads_total = 0;
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      Half out[2];
+      int loads = 0;
+      SmbdDecodeLane(bitmaps[q], lane, quadrant_values[q], out, &loads);
+      frag[lane].a[q * 2 + 0] = out[0];
+      frag[lane].a[q * 2 + 1] = out[1];
+      lane_loads_total += static_cast<uint64_t>(loads);
+    }
+    if (counters != nullptr) {
+      // Per quadrant: one warp-wide MaskedPopCount (Phase I; Phase II reuses
+      // it), one full PopCount to advance the running base offset, and a
+      // handful of mask/select/add warp instructions.
+      counters->popc_ops += 2;
+      counters->alu_ops += 8;
+      counters->lds_instrs += 2;  // two phases of (predicated) LDS
+      counters->smem_bytes_read += lane_loads_total * sizeof(Half);
+    }
+  }
+}
+
+}  // namespace spinfer

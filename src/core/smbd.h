@@ -1,0 +1,43 @@
+// Shared Memory Bitmap Decoding (paper §4.3.3, Fig. 8, Alg. 2).
+//
+// SMBD turns the compressed (bitmap, values) representation of a 16×16
+// TCTile into the per-lane register fragments the mma.m16n8k16 instruction
+// expects, without any stored offsets:
+//
+//   Phase I  (a0): lane i tests bit 2i of the quadrant's 64-bit bitmap. If
+//     set, MaskedPopCount(bitmap, i) = popcount of the bits below 2i gives
+//     the lane's offset into the quadrant's compressed Values segment; the
+//     value is loaded from shared memory. Otherwise a0 = 0.
+//   Phase II (a1): lane i tests bit 2i+1 and reuses Phase I's offset —
+//     incremented by one if a0 was nonzero — avoiding a second popcount.
+//
+// The quadrant base offsets themselves are accumulated online with one full
+// PopCount per BitmapTile, so the format stores no per-tile offsets either.
+#pragma once
+
+#include <cstdint>
+
+#include "src/gpusim/perf_counters.h"
+#include "src/gpusim/tensor_core.h"
+#include "src/numeric/fp16.h"
+
+namespace spinfer {
+
+// Decodes one 16×16 TCTile into a warp's A fragments.
+//
+// `bitmaps[q]` is the quadrant's BitmapTile (q in column-major TL,BL,TR,BR
+// order = registers Ra0..Ra3); `quadrant_values[q]` points at the start of
+// quadrant q's compressed value run (within the shared-memory WTile).
+// `frag[lane]` receives all four registers. `counters`, if non-null, is
+// charged the PopCount/ALU/LDS work of the decode.
+void SmbdDecodeTcTile(const uint64_t bitmaps[4], const Half* const quadrant_values[4],
+                      MmaAFragment frag[kWarpSize], PerfCounters* counters);
+
+// Decodes a single quadrant for one lane (the primitive the warp-level
+// routine and the unit tests share). Returns the two halves destined for
+// register `Ra_q` of `lane` and, via `loads`, how many shared-memory value
+// loads the lane issued (0..2).
+void SmbdDecodeLane(uint64_t bitmap, int lane, const Half* values, Half out[2],
+                    int* loads);
+
+}  // namespace spinfer

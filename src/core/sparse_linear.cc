@@ -1,0 +1,68 @@
+#include "src/core/sparse_linear.h"
+
+#include "src/core/autotuner.h"
+#include "src/core/cpu_backend.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+SparseLinear SparseLinear::FromDense(const HalfMatrix& weight, const Options& options) {
+  TcaBmeConfig format;
+  if (options.tune) {
+    SpmmProblem p;
+    p.m = weight.rows();
+    p.k = weight.cols();
+    p.n = options.expected_n;
+    p.sparsity = weight.Sparsity();
+    format = AutotuneSpInfer(p, options.device).config.format;
+  }
+  return SparseLinear(TcaBmeMatrix::Encode(weight, format));
+}
+
+SparseLinear SparseLinear::FromDense(const HalfMatrix& weight) {
+  return FromDense(weight, Options{});
+}
+
+SparseLinear::SparseLinear(TcaBmeMatrix weight) : weight_(std::move(weight)) {}
+
+void SparseLinear::SetBias(std::vector<float> bias) {
+  SPINFER_CHECK_EQ(static_cast<int64_t>(bias.size()), weight_.rows());
+  bias_ = std::move(bias);
+}
+
+FloatMatrix SparseLinear::Forward(const HalfMatrix& x) const {
+  SPINFER_CHECK_EQ(x.rows(), weight_.cols());
+  FloatMatrix out(weight_.rows(), x.cols());
+  if (bias_.has_value()) {
+    for (int64_t r = 0; r < out.rows(); ++r) {
+      for (int64_t c = 0; c < out.cols(); ++c) {
+        out.at(r, c) = (*bias_)[r];
+      }
+    }
+  }
+  CpuSpmmAccumulate(weight_, x, &out);
+  return out;
+}
+
+uint64_t SparseLinear::StorageBytes() const {
+  uint64_t bytes = weight_.StorageBytes();
+  if (bias_.has_value()) {
+    bytes += 4ull * bias_->size();
+  }
+  return bytes;
+}
+
+double SparseLinear::EstimateGpuTimeUs(int64_t n, const DeviceSpec& dev) const {
+  SpInferKernelConfig cfg;
+  cfg.format = weight_.config();
+  SpmmProblem p;
+  p.m = weight_.rows();
+  p.k = weight_.cols();
+  p.n = n;
+  p.nnz = weight_.nnz();
+  p.sparsity = sparsity();
+  return SpInferSpmmKernel(cfg).Estimate(p, dev).time.total_us;
+}
+
+}  // namespace spinfer

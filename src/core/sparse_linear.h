@@ -1,0 +1,60 @@
+// SparseLinear: the layer-level public API.
+//
+// What a framework integration (the paper wires SpInfer into
+// FasterTransformer) actually holds per linear layer: the TCA-BME-encoded
+// weight, an optional FP32 bias, and the tuned kernel configuration. Built
+// once offline from a dense/pruned matrix or loaded from a checkpoint;
+// Forward() then serves matmuls without ever materializing dense weights.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/kernel_config.h"
+#include "src/core/spmm.h"
+#include "src/format/tca_bme.h"
+
+namespace spinfer {
+
+class SparseLinear {
+ public:
+  // Encodes `weight` (typically already pruned). If `tune` is set, the
+  // GroupTile geometry is autotuned for `expected_n` on `dev` before
+  // encoding; otherwise the default geometry is used.
+  struct Options {
+    bool tune = false;
+    int64_t expected_n = 16;
+    DeviceSpec device = Rtx4090();
+  };
+  static SparseLinear FromDense(const HalfMatrix& weight, const Options& options);
+  static SparseLinear FromDense(const HalfMatrix& weight);  // default options
+
+  // Wraps an already-encoded matrix (e.g. from WeightBundle::Find).
+  explicit SparseLinear(TcaBmeMatrix weight);
+
+  // Sets a per-output-row bias added to every output column.
+  void SetBias(std::vector<float> bias);
+
+  // y = W x (+ bias). Runs the bitmap-direct CPU backend.
+  FloatMatrix Forward(const HalfMatrix& x) const;
+
+  int64_t in_features() const { return weight_.cols(); }
+  int64_t out_features() const { return weight_.rows(); }
+  double sparsity() const {
+    return 1.0 - static_cast<double>(weight_.nnz()) /
+                     static_cast<double>(weight_.rows() * weight_.cols());
+  }
+  uint64_t StorageBytes() const;
+  const TcaBmeMatrix& weight() const { return weight_; }
+
+  // Modeled GPU time for a batch of `n` tokens.
+  double EstimateGpuTimeUs(int64_t n, const DeviceSpec& dev) const;
+
+ private:
+  TcaBmeMatrix weight_;
+  std::optional<std::vector<float>> bias_;
+};
+
+}  // namespace spinfer

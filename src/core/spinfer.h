@@ -1,0 +1,17 @@
+// SpInfer umbrella header — the public API surface.
+//
+//   #include "src/core/spinfer.h"
+//
+// pulls in the TCA-BME sparse format, the SpInfer-SpMM kernel, the pruning
+// algorithms, the device/cost models, and the inference-engine entry points.
+// See examples/quickstart.cpp for the 30-line tour.
+#pragma once
+
+#include "src/core/kernel_config.h"    // IWYU pragma: export
+#include "src/core/smbd.h"             // IWYU pragma: export
+#include "src/core/spinfer_kernel.h"   // IWYU pragma: export
+#include "src/core/spmm.h"             // IWYU pragma: export
+#include "src/format/tca_bme.h"        // IWYU pragma: export
+#include "src/gpusim/device_spec.h"    // IWYU pragma: export
+#include "src/numeric/compare.h"       // IWYU pragma: export
+#include "src/numeric/matrix.h"        // IWYU pragma: export

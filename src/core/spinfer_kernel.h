@@ -1,0 +1,54 @@
+// The SpInfer-SpMM kernel (paper §4.3, Alg. 1).
+//
+// Execution structure (functional simulation mirrors the CUDA kernel):
+//   * grid: (M / GT_rows) thread-block rows × split_k K-partitions;
+//   * per iteration a block (1) LDGSTS-copies one GroupTile (values +
+//     bitmaps) global→shared, (2) SMBD-decodes the WTile shared→registers,
+//     (3) LDGSTS-copies the XTile, (4) LDSM-loads X fragments, and (5) runs
+//     mma.m16n8k16 Tensor Core ops — double-buffered so (1)/(3) of iteration
+//     i+1 overlap (2)/(5) of iteration i;
+//   * split-K partials land in an FP32 reduction workspace; an epilogue sums
+//     them.
+//
+// Estimate() produces the same event counts in closed form and feeds the
+// roofline cost model with SpInfer's calibrated efficiency profile.
+#pragma once
+
+#include "src/core/kernel_config.h"
+#include "src/core/spmm.h"
+#include "src/format/tca_bme.h"
+#include "src/gpusim/occupancy.h"
+
+namespace spinfer {
+
+class SpInferSpmmKernel final : public SpmmKernel {
+ public:
+  explicit SpInferSpmmKernel(SpInferKernelConfig config = {});
+
+  std::string name() const override;
+
+  FloatMatrix Run(const HalfMatrix& w, const HalfMatrix& x,
+                  PerfCounters* counters) const override;
+
+  // Functional execution on an already-encoded weight matrix (the form the
+  // inference engine uses: encode once, run per token).
+  FloatMatrix RunEncoded(const TcaBmeMatrix& w, const HalfMatrix& x,
+                         PerfCounters* counters) const;
+
+  KernelEstimate Estimate(const SpmmProblem& p, const DeviceSpec& dev) const override;
+
+  const SpInferKernelConfig& config() const { return config_; }
+
+  // The calibrated roofline profile (exposed for the ablation bench).
+  KernelTraits Traits() const;
+
+  // Per-thread-block resources at the given problem statistics: one warp per
+  // TCTile row of the GroupTile, plus double-buffered shared tiles sized for
+  // the expected nonzero payload, bitmaps, and the XTile.
+  KernelResources Resources(double sparsity, int64_t n) const;
+
+ private:
+  SpInferKernelConfig config_;
+};
+
+}  // namespace spinfer

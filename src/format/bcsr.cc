@@ -1,0 +1,64 @@
+#include "src/format/bcsr.h"
+
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+BcsrMatrix BcsrMatrix::Encode(const HalfMatrix& w) {
+  BcsrMatrix m;
+  m.rows_ = w.rows();
+  m.cols_ = w.cols();
+  const int64_t block_rows = PadUp(w.rows(), kBcsrBlockDim) / kBcsrBlockDim;
+  const int64_t block_cols = PadUp(w.cols(), kBcsrBlockDim) / kBcsrBlockDim;
+
+  m.block_row_ptr_.reserve(static_cast<size_t>(block_rows) + 1);
+  m.block_row_ptr_.push_back(0);
+  for (int64_t br = 0; br < block_rows; ++br) {
+    for (int64_t bc = 0; bc < block_cols; ++bc) {
+      bool any = false;
+      Half block[kBcsrBlockDim * kBcsrBlockDim];
+      for (int r = 0; r < kBcsrBlockDim; ++r) {
+        for (int c = 0; c < kBcsrBlockDim; ++c) {
+          const Half v = PaddedAt(w, br * kBcsrBlockDim + r, bc * kBcsrBlockDim + c);
+          block[r * kBcsrBlockDim + c] = v;
+          any = any || !v.IsZero();
+        }
+      }
+      if (any) {
+        m.block_cols_.push_back(static_cast<uint32_t>(bc));
+        m.block_values_.insert(m.block_values_.end(), block,
+                               block + kBcsrBlockDim * kBcsrBlockDim);
+      }
+    }
+    m.block_row_ptr_.push_back(static_cast<uint32_t>(m.block_cols_.size()));
+  }
+  return m;
+}
+
+HalfMatrix BcsrMatrix::Decode() const {
+  HalfMatrix w(rows_, cols_);
+  for (int64_t br = 0; br + 1 < static_cast<int64_t>(block_row_ptr_.size()); ++br) {
+    for (uint32_t b = block_row_ptr_[br]; b < block_row_ptr_[br + 1]; ++b) {
+      const int64_t bc = block_cols_[b];
+      for (int r = 0; r < kBcsrBlockDim; ++r) {
+        for (int c = 0; c < kBcsrBlockDim; ++c) {
+          const int64_t rr = br * kBcsrBlockDim + r;
+          const int64_t cc = bc * kBcsrBlockDim + c;
+          if (rr < rows_ && cc < cols_) {
+            w.at(rr, cc) = block_values_[static_cast<size_t>(b) * kBcsrBlockDim * kBcsrBlockDim +
+                                         r * kBcsrBlockDim + c];
+          }
+        }
+      }
+    }
+  }
+  return w;
+}
+
+uint64_t BcsrMatrix::StorageBytes() const {
+  return 2ull * block_values_.size() + 4ull * block_cols_.size() +
+         4ull * block_row_ptr_.size();
+}
+
+}  // namespace spinfer

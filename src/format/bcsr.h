@@ -1,0 +1,47 @@
+// Block-CSR (BCSR) with 8x8 dense blocks — the storage scheme behind SMaT
+// (Okanovic et al.; paper §5.1 "scientific workloads" comparison).
+//
+// Only blocks containing at least one nonzero are materialized; each stored
+// block is fully dense (128B of FP16). At LLM-pruning sparsity nearly every
+// block is nonzero, so BCSR degenerates to dense-plus-index storage — the
+// reason SMaT only wins at extreme (>99.7%) sparsity (paper Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+inline constexpr int kBcsrBlockDim = 8;
+
+class BcsrMatrix {
+ public:
+  static BcsrMatrix Encode(const HalfMatrix& w);
+
+  HalfMatrix Decode() const;
+
+  // Exact footprint: 128B per nonzero block + 4B block column index per
+  // block + 4B row pointers.
+  uint64_t StorageBytes() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t num_nonzero_blocks() const { return static_cast<int64_t>(block_cols_.size()); }
+  int64_t num_block_rows() const { return static_cast<int64_t>(block_row_ptr_.size()) - 1; }
+
+  const std::vector<uint32_t>& block_row_ptr() const { return block_row_ptr_; }
+  const std::vector<uint32_t>& block_cols() const { return block_cols_; }
+  // Block data, kBcsrBlockDim^2 values per block, row-major within a block.
+  const std::vector<Half>& block_values() const { return block_values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<uint32_t> block_row_ptr_;
+  std::vector<uint32_t> block_cols_;
+  std::vector<Half> block_values_;
+};
+
+}  // namespace spinfer

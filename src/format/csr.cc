@@ -1,0 +1,40 @@
+#include "src/format/csr.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+CsrMatrix CsrMatrix::Encode(const HalfMatrix& w) {
+  CsrMatrix m;
+  m.rows_ = w.rows();
+  m.cols_ = w.cols();
+  m.row_ptr_.reserve(static_cast<size_t>(w.rows()) + 1);
+  m.row_ptr_.push_back(0);
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      const Half v = w.at(r, c);
+      if (!v.IsZero()) {
+        m.col_idx_.push_back(static_cast<uint32_t>(c));
+        m.values_.push_back(v);
+      }
+    }
+    m.row_ptr_.push_back(static_cast<uint32_t>(m.values_.size()));
+  }
+  return m;
+}
+
+HalfMatrix CsrMatrix::Decode() const {
+  HalfMatrix w(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (uint32_t i = row_ptr_[r]; i < row_ptr_[r + 1]; ++i) {
+      w.at(r, col_idx_[i]) = values_[i];
+    }
+  }
+  return w;
+}
+
+uint64_t CsrMatrix::StorageBytes() const {
+  return 2ull * values_.size() + 4ull * col_idx_.size() + 4ull * row_ptr_.size();
+}
+
+}  // namespace spinfer

@@ -1,0 +1,44 @@
+// Compressed Sparse Row format.
+//
+// The classical format used by Sputnik and cuSPARSE-style CUDA-core SpMM
+// (paper §3.2.1): FP16 values + 32-bit column indices + 32-bit row pointers.
+// Its 4B-per-nonzero index overhead is exactly why CR < 1 below 50% sparsity
+// (paper Eq. 3 / Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+class CsrMatrix {
+ public:
+  // Encodes `w`; zero entries (bit pattern +/-0) are dropped.
+  static CsrMatrix Encode(const HalfMatrix& w);
+
+  // Reconstructs the dense matrix.
+  HalfMatrix Decode() const;
+
+  // Exact storage footprint: 2B*nnz values + 4B*nnz column indices +
+  // 4B*(rows+1) row pointers (paper Eq. 3).
+  uint64_t StorageBytes() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<Half>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<uint32_t> row_ptr_;
+  std::vector<uint32_t> col_idx_;
+  std::vector<Half> values_;
+};
+
+}  // namespace spinfer

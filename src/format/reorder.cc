@@ -1,0 +1,103 @@
+#include "src/format/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+std::vector<int64_t> RowNnz(const HalfMatrix& w) {
+  std::vector<int64_t> nnz(static_cast<size_t>(w.rows()), 0);
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      nnz[r] += !w.at(r, c).IsZero();
+    }
+  }
+  return nnz;
+}
+
+}  // namespace
+
+HalfMatrix RowPermutation::Apply(const HalfMatrix& w) const {
+  SPINFER_CHECK_EQ(static_cast<int64_t>(order.size()), w.rows());
+  HalfMatrix out(w.rows(), w.cols());
+  for (int64_t i = 0; i < w.rows(); ++i) {
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      out.at(i, c) = w.at(order[i], c);
+    }
+  }
+  return out;
+}
+
+FloatMatrix RowPermutation::Unapply(const FloatMatrix& o) const {
+  SPINFER_CHECK_EQ(static_cast<int64_t>(order.size()), o.rows());
+  FloatMatrix out(o.rows(), o.cols());
+  for (int64_t i = 0; i < o.rows(); ++i) {
+    for (int64_t c = 0; c < o.cols(); ++c) {
+      out.at(order[i], c) = o.at(i, c);
+    }
+  }
+  return out;
+}
+
+RowPermutation BalanceRows(const HalfMatrix& w, int group_rows) {
+  SPINFER_CHECK(group_rows > 0);
+  const int64_t rows = w.rows();
+  const std::vector<int64_t> nnz = RowNnz(w);
+  std::vector<uint32_t> by_weight(static_cast<size_t>(rows));
+  std::iota(by_weight.begin(), by_weight.end(), 0u);
+  std::sort(by_weight.begin(), by_weight.end(), [&](uint32_t a, uint32_t b) {
+    if (nnz[a] != nnz[b]) {
+      return nnz[a] > nnz[b];
+    }
+    return a < b;
+  });
+
+  // Round-robin deal: the i-th heaviest row goes to group i mod num_groups,
+  // so every group receives one row from each weight stratum. When rows is a
+  // multiple of group_rows every group ends up exactly group_rows tall, so
+  // flattened positions align with real GroupTile row boundaries.
+  const int64_t num_groups = (rows + group_rows - 1) / group_rows;
+  std::vector<std::vector<uint32_t>> groups(static_cast<size_t>(num_groups));
+  int64_t g = 0;
+  for (uint32_t row : by_weight) {
+    groups[g].push_back(row);
+    g = (g + 1) % num_groups;
+  }
+
+  RowPermutation perm;
+  perm.order.reserve(static_cast<size_t>(rows));
+  for (const auto& group : groups) {
+    for (uint32_t row : group) {
+      perm.order.push_back(row);
+    }
+  }
+  return perm;
+}
+
+double RowGroupImbalance(const HalfMatrix& w, int group_rows) {
+  SPINFER_CHECK(group_rows > 0);
+  const std::vector<int64_t> nnz = RowNnz(w);
+  const int64_t num_groups =
+      (w.rows() + group_rows - 1) / group_rows;
+  int64_t max_group = 0;
+  int64_t total = 0;
+  for (int64_t g = 0; g < num_groups; ++g) {
+    int64_t sum = 0;
+    for (int64_t r = g * group_rows; r < std::min<int64_t>(w.rows(), (g + 1) * group_rows);
+         ++r) {
+      sum += nnz[r];
+    }
+    max_group = std::max(max_group, sum);
+    total += sum;
+  }
+  if (total == 0) {
+    return 1.0;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(num_groups);
+  return static_cast<double>(max_group) / mean;
+}
+
+}  // namespace spinfer

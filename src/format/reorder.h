@@ -1,0 +1,40 @@
+// Row reordering for GroupTile load balance.
+//
+// Split-K distributes K-slices evenly, but rows with very uneven nonzero
+// counts make GroupTile *payload sizes* uneven, so some thread blocks stream
+// more bytes than others and the tail block gates the kernel. Sorting rows
+// by nonzero count and dealing them round-robin across GroupTile row-groups
+// equalizes per-GroupTile payloads (the trick SMaT and several scientific
+// SpMM kernels apply before tiling). The permutation is applied offline to
+// the weight matrix; the matching inverse permutation re-orders the output
+// rows after the SpMM, so results are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+struct RowPermutation {
+  // new_row[i] = old row index placed at position i.
+  std::vector<uint32_t> order;
+
+  // Applies the permutation: out.row(i) = w.row(order[i]).
+  HalfMatrix Apply(const HalfMatrix& w) const;
+
+  // Un-permutes an output matrix computed from the permuted weights:
+  // restored.row(order[i]) = o.row(i).
+  FloatMatrix Unapply(const FloatMatrix& o) const;
+};
+
+// Balanced permutation for GroupTile row-groups of height `group_rows`:
+// rows sorted by nonzero count, dealt serpentine across groups.
+RowPermutation BalanceRows(const HalfMatrix& w, int group_rows);
+
+// Max/mean nonzero count over row-groups of height `group_rows` — the load
+// imbalance the permutation reduces (1.0 = perfectly balanced).
+double RowGroupImbalance(const HalfMatrix& w, int group_rows);
+
+}  // namespace spinfer

@@ -1,0 +1,69 @@
+// Binary serialization of TCA-BME matrices and named weight bundles.
+//
+// A deployment encodes each layer once offline (pruning + TCA-BME) and ships
+// the compressed weights; at load time the inference engine memory-maps or
+// reads them back. The container is little-endian with a magic/version
+// header and a trailing CRC-32, and deserialization validates every
+// structural invariant (via TcaBmeMatrix::FromParts) before handing data to
+// the kernel — a corrupted file can never make SMBD read out of bounds.
+//
+// Layout (TCBM container):
+//   u32 magic 'SPBM'   u32 version
+//   i64 rows  i64 cols  i32 gt_rows  i32 gt_cols  i32 value_align
+//   u64 n_offsets  u64 n_bitmaps  u64 n_values
+//   u32 offsets[n_offsets]  u64 bitmaps[n_bitmaps]  u16 values[n_values]
+//   u32 crc32 (over everything above)
+//
+// A bundle is 'SPWB', u32 version, u64 count, then length-prefixed names
+// each followed by an embedded TCBM container, and a trailing CRC-32.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/format/tca_bme.h"
+
+namespace spinfer {
+
+// Serializes one matrix to the TCBM container format.
+std::vector<uint8_t> SerializeTcaBme(const TcaBmeMatrix& m);
+
+// Parses a TCBM container; returns nullopt with a diagnostic in `error` on
+// truncation, bad magic/version, CRC mismatch, or structural inconsistency.
+std::optional<TcaBmeMatrix> DeserializeTcaBme(const std::vector<uint8_t>& bytes,
+                                              std::string* error);
+
+// File convenience wrappers.
+bool SaveTcaBme(const std::string& path, const TcaBmeMatrix& m, std::string* error);
+std::optional<TcaBmeMatrix> LoadTcaBme(const std::string& path, std::string* error);
+
+// A named collection of encoded layers — a pruned model checkpoint.
+class WeightBundle {
+ public:
+  // Adds or replaces a layer.
+  void Add(const std::string& name, TcaBmeMatrix m);
+
+  // nullptr if absent.
+  const TcaBmeMatrix* Find(const std::string& name) const;
+
+  size_t size() const { return layers_.size(); }
+  std::vector<std::string> Names() const;
+
+  // Total encoded bytes across layers (the checkpoint's weight footprint).
+  uint64_t TotalStorageBytes() const;
+
+  std::vector<uint8_t> Serialize() const;
+  static std::optional<WeightBundle> Deserialize(const std::vector<uint8_t>& bytes,
+                                                 std::string* error);
+
+  bool Save(const std::string& path, std::string* error) const;
+  static std::optional<WeightBundle> Load(const std::string& path, std::string* error);
+
+ private:
+  std::map<std::string, TcaBmeMatrix> layers_;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,12 @@
+#include "src/format/sparse_util.h"
+
+namespace spinfer {
+
+Half PaddedAt(const HalfMatrix& w, int64_t r, int64_t c) {
+  if (r >= w.rows() || c >= w.cols()) {
+    return Half(0.0f);
+  }
+  return w.at(r, c);
+}
+
+}  // namespace spinfer

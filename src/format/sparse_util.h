@@ -1,0 +1,17 @@
+// Shared helpers for sparse-format encoders.
+#pragma once
+
+#include <cstdint>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+// Rounds x up to the next multiple of m (m > 0).
+constexpr int64_t PadUp(int64_t x, int64_t m) { return (x + m - 1) / m * m; }
+
+// Reads w[r][c] treating out-of-range coordinates as zero — encoders use this
+// to pad matrices to tile multiples without copying.
+Half PaddedAt(const HalfMatrix& w, int64_t r, int64_t c);
+
+}  // namespace spinfer

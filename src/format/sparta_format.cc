@@ -1,0 +1,81 @@
+#include "src/format/sparta_format.h"
+
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+SpartaMatrix SpartaMatrix::Encode(const HalfMatrix& w) {
+  SpartaMatrix m;
+  m.rows_ = w.rows();
+  m.cols_ = w.cols();
+  m.groups_per_row_ = PadUp(w.cols(), 4) / 4;
+  m.structured_values_.assign(static_cast<size_t>(m.rows_ * m.groups_per_row_ * 2),
+                              Half(0.0f));
+  m.structured_meta_.assign(static_cast<size_t>(m.rows_ * m.groups_per_row_), 0);
+
+  // Residual nonzeros accumulate into a dense scratch matrix, then a CSR
+  // encode at the end; this keeps the (rare) overflow path simple.
+  HalfMatrix residual_dense(w.rows(), w.cols());
+
+  for (int64_t r = 0; r < m.rows_; ++r) {
+    for (int64_t g = 0; g < m.groups_per_row_; ++g) {
+      int kept = 0;
+      const int64_t group_index = r * m.groups_per_row_ + g;
+      uint8_t meta = 0;
+      for (int i = 0; i < 4; ++i) {
+        const int64_t c = g * 4 + i;
+        const Half v = PaddedAt(w, r, c);
+        if (v.IsZero()) {
+          continue;
+        }
+        if (kept < 2) {
+          // First two nonzeros of the group go to the 2:4 component.
+          m.structured_values_[group_index * 2 + kept] = v;
+          meta |= static_cast<uint8_t>(i) << (2 * kept);
+          ++kept;
+          ++m.structured_nnz_;
+        } else {
+          residual_dense.at(r, c) = v;
+        }
+      }
+      // Unused second slot points at an index distinct from slot 0 so
+      // decoders can rely on meta alone plus the zero value.
+      m.structured_meta_[group_index] = meta;
+    }
+  }
+  m.residual_ = CsrMatrix::Encode(residual_dense);
+  return m;
+}
+
+HalfMatrix SpartaMatrix::Decode() const {
+  HalfMatrix w = residual_.Decode();
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t g = 0; g < groups_per_row_; ++g) {
+      const int64_t group_index = r * groups_per_row_ + g;
+      const uint8_t meta = structured_meta_[group_index];
+      for (int slot = 0; slot < 2; ++slot) {
+        const Half v = structured_values_[group_index * 2 + slot];
+        if (v.IsZero()) {
+          continue;
+        }
+        const int i = (meta >> (2 * slot)) & 0x3;
+        const int64_t c = g * 4 + i;
+        SPINFER_CHECK(c < cols_);
+        w.at(r, c) = v;
+      }
+    }
+  }
+  return w;
+}
+
+uint64_t SpartaMatrix::StorageBytes() const {
+  // 2:4 component: MK/2 FP16 slots + one 2-bit index per slot (B/4 each),
+  // i.e. (2B + 0.25B) * MK/2 — paper Eq. 5's first term — plus the residual
+  // CSR footprint.
+  const uint64_t slots = structured_values_.size();
+  const uint64_t structured = 2ull * slots + (slots + 3) / 4;
+  return structured + residual_.StorageBytes();
+}
+
+}  // namespace spinfer

@@ -1,0 +1,56 @@
+// SparTA's composable sparse decomposition (Zheng et al., OSDI'22; paper §3.2.1).
+//
+// The matrix splits into (a) a 2:4 semi-structured component — for every
+// group of four consecutive elements in a row, up to two nonzeros are kept
+// with 2-bit intra-group indices, executable on Sparse Tensor Cores — and
+// (b) a CSR residual holding nonzeros that exceed the 2-per-group budget,
+// executed on CUDA cores. Storage follows paper Eqs. 4–5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/format/csr.h"
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+class SpartaMatrix {
+ public:
+  // Encodes `w`. Columns are processed in groups of 4 (the trailing partial
+  // group, if any, is padded with zeros for the 2:4 component).
+  static SpartaMatrix Encode(const HalfMatrix& w);
+
+  // Reconstructs the dense matrix (2:4 component + residual).
+  HalfMatrix Decode() const;
+
+  // Exact footprint: 2:4 values (2B each) + 2-bit metadata per kept slot +
+  // CSR residual (paper Eq. 5).
+  uint64_t StorageBytes() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+
+  // Number of nonzeros routed to the 2:4 component / the CSR residual.
+  int64_t structured_nnz() const { return structured_nnz_; }
+  int64_t residual_nnz() const { return residual_.nnz(); }
+
+  const CsrMatrix& residual() const { return residual_; }
+
+  // 2:4 component accessors: per 4-group, two value slots (zero-padded) and
+  // two 2-bit indices packed into one byte.
+  const std::vector<Half>& structured_values() const { return structured_values_; }
+  const std::vector<uint8_t>& structured_meta() const { return structured_meta_; }
+  int64_t groups_per_row() const { return groups_per_row_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t groups_per_row_ = 0;
+  int64_t structured_nnz_ = 0;
+  std::vector<Half> structured_values_;  // 2 slots per group
+  std::vector<uint8_t> structured_meta_; // packed 2x2-bit indices per group
+  CsrMatrix residual_;
+};
+
+}  // namespace spinfer

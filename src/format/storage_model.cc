@@ -1,0 +1,44 @@
+#include "src/format/storage_model.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+double CompressionRatio(int64_t m, int64_t k, uint64_t format_bytes) {
+  SPINFER_CHECK(format_bytes > 0);
+  return 2.0 * static_cast<double>(m) * static_cast<double>(k) /
+         static_cast<double>(format_bytes);
+}
+
+double OptimalCompressionRatio(double sparsity) {
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity < 1.0);
+  return 1.0 / (1.0 - sparsity);
+}
+
+uint64_t CsrStorageModel(int64_t m, int64_t nnz) {
+  return 6ull * static_cast<uint64_t>(nnz) + 4ull * static_cast<uint64_t>(m + 1);
+}
+
+uint64_t TiledCslStorageModel(int64_t num_tiles, int64_t nnz) {
+  return 4ull * static_cast<uint64_t>(num_tiles) + 4ull * static_cast<uint64_t>(nnz);
+}
+
+double SpartaExpectedCsrNnz(int64_t m, int64_t k, double sparsity) {
+  const double s = sparsity;
+  const double d = 1.0 - s;
+  // P(3 nonzeros in a 4-group) puts 1 in CSR; P(4 nonzeros) puts 2.
+  const double per_group = 4.0 * d * d * d * s + 2.0 * d * d * d * d;
+  return static_cast<double>(m) * static_cast<double>(k) / 4.0 * per_group;
+}
+
+uint64_t SpartaStorageModel(int64_t m, int64_t k, double sparsity) {
+  const double mk = static_cast<double>(m) * static_cast<double>(k);
+  const double structured = (2.0 + 0.25) * mk / 2.0;
+  const double e_csr = SpartaExpectedCsrNnz(m, k, sparsity);
+  const double csr = 6.0 * e_csr + 4.0 * static_cast<double>(m + 1);
+  return static_cast<uint64_t>(std::llround(structured + csr));
+}
+
+}  // namespace spinfer

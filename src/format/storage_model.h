@@ -1,0 +1,32 @@
+// Closed-form storage models for sparse formats — paper §3.2.1, Eqs. 1–5.
+//
+// These are the analytical counterparts of the real encoders in this
+// directory; the Fig. 3 bench plots them, and tests validate each against
+// the byte-exact encoder output (statistically, for SparTA's expectation).
+#pragma once
+
+#include <cstdint>
+
+namespace spinfer {
+
+// Eq. 1: CR = dense bytes / format bytes, dense = 2B * M * K.
+double CompressionRatio(int64_t m, int64_t k, uint64_t format_bytes);
+
+// The theoretical optimum (zero indexing overhead): CR = 1 / (1 - s).
+double OptimalCompressionRatio(double sparsity);
+
+// Eq. 3: Stor_CSR = (2B + 4B) * NNZ + 4B * (M + 1).
+uint64_t CsrStorageModel(int64_t m, int64_t nnz);
+
+// Eq. 2: Stor_Tiled-CSL = 4B * NT + 4B * NNZ, NT = number of tiles.
+uint64_t TiledCslStorageModel(int64_t num_tiles, int64_t nnz);
+
+// Eq. 4: expected residual-CSR nonzeros for SparTA under an i.i.d. Bernoulli
+// mask of sparsity s:
+//   E = (M*K/4) * (4*(1-s)^3*s + 2*(1-s)^4).
+double SpartaExpectedCsrNnz(int64_t m, int64_t k, double sparsity);
+
+// Eq. 5: Stor_SparTA = (2B + B/4) * (M*K/2) + Stor_CSR(E_CSR_nnz).
+uint64_t SpartaStorageModel(int64_t m, int64_t k, double sparsity);
+
+}  // namespace spinfer

@@ -1,0 +1,120 @@
+// Tensor-Core-Aware Bitmap Encoding — SpInfer's sparse format (paper §4.2).
+//
+// Three nested tile levels align the encoding with the GPU execution
+// hierarchy:
+//   * BitmapTile (8×8): the Tensor Core's minimum matrix unit. A native
+//     uint64_t bitmap marks nonzero positions; bit (r*8 + c) covers element
+//     (r, c), so warp lane i owns bits 2i and 2i+1 — exactly the two A-operand
+//     halves lane i feeds to mma.m16n8k16 (see gpusim/tensor_core.h).
+//   * TCTile (16×16): one mma.m16n8k16 A operand = 2×2 BitmapTiles in
+//     column-major order (TL, BL, TR, BR), mirroring registers Ra0..Ra3.
+//   * GroupTile (GT_H×GT_W): the thread-block tile. GroupTiles are stored
+//     row-major over the matrix; TCTiles column-major within a GroupTile.
+//
+// Storage uses three arrays (paper Eq. 9):
+//   GTileOffset — uint32 start offset (in FP16 elements) of every GroupTile's
+//                 Values segment, +1 sentinel;
+//   Values      — FP16 nonzeros in nested (GroupTile, TCTile, BitmapTile,
+//                 bit-order) order, each GroupTile segment padded to an
+//                 8-byte boundary so LDGSTS.128 vector copies stay aligned;
+//   Bitmap      — one uint64_t per BitmapTile, same nesting.
+//
+// No per-element index is stored: positions are implied by the bitmap, and
+// per-lane value offsets are recomputed online with PopCount/MaskedPopCount
+// (SMBD, §4.3.3). That is the entire trick — indexing cost drops from 16–32
+// bits per nonzero (Tiled-CSL/CSR) to one bit per *element*, keeping CR > 1
+// even at 30% sparsity.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+inline constexpr int kBitmapTileDim = 8;   // BT_H == BT_W
+inline constexpr int kTcTileDim = 16;      // TT_H == TT_W
+
+struct TcaBmeConfig {
+  // GroupTile shape; both must be multiples of kTcTileDim.
+  int gt_rows = 64;
+  int gt_cols = 64;
+  // Values-segment alignment in FP16 elements (4 halves = 8 bytes, the
+  // LDGSTS.128 starting-address requirement, §4.3.2).
+  int value_align_halves = 4;
+};
+
+class TcaBmeMatrix {
+ public:
+  // Encodes `w`, padding virtually to GroupTile multiples (padding is zeros
+  // and costs only bitmap space).
+  static TcaBmeMatrix Encode(const HalfMatrix& w, const TcaBmeConfig& cfg = {});
+
+  // Reassembles a matrix from raw arrays (the deserialization path).
+  // Validates the structural invariants — config sanity, offset
+  // monotonicity and alignment, bitmap popcounts fitting each GroupTile's
+  // Values segment — and returns nullopt with a diagnostic in `error` if
+  // the parts are inconsistent. Accepting inconsistent arrays would make
+  // SMBD read out of bounds, so untrusted input must come through here.
+  static std::optional<TcaBmeMatrix> FromParts(int64_t rows, int64_t cols,
+                                               const TcaBmeConfig& cfg,
+                                               std::vector<uint32_t> gtile_offsets,
+                                               std::vector<uint64_t> bitmaps,
+                                               std::vector<Half> values,
+                                               std::string* error);
+
+  // Reconstructs the dense matrix (exact roundtrip).
+  HalfMatrix Decode() const;
+
+  // Exact storage footprint including alignment padding.
+  uint64_t StorageBytes() const;
+
+  // CR = dense bytes / StorageBytes (paper Eq. 1).
+  double CompressionRatio() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t padded_rows() const { return padded_rows_; }
+  int64_t padded_cols() const { return padded_cols_; }
+  int64_t nnz() const { return nnz_; }
+  const TcaBmeConfig& config() const { return cfg_; }
+
+  // GroupTile grid.
+  int64_t gt_grid_rows() const { return padded_rows_ / cfg_.gt_rows; }
+  int64_t gt_grid_cols() const { return padded_cols_ / cfg_.gt_cols; }
+  int64_t num_group_tiles() const { return gt_grid_rows() * gt_grid_cols(); }
+  // TCTiles per GroupTile (column-major grid of tc_rows x tc_cols).
+  int tc_rows_per_gt() const { return cfg_.gt_rows / kTcTileDim; }
+  int tc_cols_per_gt() const { return cfg_.gt_cols / kTcTileDim; }
+  int tcs_per_gt() const { return tc_rows_per_gt() * tc_cols_per_gt(); }
+  int64_t num_bitmap_tiles() const { return static_cast<int64_t>(bitmaps_.size()); }
+
+  // Index into the Bitmap array for (GroupTile gt — row-major grid index,
+  // TCTile tc — column-major index within the GroupTile, quadrant 0..3 —
+  // column-major within the TCTile: TL, BL, TR, BR).
+  int64_t BitmapIndex(int64_t gt, int tc, int quadrant) const;
+
+  const std::vector<uint64_t>& bitmaps() const { return bitmaps_; }
+  const std::vector<uint32_t>& gtile_offsets() const { return gtile_offsets_; }
+  const std::vector<Half>& values() const { return values_; }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  int64_t padded_rows_ = 0;
+  int64_t padded_cols_ = 0;
+  int64_t nnz_ = 0;
+  TcaBmeConfig cfg_;
+  std::vector<uint32_t> gtile_offsets_;  // num_group_tiles + 1, element offsets
+  std::vector<uint64_t> bitmaps_;        // one per BitmapTile
+  std::vector<Half> values_;             // padded nonzero payload
+};
+
+// Closed-form Eq. 9 storage (without alignment padding), used by the
+// analytical CR model; tests check it matches the encoder to within padding.
+uint64_t TcaBmeStorageModel(int64_t m, int64_t k, int64_t nnz, const TcaBmeConfig& cfg = {});
+
+}  // namespace spinfer

@@ -1,0 +1,60 @@
+#include "src/format/tiled_csl.h"
+
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+TiledCslMatrix TiledCslMatrix::Encode(const HalfMatrix& w, const TiledCslConfig& cfg) {
+  SPINFER_CHECK(cfg.tile_rows > 0 && cfg.tile_cols > 0);
+  SPINFER_CHECK_MSG(cfg.tile_rows * cfg.tile_cols <= 65536,
+                    "intra-tile location must fit in 16 bits");
+  TiledCslMatrix m;
+  m.rows_ = w.rows();
+  m.cols_ = w.cols();
+  m.cfg_ = cfg;
+
+  const int64_t tiles_r = PadUp(w.rows(), cfg.tile_rows) / cfg.tile_rows;
+  const int64_t tiles_c = PadUp(w.cols(), cfg.tile_cols) / cfg.tile_cols;
+  m.tile_offsets_.reserve(static_cast<size_t>(tiles_r * tiles_c) + 1);
+  m.tile_offsets_.push_back(0);
+
+  for (int64_t tr = 0; tr < tiles_r; ++tr) {
+    for (int64_t tc = 0; tc < tiles_c; ++tc) {
+      for (int r = 0; r < cfg.tile_rows; ++r) {
+        for (int c = 0; c < cfg.tile_cols; ++c) {
+          const Half v = PaddedAt(w, tr * cfg.tile_rows + r, tc * cfg.tile_cols + c);
+          if (!v.IsZero()) {
+            const uint32_t location = static_cast<uint32_t>(r * cfg.tile_cols + c);
+            m.nonzeros_.push_back((static_cast<uint32_t>(v.bits()) << 16) | location);
+          }
+        }
+      }
+      m.tile_offsets_.push_back(static_cast<uint32_t>(m.nonzeros_.size()));
+    }
+  }
+  return m;
+}
+
+HalfMatrix TiledCslMatrix::Decode() const {
+  HalfMatrix w(rows_, cols_);
+  const int64_t tiles_c = PadUp(cols_, cfg_.tile_cols) / cfg_.tile_cols;
+  for (int64_t t = 0; t + 1 < static_cast<int64_t>(tile_offsets_.size()); ++t) {
+    const int64_t tr = t / tiles_c;
+    const int64_t tc = t % tiles_c;
+    for (uint32_t i = tile_offsets_[t]; i < tile_offsets_[t + 1]; ++i) {
+      const uint16_t loc = EntryLocation(nonzeros_[i]);
+      const int64_t r = tr * cfg_.tile_rows + loc / cfg_.tile_cols;
+      const int64_t c = tc * cfg_.tile_cols + loc % cfg_.tile_cols;
+      SPINFER_CHECK(r < rows_ && c < cols_);
+      w.at(r, c) = EntryValue(nonzeros_[i]);
+    }
+  }
+  return w;
+}
+
+uint64_t TiledCslMatrix::StorageBytes() const {
+  return 4ull * nonzeros_.size() + 4ull * tile_offsets_.size();
+}
+
+}  // namespace spinfer

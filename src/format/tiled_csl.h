@@ -1,0 +1,58 @@
+// Tiled-CSL: Flash-LLM's sparse format (Xia et al., VLDB'23; paper §3.2.1).
+//
+// The matrix is partitioned into tiles; each nonzero is stored as one 32-bit
+// word packing the FP16 value (high half) with its 16-bit intra-tile linear
+// location (low half). A TileOffsets array locates each tile's segment. The
+// per-nonzero 16-bit index makes the indexing overhead equal to the data
+// itself — the storage gap the paper's Eq. 2 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+struct TiledCslConfig {
+  // Tile shape; Flash-LLM uses thread-block tiles of 64x64 along M x K.
+  int tile_rows = 64;
+  int tile_cols = 64;
+};
+
+class TiledCslMatrix {
+ public:
+  static TiledCslMatrix Encode(const HalfMatrix& w, const TiledCslConfig& cfg = {});
+
+  HalfMatrix Decode() const;
+
+  // Exact footprint: 4B per nonzero (value+location) + 4B per tile offset
+  // (paper Eq. 2).
+  uint64_t StorageBytes() const;
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(nonzeros_.size()); }
+  int64_t num_tiles() const { return static_cast<int64_t>(tile_offsets_.size()) - 1; }
+  const TiledCslConfig& config() const { return cfg_; }
+
+  const std::vector<uint32_t>& tile_offsets() const { return tile_offsets_; }
+  const std::vector<uint32_t>& nonzeros() const { return nonzeros_; }
+
+  // Unpacks one NonZeros entry.
+  static Half EntryValue(uint32_t packed) {
+    return Half::FromBits(static_cast<uint16_t>(packed >> 16));
+  }
+  static uint16_t EntryLocation(uint32_t packed) {
+    return static_cast<uint16_t>(packed & 0xffffu);
+  }
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  TiledCslConfig cfg_;
+  std::vector<uint32_t> tile_offsets_;  // num_tiles + 1
+  std::vector<uint32_t> nonzeros_;      // packed (value, location)
+};
+
+}  // namespace spinfer

@@ -1,0 +1,56 @@
+#include "src/gpusim/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+std::string TimeBreakdown::ToString() const {
+  std::ostringstream oss;
+  oss << "total=" << total_us << "us mem=" << mem_us << "us compute=" << compute_us
+      << "us decode=" << decode_us << "us fixed=" << fixed_us
+      << "us bw_util=" << bw_utilization << " tc_util=" << tc_utilization;
+  return oss.str();
+}
+
+TimeBreakdown EstimateKernelTime(const KernelTraits& traits, const KernelWork& work,
+                                 const DeviceSpec& dev) {
+  SPINFER_CHECK(work.n > 0);
+  TimeBreakdown out;
+
+  const double bytes =
+      static_cast<double>(work.dram_bytes_read + work.dram_bytes_written);
+  out.mem_us = bytes / (dev.dram_bw_gbs * traits.bw_eff * 1e3);  // GB/s -> B/us
+
+  if (traits.uses_tensor_core) {
+    // One mma B-tile covers 8 columns: N in [1,8] issues identical work, so
+    // the issue-efficiency curve floors at N=8.
+    const double n = std::max(8.0, static_cast<double>(work.n));
+    const double eff = traits.tc_eff_max * (1.0 - std::exp(-n / traits.tc_n_sat));
+    out.compute_us =
+        static_cast<double>(work.flops) / (dev.tc_fp16_tflops * eff * 1e6);
+  } else {
+    out.compute_us = static_cast<double>(work.flops) /
+                     (dev.cuda_fp16_tflops * traits.cuda_eff * 1e6);
+  }
+
+  out.decode_us = static_cast<double>(work.decode_ops) / (dev.int32_tops * 1e6);
+  const double serial_decode = traits.decode_serial_fraction * out.decode_us;
+  const double overlapped_decode = out.decode_us - serial_decode;
+
+  out.fixed_us = traits.fixed_us;
+  out.total_us = out.fixed_us + std::max({out.mem_us, out.compute_us, overlapped_decode}) +
+                 serial_decode;
+
+  out.bw_utilization = bytes / (out.total_us * dev.dram_bw_gbs * 1e3);
+  out.tc_utilization = traits.uses_tensor_core
+                           ? static_cast<double>(work.flops) /
+                                 (out.total_us * dev.tc_fp16_tflops * 1e6)
+                           : 0.0;
+  return out;
+}
+
+}  // namespace spinfer

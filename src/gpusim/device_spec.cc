@@ -1,0 +1,55 @@
+#include "src/gpusim/device_spec.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+DeviceSpec Rtx4090() {
+  DeviceSpec d;
+  d.name = "RTX4090";
+  d.sm_count = 128;
+  d.clock_ghz = 2.52;
+  d.dram_bw_gbs = 1008.0;
+  d.l2_bytes = 72ull << 20;
+  d.memory_bytes = 24ull << 30;
+  d.tc_fp16_tflops = 165.2;   // FP16 with FP32 accumulate
+  d.cuda_fp16_tflops = 82.6;  // Ada: FP16 == FP32 rate on CUDA cores
+  d.int32_tops = 41.3;
+  d.smem_per_sm_bytes = 100 << 10;
+  d.regs_per_sm = 64 << 10;
+  d.interconnect = Interconnect::kPcie;
+  d.link_bw_gbs = 30.5;  // measured PCIe bandwidth reported in the paper
+  d.link_latency_us = 10.0;
+  return d;
+}
+
+DeviceSpec A6000() {
+  DeviceSpec d;
+  d.name = "A6000";
+  d.sm_count = 84;
+  d.clock_ghz = 1.80;
+  d.dram_bw_gbs = 768.0;
+  d.l2_bytes = 6ull << 20;
+  d.memory_bytes = 48ull << 30;
+  d.tc_fp16_tflops = 154.8;
+  d.cuda_fp16_tflops = 38.7;
+  d.int32_tops = 19.4;
+  d.smem_per_sm_bytes = 100 << 10;
+  d.regs_per_sm = 64 << 10;
+  d.interconnect = Interconnect::kNvlink;
+  d.link_bw_gbs = 56.2;  // NVLink3 bridge, per direction
+  d.link_latency_us = 5.0;
+  return d;
+}
+
+DeviceSpec DeviceByName(const std::string& name) {
+  if (name == "rtx4090" || name == "RTX4090" || name == "4090") {
+    return Rtx4090();
+  }
+  if (name == "a6000" || name == "A6000") {
+    return A6000();
+  }
+  SPINFER_UNREACHABLE("unknown device name: " + name);
+}
+
+}  // namespace spinfer

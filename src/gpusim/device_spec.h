@@ -1,0 +1,61 @@
+// GPU device descriptions used by the analytical performance model.
+//
+// This repository reproduces a CUDA paper in an environment with no GPU; the
+// two evaluation platforms (RTX 4090, RTX A6000 — paper §5) are described by
+// their published specifications and consumed by the roofline cost model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spinfer {
+
+// Interconnect between GPUs on a multi-GPU platform.
+enum class Interconnect {
+  kPcie,    // RTX4090 testbed: PCIe, 30.5 GB/s effective (paper §5)
+  kNvlink,  // A6000 testbed: pairwise NVLink
+};
+
+struct DeviceSpec {
+  std::string name;
+
+  int sm_count = 0;
+  double clock_ghz = 0.0;
+
+  // Peak DRAM bandwidth in GB/s.
+  double dram_bw_gbs = 0.0;
+  // L2 cache size in bytes.
+  uint64_t l2_bytes = 0;
+  // Device memory in bytes.
+  uint64_t memory_bytes = 0;
+
+  // Peak FP16 Tensor Core throughput with FP32 accumulation, in TFLOP/s.
+  double tc_fp16_tflops = 0.0;
+  // Peak FP16 throughput on CUDA cores, in TFLOP/s.
+  double cuda_fp16_tflops = 0.0;
+  // Peak INT32 ALU throughput in Tera-ops/s (bit manipulation, popcount).
+  double int32_tops = 0.0;
+
+  // Shared memory per SM in bytes; registers per SM (32-bit).
+  uint64_t smem_per_sm_bytes = 0;
+  uint64_t regs_per_sm = 0;
+
+  // Inter-GPU link for tensor parallelism.
+  Interconnect interconnect = Interconnect::kPcie;
+  // Effective inter-GPU bandwidth in GB/s (per direction) and per-message
+  // latency in microseconds.
+  double link_bw_gbs = 0.0;
+  double link_latency_us = 0.0;
+
+  // Derived: peak mma.m16n8k16 instruction rate (each is 2*16*8*16 FLOPs).
+  double PeakMmaPerSecond() const { return tc_fp16_tflops * 1e12 / 4096.0; }
+};
+
+// The two evaluation platforms from the paper.
+DeviceSpec Rtx4090();
+DeviceSpec A6000();
+
+// Looks up a device by name ("rtx4090" / "a6000"); aborts on unknown names.
+DeviceSpec DeviceByName(const std::string& name);
+
+}  // namespace spinfer

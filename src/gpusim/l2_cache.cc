@@ -1,0 +1,72 @@
+#include "src/gpusim/l2_cache.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+L2Cache::L2Cache(const L2Config& config) : config_(config) {
+  SPINFER_CHECK(config.line_bytes > 0 && config.ways > 0);
+  const uint64_t num_lines = config.capacity_bytes / config.line_bytes;
+  SPINFER_CHECK(num_lines % config.ways == 0);
+  num_sets_ = num_lines / config.ways;
+  lines_.resize(num_lines);
+}
+
+bool L2Cache::Touch(uint64_t line_addr, bool is_write) {
+  const uint64_t set = line_addr % num_sets_;
+  Line* set_lines = &lines_[set * config_.ways];
+  ++clock_;
+  // Hit?
+  for (uint32_t w = 0; w < config_.ways; ++w) {
+    Line& l = set_lines[w];
+    if (l.valid && l.tag == line_addr) {
+      l.lru = clock_;
+      l.dirty = l.dirty || is_write;
+      ++hits_;
+      return true;
+    }
+  }
+  // Miss: evict LRU.
+  ++misses_;
+  Line* victim = &set_lines[0];
+  for (uint32_t w = 1; w < config_.ways; ++w) {
+    if (!set_lines[w].valid) {
+      victim = &set_lines[w];
+      break;
+    }
+    if (set_lines[w].lru < victim->lru) {
+      victim = &set_lines[w];
+    }
+  }
+  if (victim->valid && victim->dirty) {
+    dram_write_bytes_ += config_.line_bytes;
+  }
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->tag = line_addr;
+  victim->lru = clock_;
+  dram_read_bytes_ += config_.line_bytes;  // fill (write-allocate reads too)
+  return false;
+}
+
+uint64_t L2Cache::Read(uint64_t addr, uint64_t size) {
+  const uint64_t before = dram_read_bytes_;
+  const uint64_t first = addr / config_.line_bytes;
+  const uint64_t last = (addr + size - 1) / config_.line_bytes;
+  for (uint64_t line = first; line <= last; ++line) {
+    Touch(line, /*is_write=*/false);
+  }
+  return dram_read_bytes_ - before;
+}
+
+uint64_t L2Cache::Write(uint64_t addr, uint64_t size) {
+  const uint64_t before = dram_read_bytes_ + dram_write_bytes_;
+  const uint64_t first = addr / config_.line_bytes;
+  const uint64_t last = (addr + size - 1) / config_.line_bytes;
+  for (uint64_t line = first; line <= last; ++line) {
+    Touch(line, /*is_write=*/true);
+  }
+  return dram_read_bytes_ + dram_write_bytes_ - before;
+}
+
+}  // namespace spinfer

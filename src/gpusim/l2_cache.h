@@ -1,0 +1,64 @@
+// Set-associative L2 cache simulator.
+//
+// The kernels' DRAM-traffic accounting assumes the activation matrix X is
+// read from DRAM once and re-read through L2 by subsequent thread-block rows
+// (X is a few hundred KB at decode-phase N, versus a 72 MB L2 on the
+// RTX4090). This model makes that assumption checkable: replaying a kernel's
+// access stream reports the actual DRAM-side traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spinfer {
+
+struct L2Config {
+  uint64_t capacity_bytes = 72ull << 20;  // RTX4090
+  uint32_t line_bytes = 128;
+  uint32_t ways = 16;
+};
+
+class L2Cache {
+ public:
+  explicit L2Cache(const L2Config& config = {});
+
+  // Simulates a read of [addr, addr+size); returns the bytes that missed to
+  // DRAM. LRU replacement within each set.
+  uint64_t Read(uint64_t addr, uint64_t size);
+
+  // Simulates a write (write-back, write-allocate); returns bytes written
+  // back to DRAM by evictions of dirty lines plus allocate misses' fills.
+  uint64_t Write(uint64_t addr, uint64_t size);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t dram_read_bytes() const { return dram_read_bytes_; }
+  uint64_t dram_write_bytes() const { return dram_write_bytes_; }
+
+  double HitRate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint64_t lru = 0;  // last-touch timestamp
+  };
+
+  // Accesses one line; returns true on hit.
+  bool Touch(uint64_t line_addr, bool is_write);
+
+  L2Config config_;
+  uint64_t num_sets_;
+  std::vector<Line> lines_;  // num_sets * ways
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t dram_read_bytes_ = 0;
+  uint64_t dram_write_bytes_ = 0;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,56 @@
+#include "src/gpusim/occupancy.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+OccupancyResult ComputeOccupancy(const KernelResources& res, const DeviceSpec& dev) {
+  SPINFER_CHECK(res.threads_per_block > 0 && res.threads_per_block % 32 == 0);
+  OccupancyResult out;
+  const int warps_per_block = static_cast<int>(res.threads_per_block / 32);
+
+  // Register file limit (registers allocate in per-warp granules; the
+  // per-thread count is the dominant term).
+  int reg_limit = kMaxBlocksPerSm;
+  if (res.registers_per_thread > 0) {
+    const uint64_t regs_per_block =
+        static_cast<uint64_t>(res.registers_per_thread) * res.threads_per_block;
+    reg_limit = regs_per_block > 0
+                    ? static_cast<int>(dev.regs_per_sm / regs_per_block)
+                    : kMaxBlocksPerSm;
+  }
+  // Shared memory limit.
+  int smem_limit = kMaxBlocksPerSm;
+  if (res.smem_bytes_per_block > 0) {
+    smem_limit = static_cast<int>(dev.smem_per_sm_bytes / res.smem_bytes_per_block);
+  }
+  // Warp-slot limit.
+  const int warp_limit = kMaxWarpsPerSm / warps_per_block;
+
+  out.blocks_per_sm =
+      std::min({reg_limit, smem_limit, warp_limit, kMaxBlocksPerSm});
+  if (out.blocks_per_sm <= 0) {
+    out.blocks_per_sm = 0;
+    out.warps_per_sm = 0;
+    out.occupancy = 0.0;
+    out.limiter = reg_limit <= 0 ? OccupancyResult::Limiter::kRegisters
+                                 : OccupancyResult::Limiter::kSharedMemory;
+    return out;
+  }
+  if (out.blocks_per_sm == reg_limit && reg_limit < kMaxBlocksPerSm) {
+    out.limiter = OccupancyResult::Limiter::kRegisters;
+  } else if (out.blocks_per_sm == smem_limit && smem_limit < kMaxBlocksPerSm) {
+    out.limiter = OccupancyResult::Limiter::kSharedMemory;
+  } else if (out.blocks_per_sm == warp_limit && warp_limit < kMaxBlocksPerSm) {
+    out.limiter = OccupancyResult::Limiter::kWarpSlots;
+  } else {
+    out.limiter = OccupancyResult::Limiter::kBlockSlots;
+  }
+  out.warps_per_sm = out.blocks_per_sm * warps_per_block;
+  out.occupancy = static_cast<double>(out.warps_per_sm) / kMaxWarpsPerSm;
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,41 @@
+// SM occupancy calculator.
+//
+// Occupancy — resident warps per SM relative to the hardware maximum — is
+// the lever behind the paper's register-usage argument (Fig. 12): SpInfer's
+// SMBD decodes in place and keeps register pressure low, so more thread
+// blocks co-reside and the memory pipeline stays saturated. The autotuner
+// also uses this to reject GroupTile shapes whose double-buffered tiles
+// exhaust shared memory.
+#pragma once
+
+#include <cstdint>
+
+#include "src/gpusim/device_spec.h"
+
+namespace spinfer {
+
+// Per-thread-block resource usage of a kernel launch.
+struct KernelResources {
+  uint32_t registers_per_thread = 0;
+  uint32_t smem_bytes_per_block = 0;
+  uint32_t threads_per_block = 0;
+};
+
+struct OccupancyResult {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  // warps_per_sm / hardware max (48 on Ampere/Ada).
+  double occupancy = 0.0;
+  // Which resource capped the block count.
+  enum class Limiter { kRegisters, kSharedMemory, kBlockSlots, kWarpSlots } limiter =
+      Limiter::kBlockSlots;
+};
+
+inline constexpr int kMaxWarpsPerSm = 48;
+inline constexpr int kMaxBlocksPerSm = 24;
+
+// Computes achievable occupancy for `res` on `dev`. Zero blocks means the
+// kernel cannot launch (a single block exceeds an SM's resources).
+OccupancyResult ComputeOccupancy(const KernelResources& res, const DeviceSpec& dev);
+
+}  // namespace spinfer

@@ -1,0 +1,38 @@
+#include "src/gpusim/perf_counters.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace spinfer {
+
+PerfCounters& PerfCounters::operator+=(const PerfCounters& o) {
+  dram_bytes_read += o.dram_bytes_read;
+  dram_bytes_written += o.dram_bytes_written;
+  smem_bytes_read += o.smem_bytes_read;
+  smem_bytes_written += o.smem_bytes_written;
+  smem_transactions += o.smem_transactions;
+  smem_bank_conflicts += o.smem_bank_conflicts;
+  ldgsts_instrs += o.ldgsts_instrs;
+  ldg_instrs += o.ldg_instrs;
+  lds_instrs += o.lds_instrs;
+  ldsm_instrs += o.ldsm_instrs;
+  mma_instrs += o.mma_instrs;
+  popc_ops += o.popc_ops;
+  alu_ops += o.alu_ops;
+  flops += o.flops;
+  registers_per_thread = std::max(registers_per_thread, o.registers_per_thread);
+  return *this;
+}
+
+std::string PerfCounters::ToString() const {
+  std::ostringstream oss;
+  oss << "dram_rd=" << dram_bytes_read << "B dram_wr=" << dram_bytes_written
+      << "B smem_rd=" << smem_bytes_read << "B smem_wr=" << smem_bytes_written
+      << "B smem_txn=" << smem_transactions << " bank_conflicts=" << smem_bank_conflicts
+      << " ldgsts=" << ldgsts_instrs << " ldg=" << ldg_instrs << " lds=" << lds_instrs
+      << " ldsm=" << ldsm_instrs << " mma=" << mma_instrs << " popc=" << popc_ops
+      << " flops=" << flops << " regs=" << registers_per_thread;
+  return oss.str();
+}
+
+}  // namespace spinfer

@@ -1,0 +1,47 @@
+// Hardware event counters collected by the functional simulator.
+//
+// These mirror the Nsight Compute metrics the paper reports in Fig. 12 and
+// Table 1: DRAM traffic, shared-memory transactions and bank conflicts,
+// instruction mix (LDGSTS / LDSM / LDS / MMA / POPC), and register usage.
+// Functional kernel runs populate them by counting actual simulated events;
+// the analytical estimator computes the same quantities in closed form, and
+// tests assert the two agree.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace spinfer {
+
+struct PerfCounters {
+  // Global (DRAM) traffic in bytes.
+  uint64_t dram_bytes_read = 0;
+  uint64_t dram_bytes_written = 0;
+
+  // Shared memory traffic and banking behaviour.
+  uint64_t smem_bytes_read = 0;
+  uint64_t smem_bytes_written = 0;
+  uint64_t smem_transactions = 0;   // total 128-byte wavefronts issued
+  uint64_t smem_bank_conflicts = 0; // extra wavefronts caused by conflicts
+
+  // Instruction mix (warp-level instruction counts).
+  uint64_t ldgsts_instrs = 0;  // async global->shared copies (cp.async)
+  uint64_t ldg_instrs = 0;     // global->register loads
+  uint64_t lds_instrs = 0;     // shared->register loads
+  uint64_t ldsm_instrs = 0;    // ldmatrix loads
+  uint64_t mma_instrs = 0;     // Tensor Core mma.m16n8k16 issues
+  uint64_t popc_ops = 0;       // popcount operations (SMBD)
+  uint64_t alu_ops = 0;        // other integer ALU ops in decode paths
+
+  // Arithmetic work.
+  uint64_t flops = 0;  // 2*FMA count actually performed
+
+  // Static kernel properties.
+  uint32_t registers_per_thread = 0;
+
+  PerfCounters& operator+=(const PerfCounters& o);
+
+  std::string ToString() const;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,43 @@
+#include "src/gpusim/pipeline.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+double PipelineIterationTime(const StageTimes& s, const PipelineConfig& c) {
+  const double mem = s.load_w + s.load_x;  // both copies share the memory pipe
+  if (!c.double_buffer) {
+    // Fully serialized: load, then decode, then compute, every iteration.
+    return mem + s.decode + s.mma;
+  }
+  if (!c.fine_grained_groups) {
+    // One cp.async group for both tiles: decoding must wait for the whole
+    // group, so CUDA-core work (decode) chains with the mma of the same
+    // iteration while the next load proceeds — two overlapping lanes.
+    return std::max(mem, s.decode + s.mma);
+  }
+  // Fine-grained: memory pipe, CUDA cores, and Tensor Cores each form their
+  // own lane; steady state is bottlenecked by the slowest resource.
+  return std::max({mem, s.decode, s.mma});
+}
+
+double PipelineTotalTime(const StageTimes& s, const PipelineConfig& c, int64_t iterations) {
+  SPINFER_CHECK(iterations >= 0);
+  if (iterations == 0) {
+    return 0.0;
+  }
+  const double iter = PipelineIterationTime(s, c);
+  if (!c.double_buffer) {
+    return iter * static_cast<double>(iterations);
+  }
+  // Pipelined: prologue fills the first tiles and decode, then steady state,
+  // then the last mma drains.
+  const double prologue = s.load_w + (c.fine_grained_groups ? std::max(s.load_x, s.decode)
+                                                            : s.load_x + s.decode);
+  return prologue + iter * static_cast<double>(iterations - 1) + s.mma +
+         (c.fine_grained_groups ? 0.0 : 0.0);
+}
+
+}  // namespace spinfer

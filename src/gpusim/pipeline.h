@@ -1,0 +1,41 @@
+// Asynchronous pipeline overlap model (paper §4.3.4, Fig. 9).
+//
+// The SpInfer kernel overlaps three resources per main-loop iteration:
+//   * the memory pipe (cp.async global->shared copies of the GTile + XTile),
+//   * CUDA cores (SMBD bitmap decoding),
+//   * Tensor Cores (mma computation).
+// With double buffering and fine-grained cp.async groups all three proceed
+// concurrently in steady state; disabling them serializes stages. This model
+// turns per-iteration stage durations into a total kernel duration, and is
+// what the Table 1 ablation bench exercises.
+#pragma once
+
+#include <cstdint>
+
+namespace spinfer {
+
+// Durations (in arbitrary consistent time units) of one iteration's stages.
+struct StageTimes {
+  double load_w = 0.0;   // GTile global->shared copy
+  double load_x = 0.0;   // XTile global->shared copy
+  double decode = 0.0;   // SMBD shared->register decode (CUDA cores)
+  double mma = 0.0;      // Tensor Core computation
+};
+
+struct PipelineConfig {
+  // Double buffering: prefetch iteration i+1 while computing iteration i.
+  bool double_buffer = true;
+  // Separate cp.async commit groups for W and X, allowing SMBD to start as
+  // soon as the GTile lands, overlapping the XTile copy and the previous
+  // iteration's mma (paper §4.3.4 "fine-grained asynchronous group
+  // management").
+  bool fine_grained_groups = true;
+};
+
+// Total time for `iterations` main-loop iterations plus prologue/epilogue.
+double PipelineTotalTime(const StageTimes& s, const PipelineConfig& c, int64_t iterations);
+
+// Steady-state time per iteration (the pipeline bottleneck).
+double PipelineIterationTime(const StageTimes& s, const PipelineConfig& c);
+
+}  // namespace spinfer

@@ -1,0 +1,51 @@
+#include "src/gpusim/shared_memory.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+SmemAccessResult SimulateSmemAccess(const std::vector<uint32_t>& byte_addrs,
+                                    int access_bytes) {
+  SPINFER_CHECK(access_bytes == 2 || access_bytes == 4 || access_bytes == 8 ||
+                access_bytes == 16);
+  SmemAccessResult res;
+  if (byte_addrs.empty()) {
+    return res;
+  }
+
+  // Expand each lane access into the 4-byte words it touches. 2-byte
+  // accesses map to one word.
+  const int words_per_lane = std::max(1, access_bytes / kSmemBankWidthBytes);
+  std::vector<uint32_t> word_addrs;
+  word_addrs.reserve(byte_addrs.size() * static_cast<size_t>(words_per_lane));
+  for (uint32_t addr : byte_addrs) {
+    for (int w = 0; w < words_per_lane; ++w) {
+      word_addrs.push_back((addr + static_cast<uint32_t>(w) * kSmemBankWidthBytes) /
+                           kSmemBankWidthBytes);
+    }
+  }
+
+  // Hardware issues vector accesses in phases of 32 words (half-warp phases
+  // for 8B, quarter-warp for 16B); within a phase, the wavefront count is the
+  // maximum number of *distinct* words mapped to any single bank.
+  const size_t phase = 32;
+  for (size_t start = 0; start < word_addrs.size(); start += phase) {
+    const size_t end = std::min(word_addrs.size(), start + phase);
+    std::set<uint32_t> per_bank[kSmemBanks];
+    for (size_t i = start; i < end; ++i) {
+      per_bank[word_addrs[i] % kSmemBanks].insert(word_addrs[i]);
+    }
+    uint32_t wavefronts = 1;  // a non-empty phase always issues one
+    for (const auto& bank : per_bank) {
+      wavefronts = std::max(wavefronts, static_cast<uint32_t>(bank.size()));
+    }
+    res.transactions += wavefronts;
+    res.bank_conflicts += wavefronts - 1;
+  }
+  return res;
+}
+
+}  // namespace spinfer

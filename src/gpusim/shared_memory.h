@@ -1,0 +1,37 @@
+// Shared-memory banking model.
+//
+// NVIDIA shared memory is organized as 32 banks of 4-byte words; a warp-wide
+// access that touches the same bank at different word addresses serializes
+// into multiple wavefronts ("bank conflicts"). Flash-LLM's sparse extraction
+// writes nonzeros to data-dependent shared addresses and suffers these
+// conflicts; SpInfer's SMBD reads are conflict-free by construction (paper
+// §5.1 micro-analysis). This model lets kernels count both.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spinfer {
+
+inline constexpr int kSmemBanks = 32;
+inline constexpr int kSmemBankWidthBytes = 4;
+
+// Result of simulating one warp-wide shared-memory access.
+struct SmemAccessResult {
+  // Number of wavefronts the access serializes into (>= 1 for a non-empty
+  // access; 1 means conflict-free).
+  uint32_t transactions = 0;
+  // Extra wavefronts caused by bank conflicts: transactions - minimum.
+  uint32_t bank_conflicts = 0;
+};
+
+// Simulates a warp access where each active lane touches `access_bytes`
+// bytes starting at its byte address. Addresses of inactive lanes are
+// omitted from `byte_addrs`. Wider-than-4B accesses (8B/16B vector loads)
+// are split into 4-byte words and processed in phases of up to 32 words,
+// matching hardware behaviour. Lanes reading the same word broadcast (no
+// conflict).
+SmemAccessResult SimulateSmemAccess(const std::vector<uint32_t>& byte_addrs,
+                                    int access_bytes);
+
+}  // namespace spinfer

@@ -1,0 +1,102 @@
+#include "src/gpusim/tensor_core.h"
+
+#include <bit>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+std::pair<int, int> MmaAElementCoord(int lane, int idx) {
+  SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
+  SPINFER_CHECK(idx >= 0 && idx < 8);
+  const int group = lane / 4;      // 0..7
+  const int pair = (lane % 4) * 2;  // 0,2,4,6
+  // PTX m16n8k16 .f16 A layout:
+  //   a0 = A[g][p]    a1 = A[g][p+1]     (rows 0-7,  cols 0-7:  Ra0)
+  //   a2 = A[g+8][p]  a3 = A[g+8][p+1]   (rows 8-15, cols 0-7:  Ra1)
+  //   a4 = A[g][p+8]  a5 = A[g][p+9]     (rows 0-7,  cols 8-15: Ra2)
+  //   a6 = A[g+8][p+8] a7 = A[g+8][p+9]  (rows 8-15, cols 8-15: Ra3)
+  const int row = group + ((idx == 2 || idx == 3 || idx == 6 || idx == 7) ? 8 : 0);
+  const int col = pair + (idx & 1) + (idx >= 4 ? 8 : 0);
+  return {row, col};
+}
+
+std::pair<int, int> MmaBElementCoord(int lane, int idx) {
+  SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
+  SPINFER_CHECK(idx >= 0 && idx < 4);
+  // PTX m16n8k16 .f16 B layout (col-major operand, 16(k) x 8(n)):
+  //   b0 = B[p][g]  b1 = B[p+1][g]  b2 = B[p+8][g]  b3 = B[p+9][g]
+  const int group = lane / 4;
+  const int pair = (lane % 4) * 2;
+  const int k = pair + (idx & 1) + (idx >= 2 ? 8 : 0);
+  return {k, group};
+}
+
+std::pair<int, int> MmaCElementCoord(int lane, int idx) {
+  SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
+  SPINFER_CHECK(idx >= 0 && idx < 4);
+  // PTX m16n8k16 .f32 C/D layout (16(m) x 8(n)):
+  //   c0 = C[g][p]  c1 = C[g][p+1]  c2 = C[g+8][p]  c3 = C[g+8][p+1]
+  const int group = lane / 4;
+  const int pair = (lane % 4) * 2;
+  const int row = group + (idx >= 2 ? 8 : 0);
+  const int col = pair + (idx & 1);
+  return {row, col};
+}
+
+std::pair<int, int> MmaAQuadrantCoord(int lane, int half) {
+  SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
+  SPINFER_CHECK(half == 0 || half == 1);
+  return {lane / 4, (lane % 4) * 2 + half};
+}
+
+void MmaM16N8K16(const MmaAFragment a[kWarpSize], const MmaBFragment b[kWarpSize],
+                 MmaAccumulator acc[kWarpSize]) {
+  // Gather the full operands from the distributed fragments.
+  float full_a[16][16];
+  float full_b[16][8];
+  float full_c[16][8];
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int i = 0; i < 8; ++i) {
+      const auto [r, c] = MmaAElementCoord(lane, i);
+      full_a[r][c] = a[lane].a[i].ToFloat();
+    }
+    for (int i = 0; i < 4; ++i) {
+      const auto [k, n] = MmaBElementCoord(lane, i);
+      full_b[k][n] = b[lane].b[i].ToFloat();
+    }
+    for (int i = 0; i < 4; ++i) {
+      const auto [r, c] = MmaCElementCoord(lane, i);
+      full_c[r][c] = acc[lane].c[i];
+    }
+  }
+  // D = A*B + C with FP32 accumulation.
+  float full_d[16][8];
+  for (int r = 0; r < 16; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      float sum = full_c[r][c];
+      for (int k = 0; k < 16; ++k) {
+        sum += full_a[r][k] * full_b[k][c];
+      }
+      full_d[r][c] = sum;
+    }
+  }
+  // Scatter back to the per-lane accumulators.
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int i = 0; i < 4; ++i) {
+      const auto [r, c] = MmaCElementCoord(lane, i);
+      acc[lane].c[i] = full_d[r][c];
+    }
+  }
+}
+
+int PopCount64(uint64_t x) { return std::popcount(x); }
+
+int MaskedPopCount(uint64_t bitmap, int lane) {
+  SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
+  const int offset = lane * 2;
+  const uint64_t mask = (offset == 64) ? ~0ull : ((1ull << offset) - 1ull);
+  return std::popcount(bitmap & mask);
+}
+
+}  // namespace spinfer

@@ -1,0 +1,68 @@
+// Functional emulation of the PTX `mma.sync.aligned.m16n8k16.row.col.f32.f16.f16.f32`
+// Tensor Core instruction, including its exact per-lane fragment layout.
+//
+// SpInfer's TCA-BME format and SMBD decoder are built around this layout
+// (paper §4.2–4.3): the 16×16 A operand decomposes into four 8×8 quadrants in
+// column-major order — Ra0 = top-left, Ra1 = bottom-left, Ra2 = top-right,
+// Ra3 = bottom-right — and within a quadrant, lane i holds the two adjacent
+// elements at (row i/4, columns 2·(i mod 4) and 2·(i mod 4)+1). Linearized
+// row-major inside the quadrant those are positions 2i and 2i+1, which is why
+// the 64-bit BitmapTile lets lane i test bits 2i and 2i+1 (paper Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/numeric/fp16.h"
+
+namespace spinfer {
+
+inline constexpr int kWarpSize = 32;
+
+// Per-lane operand fragments for one mma.m16n8k16. Indices follow the PTX
+// register order: A fragment a[8] = {Ra0.lo, Ra0.hi, Ra1.lo, Ra1.hi, ...}.
+struct MmaAFragment {
+  Half a[8] = {};
+};
+struct MmaBFragment {
+  Half b[4] = {};
+};
+struct MmaAccumulator {
+  float c[4] = {};
+};
+
+// Coordinate of A-fragment element `idx` (0..7) of `lane` within the 16×16
+// A tile (row-major (row, col)).
+std::pair<int, int> MmaAElementCoord(int lane, int idx);
+
+// Coordinate of B-fragment element `idx` (0..3) of `lane` within the 16×8
+// B tile ((k, n)).
+std::pair<int, int> MmaBElementCoord(int lane, int idx);
+
+// Coordinate of accumulator element `idx` (0..3) of `lane` within the 16×8
+// C/D tile ((row, col)).
+std::pair<int, int> MmaCElementCoord(int lane, int idx);
+
+// Quadrant-local view of the A layout: register `reg` (0..3 = TL, BL, TR, BR
+// — the paper's column-major BitmapTile order) of `lane` holds quadrant
+// elements (lane/4, 2·(lane%4)) and (lane/4, 2·(lane%4)+1); equivalently
+// row-major linear positions 2·lane and 2·lane+1.
+std::pair<int, int> MmaAQuadrantCoord(int lane, int half);  // half in {0,1}
+
+// Executes one warp-synchronous mma.m16n8k16: for every lane,
+// D = A(16x16) × B(16x8) + C(16x8), FP16 inputs, FP32 accumulation.
+// `a`, `b`, `acc` are arrays of kWarpSize per-lane fragments; acc is updated
+// in place.
+void MmaM16N8K16(const MmaAFragment a[kWarpSize], const MmaBFragment b[kWarpSize],
+                 MmaAccumulator acc[kWarpSize]);
+
+// Bit-manipulation intrinsics the SMBD decoder uses (paper Alg. 2).
+// PopCount64 models CUDA's __popcll.
+int PopCount64(uint64_t x);
+
+// Number of set bits strictly below bit position `2*lane` — the
+// MaskedPopCount of paper Algorithm 2: the offset of lane `lane`'s first
+// element within the compressed Values segment of its BitmapTile.
+int MaskedPopCount(uint64_t bitmap, int lane);
+
+}  // namespace spinfer

@@ -1,0 +1,95 @@
+#include "src/gpusim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+TimelineResult SimulateKernelTimeline(const StageTimes& stages,
+                                      const PipelineConfig& config,
+                                      int64_t iterations) {
+  SPINFER_CHECK(iterations >= 0);
+  TimelineResult result;
+  if (iterations == 0) {
+    return result;
+  }
+
+  double resource_free[kNumResources] = {0.0, 0.0, 0.0};
+  // End time of each iteration's stages (for dependencies and buffer reuse).
+  std::vector<double> load_w_end(static_cast<size_t>(iterations));
+  std::vector<double> load_x_end(static_cast<size_t>(iterations));
+  std::vector<double> mma_end(static_cast<size_t>(iterations));
+
+  auto schedule = [&](Resource res, int64_t iter, const char* name, double ready,
+                      double duration) {
+    double& free_at = resource_free[static_cast<int>(res)];
+    const double start = std::max(free_at, ready);
+    const double end = start + duration;
+    free_at = end;
+    result.intervals.push_back({res, iter, name, start, end});
+    return end;
+  };
+
+  // Without double buffering there is one tile buffer: loads of iteration i
+  // wait for iteration i-1's mma to retire. With it there are two: wait for
+  // i-2.
+  const int64_t buffer_depth = config.double_buffer ? 2 : 1;
+
+  for (int64_t i = 0; i < iterations; ++i) {
+    const double buffer_ready =
+        i >= buffer_depth ? mma_end[static_cast<size_t>(i - buffer_depth)] : 0.0;
+    load_w_end[i] = schedule(Resource::kDram, i, "load_w", buffer_ready, stages.load_w);
+    load_x_end[i] = schedule(Resource::kDram, i, "load_x", buffer_ready, stages.load_x);
+
+    const double decode_ready =
+        config.fine_grained_groups ? load_w_end[i] : load_x_end[i];
+    const double decode_end =
+        schedule(Resource::kCudaAlu, i, "decode", decode_ready, stages.decode);
+
+    const double mma_ready = std::max(decode_end, load_x_end[i]);
+    mma_end[i] = schedule(Resource::kTensorCore, i, "mma", mma_ready, stages.mma);
+  }
+
+  result.total_time = mma_end.back();
+  double busy[kNumResources] = {0.0, 0.0, 0.0};
+  for (const TimelineInterval& iv : result.intervals) {
+    busy[static_cast<int>(iv.resource)] += iv.end - iv.start;
+  }
+  for (int r = 0; r < kNumResources; ++r) {
+    result.busy_fraction[r] = result.total_time > 0 ? busy[r] / result.total_time : 0.0;
+  }
+  return result;
+}
+
+std::string TimelineResult::RenderGantt(int columns) const {
+  SPINFER_CHECK(columns > 10);
+  if (total_time <= 0.0) {
+    return "(empty timeline)\n";
+  }
+  const char* names[kNumResources] = {"DRAM", "ALU ", "TC  "};
+  const char glyphs[kNumResources] = {'#', 'd', 'M'};
+  std::string rows[kNumResources];
+  for (auto& row : rows) {
+    row.assign(static_cast<size_t>(columns), '.');
+  }
+  for (const TimelineInterval& iv : intervals) {
+    const int begin = static_cast<int>(std::floor(iv.start / total_time * columns));
+    int end = static_cast<int>(std::ceil(iv.end / total_time * columns));
+    end = std::min(end, columns);
+    for (int c = begin; c < end; ++c) {
+      rows[static_cast<int>(iv.resource)][static_cast<size_t>(c)] =
+          glyphs[static_cast<int>(iv.resource)];
+    }
+  }
+  std::ostringstream out;
+  for (int r = 0; r < kNumResources; ++r) {
+    out << names[r] << " |" << rows[r] << "| " << static_cast<int>(busy_fraction[r] * 100)
+        << "%\n";
+  }
+  return out.str();
+}
+
+}  // namespace spinfer

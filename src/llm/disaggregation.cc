@@ -1,0 +1,82 @@
+#include "src/llm/disaggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/llm/attention.h"
+#include "src/llm/serving.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+DisaggReport PlanDisaggregation(const DisaggConfig& cfg) {
+  SPINFER_CHECK(cfg.request_rate_rps > 0.0);
+  DisaggReport report;
+
+  const WeightFormat format = FrameworkWeightFormat(cfg.framework);
+  const double weight_sparsity =
+      format == WeightFormat::kDense ? 0.0 : cfg.sparsity;
+
+  // ---- Prefill cluster: one prompt at a time per instance. ------------------
+  EngineConfig prefill_cfg;
+  prefill_cfg.model = cfg.model;
+  prefill_cfg.framework = cfg.framework;
+  prefill_cfg.device = cfg.prefill_device;
+  prefill_cfg.num_gpus = cfg.prefill_gpus;
+  prefill_cfg.sparsity = cfg.sparsity;
+  const MemoryPlan prefill_mem =
+      PlanMemory(cfg.model, format, weight_sparsity, /*batch=*/1, cfg.input_len,
+                 cfg.prefill_gpus, cfg.prefill_device);
+  report.prefill_fits = prefill_mem.Fits();
+  if (report.prefill_fits) {
+    report.prefill_ms = PrefillTimeUs(prefill_cfg, 1, cfg.input_len) / 1e3;
+  }
+
+  // KV handoff: the prompt's full cache crosses the fabric once.
+  const uint64_t kv_bytes = KvCacheBytes(cfg.model, 1, cfg.input_len, 1);
+  report.kv_transfer_ms =
+      static_cast<double>(kv_bytes) / (cfg.transfer_bw_gbs * 1e6);
+  report.ttft_ms = report.prefill_ms + report.kv_transfer_ms;
+
+  // ---- Decode cluster: continuous batching at the feasible batch. ----------
+  EngineConfig decode_cfg = prefill_cfg;
+  decode_cfg.device = cfg.decode_device;
+  decode_cfg.num_gpus = cfg.decode_gpus;
+  const int64_t max_context = cfg.input_len + cfg.output_len;
+  int64_t lo = 0;
+  int64_t hi = cfg.max_decode_batch;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi + 1) / 2;
+    if (PlanMemory(cfg.model, format, weight_sparsity, mid, max_context,
+                   cfg.decode_gpus, cfg.decode_device)
+            .Fits()) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  report.decode_batch = lo;
+  report.decode_fits = lo > 0;
+  if (report.decode_fits) {
+    const int64_t mid_context = cfg.input_len + cfg.output_len / 2;
+    const double step_us = DecodeStepTimeUs(decode_cfg, report.decode_batch, mid_context);
+    report.tpot_ms = step_us / 1e3;
+    report.decode_tokens_per_s = static_cast<double>(report.decode_batch) * 1e6 / step_us;
+    report.decode_requests_per_s =
+        report.decode_tokens_per_s / static_cast<double>(cfg.output_len);
+  }
+
+  // ---- Cluster sizing. -------------------------------------------------------
+  if (report.prefill_fits) {
+    report.prefill_instances =
+        cfg.request_rate_rps * report.prefill_ms / 1e3;  // utilization-based
+  }
+  if (report.decode_fits) {
+    report.decode_instances = cfg.request_rate_rps / report.decode_requests_per_s;
+  }
+  report.total_gpus = std::ceil(report.prefill_instances) * cfg.prefill_gpus +
+                      std::ceil(report.decode_instances) * cfg.decode_gpus;
+  return report;
+}
+
+}  // namespace spinfer

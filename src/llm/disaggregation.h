@@ -1,0 +1,62 @@
+// Disaggregated prefill/decode deployment planning (paper §6).
+//
+// The paper argues SpInfer's decode-phase optimization fits the emerging
+// decoupled architecture (Splitwise, DistServe, Mooncake): prefill runs on a
+// compute-optimized cluster where SpInfer's advantage is neutral (Fig. 16),
+// decode runs on a bandwidth-bound cluster where it shines. This module
+// sizes both clusters for a target request rate and prices the KV-cache
+// handoff between them — turning the §6 discussion into a planning tool.
+#pragma once
+
+#include <cstdint>
+
+#include "src/llm/engine.h"
+
+namespace spinfer {
+
+struct DisaggConfig {
+  ModelConfig model;
+  Framework framework = Framework::kSpInfer;
+  double sparsity = 0.6;
+
+  // Per-instance hardware for each cluster.
+  DeviceSpec prefill_device = Rtx4090();
+  int prefill_gpus = 2;
+  DeviceSpec decode_device = Rtx4090();
+  int decode_gpus = 1;
+
+  // Workload.
+  double request_rate_rps = 1.0;
+  int64_t input_len = 512;
+  int64_t output_len = 128;
+  // Scheduler cap for decode continuous batching.
+  int64_t max_decode_batch = 64;
+  // Prefill->decode interconnect for the KV handoff (datacenter network or
+  // NVLink fabric), GB/s.
+  double transfer_bw_gbs = 25.0;
+};
+
+struct DisaggReport {
+  bool prefill_fits = false;
+  bool decode_fits = false;
+
+  // Per-request costs.
+  double prefill_ms = 0.0;       // one prompt on one prefill instance
+  double kv_transfer_ms = 0.0;   // shipping the prompt's KV cache
+  double ttft_ms = 0.0;          // time to first token (prefill + transfer)
+  double tpot_ms = 0.0;          // steady-state time per output token
+
+  // Decode-side capacity.
+  int64_t decode_batch = 0;           // memory-feasible concurrent sequences
+  double decode_tokens_per_s = 0.0;   // one decode instance at that batch
+  double decode_requests_per_s = 0.0;
+
+  // Cluster sizing for the target rate.
+  double prefill_instances = 0.0;
+  double decode_instances = 0.0;
+  double total_gpus = 0.0;
+};
+
+DisaggReport PlanDisaggregation(const DisaggConfig& cfg);
+
+}  // namespace spinfer

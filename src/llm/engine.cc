@@ -1,0 +1,204 @@
+#include "src/llm/engine.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/baselines/cublas_gemm.h"
+#include "src/baselines/flashllm_spmm.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/llm/attention.h"
+#include "src/llm/parallel.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+// Per-layer small-op overhead (layernorms, residuals, activation, kernel
+// launches) and per-step sampling/embedding overhead, microseconds.
+double FrameworkLayerOverheadUs(Framework f) {
+  switch (f) {
+    case Framework::kDeepSpeed:
+      return 6.0;
+    case Framework::kSpInfer:
+    case Framework::kSpInferInt8:
+    case Framework::kFlashLlm:
+    case Framework::kFasterTransformer:
+      return 3.0;
+  }
+  SPINFER_UNREACHABLE("bad Framework");
+}
+
+constexpr double kSamplingOverheadUs = 15.0;
+
+// DeepSpeed's inference kernels trail cuBLAS/FT tuning on these GPUs.
+double FrameworkLinearPenalty(Framework f) {
+  return f == Framework::kDeepSpeed ? 1.12 : 1.0;
+}
+
+// Prices one weight GEMM (m x k sharded already) at token count `tokens`.
+double LinearTimeUs(Framework f, int64_t m, int64_t k, int64_t tokens, double sparsity,
+                    const DeviceSpec& dev) {
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = tokens;
+  p.sparsity = sparsity;
+  switch (f) {
+    case Framework::kSpInfer:
+    case Framework::kSpInferInt8: {
+      SpInferKernelConfig cfg;
+      cfg.split_k = 0;  // auto-select per shape
+      cfg.int8_values = f == Framework::kSpInferInt8;
+      return SpInferSpmmKernel(cfg).Estimate(p, dev).time.total_us;
+    }
+    case Framework::kFlashLlm:
+      return FlashLlmSpmmKernel().Estimate(p, dev).time.total_us;
+    case Framework::kFasterTransformer:
+    case Framework::kDeepSpeed: {
+      p.sparsity = 0.0;
+      return CublasGemmKernel().Estimate(p, dev).time.total_us *
+             FrameworkLinearPenalty(f);
+    }
+  }
+  SPINFER_UNREACHABLE("bad Framework");
+}
+
+// All decoder-layer linears for one step at `tokens`, tensor-parallel over
+// `g` GPUs (column-parallel QKV/FC1, row-parallel OUT/FC2), plus LM head.
+double StepLinearTimeUs(const EngineConfig& cfg, int64_t tokens) {
+  const int g = cfg.num_gpus;
+  const double sparsity =
+      FrameworkWeightFormat(cfg.framework) == WeightFormat::kDense ? 0.0
+                                                                   : cfg.sparsity;
+  double us = 0.0;
+  for (const GemmShape& shape : LayerGemmShapes(cfg.model)) {
+    // Column-parallel shards M; row-parallel shards K. QKV and the FFN
+    // up/gate projections are column-parallel; OUT and FFN down projections
+    // are row-parallel.
+    const bool column_parallel = shape.op == "qkv_proj" || shape.op == "ffn_fc1" ||
+                                 shape.op == "ffn_gate_up";
+    const int64_t m = column_parallel ? std::max<int64_t>(shape.m / g, 16) : shape.m;
+    const int64_t k = column_parallel ? shape.k : std::max<int64_t>(shape.k / g, 16);
+    us += LinearTimeUs(cfg.framework, m, k, tokens, sparsity, cfg.device);
+  }
+  us *= static_cast<double>(cfg.model.layers);
+  // LM head (dense in every framework), vocab-sharded.
+  us += LinearTimeUs(Framework::kFasterTransformer,
+                     std::max<int64_t>(cfg.model.vocab / g, 16), cfg.model.hidden,
+                     tokens, 0.0, cfg.device);
+  return us;
+}
+
+double StepOtherTimeUs(const EngineConfig& cfg) {
+  return FrameworkLayerOverheadUs(cfg.framework) * static_cast<double>(cfg.model.layers) +
+         kSamplingOverheadUs;
+}
+
+}  // namespace
+
+const char* FrameworkName(Framework f) {
+  switch (f) {
+    case Framework::kSpInfer:
+      return "SpInfer";
+    case Framework::kSpInferInt8:
+      return "SpInfer-INT8";
+    case Framework::kFlashLlm:
+      return "Flash-LLM";
+    case Framework::kFasterTransformer:
+      return "FasterTransformer";
+    case Framework::kDeepSpeed:
+      return "DeepSpeed";
+  }
+  SPINFER_UNREACHABLE("bad Framework");
+}
+
+WeightFormat FrameworkWeightFormat(Framework f) {
+  switch (f) {
+    case Framework::kSpInfer:
+      return WeightFormat::kTcaBme;
+    case Framework::kSpInferInt8:
+      return WeightFormat::kTcaBmeQuant;
+    case Framework::kFlashLlm:
+      return WeightFormat::kTiledCsl;
+    case Framework::kFasterTransformer:
+    case Framework::kDeepSpeed:
+      return WeightFormat::kDense;
+  }
+  SPINFER_UNREACHABLE("bad Framework");
+}
+
+double DecodeStepTimeUs(const EngineConfig& cfg, int64_t batch, int64_t context) {
+  SPINFER_CHECK(batch > 0 && context > 0);
+  EngineConfig c = cfg;
+  c.batch = batch;
+  return StepLinearTimeUs(c, batch) +
+         DecodeAttentionCost(c.model, batch, context, c.num_gpus, c.device).time_us +
+         LayerCommTimeUs(batch, c.model.hidden, c.num_gpus, c.device) *
+             static_cast<double>(c.model.layers) +
+         StepOtherTimeUs(c);
+}
+
+double PrefillTimeUs(const EngineConfig& cfg, int64_t batch, int64_t seq_len) {
+  SPINFER_CHECK(batch > 0 && seq_len > 0);
+  EngineConfig c = cfg;
+  c.batch = batch;
+  const int64_t tokens = batch * seq_len;
+  return StepLinearTimeUs(c, tokens) +
+         PrefillAttentionCost(c.model, batch, seq_len, c.num_gpus, c.device).time_us +
+         LayerCommTimeUs(tokens, c.model.hidden, c.num_gpus, c.device) *
+             static_cast<double>(c.model.layers) +
+         StepOtherTimeUs(c);
+}
+
+InferenceReport SimulateInference(const EngineConfig& cfg) {
+  SPINFER_CHECK(cfg.num_gpus >= 1 && cfg.batch > 0);
+  SPINFER_CHECK(cfg.input_len > 0 && cfg.output_len > 0);
+  InferenceReport report;
+
+  const double weight_sparsity =
+      FrameworkWeightFormat(cfg.framework) == WeightFormat::kDense ? 0.0 : cfg.sparsity;
+  const int64_t max_context = cfg.input_len + cfg.output_len;
+  report.memory = PlanMemory(cfg.model, FrameworkWeightFormat(cfg.framework),
+                             weight_sparsity, cfg.batch, max_context, cfg.num_gpus,
+                             cfg.device);
+  if (!report.memory.Fits()) {
+    report.oom = true;
+    return report;
+  }
+
+  // ---- Prefill: all input tokens at once. ----------------------------------
+  const int64_t prefill_tokens = cfg.batch * cfg.input_len;
+  report.prefill.linear_us = StepLinearTimeUs(cfg, prefill_tokens);
+  report.prefill.attention_us =
+      PrefillAttentionCost(cfg.model, cfg.batch, cfg.input_len, cfg.num_gpus, cfg.device)
+          .time_us;
+  report.prefill.comm_us =
+      LayerCommTimeUs(prefill_tokens, cfg.model.hidden, cfg.num_gpus, cfg.device) *
+      static_cast<double>(cfg.model.layers);
+  report.prefill.other_us = StepOtherTimeUs(cfg);
+
+  // ---- Decode: one token per step, growing context. ------------------------
+  const double step_linear_us = StepLinearTimeUs(cfg, cfg.batch);
+  const double step_comm_us =
+      LayerCommTimeUs(cfg.batch, cfg.model.hidden, cfg.num_gpus, cfg.device) *
+      static_cast<double>(cfg.model.layers);
+  const double step_other_us = StepOtherTimeUs(cfg);
+  for (int64_t t = 0; t < cfg.output_len; ++t) {
+    const int64_t context = cfg.input_len + t + 1;
+    report.decode.linear_us += step_linear_us;
+    report.decode.attention_us +=
+        DecodeAttentionCost(cfg.model, cfg.batch, context, cfg.num_gpus, cfg.device)
+            .time_us;
+    report.decode.comm_us += step_comm_us;
+    report.decode.other_us += step_other_us;
+  }
+
+  report.prefill_ms = report.prefill.TotalUs() / 1e3;
+  report.decode_ms = report.decode.TotalUs() / 1e3;
+  report.total_ms = report.prefill_ms + report.decode_ms;
+  report.tokens_per_second = static_cast<double>(cfg.batch * cfg.output_len) /
+                             (report.total_ms / 1e3);
+  return report;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,87 @@
+#include "src/llm/kv_allocator.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+KvAllocator::KvAllocator(const KvAllocatorConfig& config) : config_(config) {
+  SPINFER_CHECK(config.block_tokens > 0);
+  SPINFER_CHECK(config.bytes_per_token > 0);
+  const uint64_t block_bytes =
+      config.bytes_per_token * static_cast<uint64_t>(config.block_tokens);
+  total_blocks_ = static_cast<int64_t>(config.capacity_bytes / block_bytes);
+  free_list_.reserve(static_cast<size_t>(total_blocks_));
+  // LIFO free list; block ids descend so block 0 is handed out first.
+  for (int64_t b = total_blocks_ - 1; b >= 0; --b) {
+    free_list_.push_back(static_cast<int32_t>(b));
+  }
+}
+
+bool KvAllocator::AddSequence(int64_t seq_id, int64_t prompt_tokens) {
+  SPINFER_CHECK(prompt_tokens >= 0);
+  SPINFER_CHECK_MSG(sequences_.find(seq_id) == sequences_.end(),
+                    "sequence id already registered: " << seq_id);
+  const int64_t need = BlocksFor(prompt_tokens);
+  if (need > free_blocks()) {
+    return false;
+  }
+  Sequence seq;
+  seq.tokens = prompt_tokens;
+  seq.blocks.reserve(static_cast<size_t>(need));
+  for (int64_t i = 0; i < need; ++i) {
+    seq.blocks.push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  sequences_.emplace(seq_id, std::move(seq));
+  return true;
+}
+
+bool KvAllocator::AppendToken(int64_t seq_id) {
+  const auto it = sequences_.find(seq_id);
+  SPINFER_CHECK_MSG(it != sequences_.end(), "unknown sequence: " << seq_id);
+  Sequence& seq = it->second;
+  if (BlocksFor(seq.tokens + 1) > static_cast<int64_t>(seq.blocks.size())) {
+    if (free_list_.empty()) {
+      return false;
+    }
+    seq.blocks.push_back(free_list_.back());
+    free_list_.pop_back();
+  }
+  ++seq.tokens;
+  return true;
+}
+
+void KvAllocator::RemoveSequence(int64_t seq_id) {
+  const auto it = sequences_.find(seq_id);
+  if (it == sequences_.end()) {
+    return;
+  }
+  for (int32_t b : it->second.blocks) {
+    free_list_.push_back(b);
+  }
+  sequences_.erase(it);
+}
+
+bool KvAllocator::CanFit(int64_t tokens) const {
+  return BlocksFor(tokens) <= free_blocks();
+}
+
+int64_t KvAllocator::SequenceTokens(int64_t seq_id) const {
+  const auto it = sequences_.find(seq_id);
+  return it == sequences_.end() ? 0 : it->second.tokens;
+}
+
+int64_t KvAllocator::SequenceBlocks(int64_t seq_id) const {
+  const auto it = sequences_.find(seq_id);
+  return it == sequences_.end() ? 0 : static_cast<int64_t>(it->second.blocks.size());
+}
+
+int64_t KvAllocator::WastedTokenSlots() const {
+  int64_t waste = 0;
+  for (const auto& [id, seq] : sequences_) {
+    waste += static_cast<int64_t>(seq.blocks.size()) * config_.block_tokens - seq.tokens;
+  }
+  return waste;
+}
+
+}  // namespace spinfer

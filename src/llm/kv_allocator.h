@@ -1,0 +1,77 @@
+// Paged KV-cache allocator (vLLM-style block management).
+//
+// The serving results (Figs. 13-14, and our serving simulator) hinge on how
+// much KV cache fits beside the weights; a real engine manages that pool in
+// fixed-size blocks so sequences can grow without reserving their maximum
+// context up front. This allocator provides that substrate: per-sequence
+// block lists, O(1) alloc/free from a free list, token-granular append, and
+// utilization accounting the scheduler admits against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace spinfer {
+
+struct KvAllocatorConfig {
+  // Pool capacity in bytes (device memory left after weights etc.).
+  uint64_t capacity_bytes = 0;
+  // Bytes of K+V per token across all layers (2 * layers * kv_dim * 2B).
+  uint64_t bytes_per_token = 0;
+  // Tokens per block (16 is vLLM's default granularity).
+  int64_t block_tokens = 16;
+};
+
+class KvAllocator {
+ public:
+  explicit KvAllocator(const KvAllocatorConfig& config);
+
+  // Registers a new sequence with `prompt_tokens` already cached; returns
+  // false (allocating nothing) if the pool cannot hold it.
+  bool AddSequence(int64_t seq_id, int64_t prompt_tokens);
+
+  // Extends a sequence by one generated token; returns false if a new block
+  // was needed and the pool is exhausted (the caller must evict/preempt).
+  bool AppendToken(int64_t seq_id);
+
+  // Releases all of a sequence's blocks.
+  void RemoveSequence(int64_t seq_id);
+
+  // Whether `tokens` more tokens could be added for a hypothetical new
+  // sequence right now.
+  bool CanFit(int64_t tokens) const;
+
+  int64_t total_blocks() const { return total_blocks_; }
+  int64_t free_blocks() const { return static_cast<int64_t>(free_list_.size()); }
+  int64_t used_blocks() const { return total_blocks_ - free_blocks(); }
+  double Utilization() const {
+    return total_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(used_blocks()) / static_cast<double>(total_blocks_);
+  }
+
+  // Tokens currently cached for `seq_id` (0 if unknown).
+  int64_t SequenceTokens(int64_t seq_id) const;
+  // Blocks held by `seq_id`.
+  int64_t SequenceBlocks(int64_t seq_id) const;
+  // Internal fragmentation: allocated-but-unused token slots.
+  int64_t WastedTokenSlots() const;
+
+ private:
+  struct Sequence {
+    int64_t tokens = 0;
+    std::vector<int32_t> blocks;
+  };
+
+  int64_t BlocksFor(int64_t tokens) const {
+    return (tokens + config_.block_tokens - 1) / config_.block_tokens;
+  }
+
+  KvAllocatorConfig config_;
+  int64_t total_blocks_ = 0;
+  std::vector<int32_t> free_list_;
+  std::map<int64_t, Sequence> sequences_;
+};
+
+}  // namespace spinfer

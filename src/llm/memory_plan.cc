@@ -1,0 +1,46 @@
+#include "src/llm/memory_plan.h"
+
+#include <sstream>
+
+#include "src/llm/attention.h"
+#include "src/util/check.h"
+#include "src/util/table.h"
+
+namespace spinfer {
+
+std::string MemoryPlan::ToString() const {
+  std::ostringstream oss;
+  oss << "weights=" << FormatBytes(weight_bytes) << " kv=" << FormatBytes(kv_cache_bytes)
+      << " act=" << FormatBytes(activation_bytes) << " ws=" << FormatBytes(workspace_bytes)
+      << " reserve=" << FormatBytes(reserve_bytes) << " total=" << FormatBytes(TotalBytes())
+      << "/" << FormatBytes(capacity_bytes) << (Fits() ? " OK" : " OOM");
+  return oss.str();
+}
+
+MemoryPlan PlanMemory(const ModelConfig& model, WeightFormat format, double sparsity,
+                      int64_t batch, int64_t max_context, int num_gpus,
+                      const DeviceSpec& dev) {
+  SPINFER_CHECK(num_gpus >= 1 && batch > 0 && max_context > 0);
+  MemoryPlan plan;
+  plan.capacity_bytes = dev.memory_bytes;
+  plan.weight_bytes =
+      ModelWeightBytes(model, sparsity, format) / static_cast<uint64_t>(num_gpus);
+  plan.kv_cache_bytes = KvCacheBytes(model, batch, max_context, num_gpus);
+  // Activations: a few live (batch x context x hidden) FP16 buffers plus the
+  // FFN intermediate, sharded over GPUs. During decode context collapses to
+  // 1, but the prefill peak is what must fit.
+  const uint64_t act_tokens = static_cast<uint64_t>(batch) *
+                              static_cast<uint64_t>(max_context);
+  const int64_t widest = model.gated_ffn ? 2 * model.ffn_hidden : model.ffn_hidden;
+  plan.activation_bytes =
+      (4ull * static_cast<uint64_t>(model.hidden) + static_cast<uint64_t>(widest)) *
+      act_tokens * 2ull / static_cast<uint64_t>(num_gpus);
+  // Split-K FP32 reduction workspace for the largest linear, plus logits.
+  plan.workspace_bytes =
+      4ull * static_cast<uint64_t>(widest) * static_cast<uint64_t>(batch) * 8ull +
+      2ull * static_cast<uint64_t>(model.vocab) * static_cast<uint64_t>(batch);
+  plan.reserve_bytes = 1ull << 30;  // CUDA context, cuBLAS/NCCL workspaces
+  return plan;
+}
+
+}  // namespace spinfer

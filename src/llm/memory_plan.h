@@ -1,0 +1,40 @@
+// Per-GPU memory planning with OOM detection.
+//
+// Reproduces the paper's memory results (Figs. 13–14): which (framework,
+// model, batch, output-length, GPU-count) configurations fit, and how much
+// the TCA-BME weight compression buys. Budget components: sharded weights,
+// KV cache at maximum context, activation buffers, kernel workspace, and a
+// fixed runtime reserve (CUDA context + cuBLAS workspaces).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/gpusim/device_spec.h"
+#include "src/llm/model_config.h"
+#include "src/llm/weights.h"
+
+namespace spinfer {
+
+struct MemoryPlan {
+  uint64_t weight_bytes = 0;      // per GPU
+  uint64_t kv_cache_bytes = 0;    // per GPU, at max context
+  uint64_t activation_bytes = 0;  // per GPU
+  uint64_t workspace_bytes = 0;   // per GPU
+  uint64_t reserve_bytes = 0;     // runtime overhead
+  uint64_t capacity_bytes = 0;    // device memory
+
+  uint64_t TotalBytes() const {
+    return weight_bytes + kv_cache_bytes + activation_bytes + workspace_bytes +
+           reserve_bytes;
+  }
+  bool Fits() const { return TotalBytes() <= capacity_bytes; }
+
+  std::string ToString() const;
+};
+
+MemoryPlan PlanMemory(const ModelConfig& model, WeightFormat format, double sparsity,
+                      int64_t batch, int64_t max_context, int num_gpus,
+                      const DeviceSpec& dev);
+
+}  // namespace spinfer

@@ -1,0 +1,85 @@
+#include "src/llm/model_config.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+ModelConfig Make(std::string name, int64_t hidden, int64_t layers, int64_t heads,
+                 int64_t kv_heads, int64_t ffn, int64_t vocab, bool gated,
+                 int num_experts = 1, int active_experts = 1) {
+  ModelConfig m;
+  m.name = std::move(name);
+  m.hidden = hidden;
+  m.layers = layers;
+  m.heads = heads;
+  m.kv_heads = kv_heads;
+  m.ffn_hidden = ffn;
+  m.vocab = vocab;
+  m.gated_ffn = gated;
+  m.num_experts = num_experts;
+  m.active_experts = active_experts;
+  return m;
+}
+
+}  // namespace
+
+int64_t ModelConfig::NumParams() const {
+  const int64_t kv_dim = kv_heads * head_dim();
+  // Attention: Q + O are h*h; K + V are h*kv_dim.
+  int64_t per_layer = 2 * hidden * hidden + 2 * hidden * kv_dim;
+  // FFN: 2 matrices (up+down), or 3 for gated; times experts for MoE.
+  const int64_t ffn_mats = gated_ffn ? 3 : 2;
+  per_layer += static_cast<int64_t>(num_experts) * ffn_mats * hidden * ffn_hidden;
+  return layers * per_layer + vocab * hidden;  // + tied embedding/LM head
+}
+
+std::vector<GemmShape> LayerGemmShapes(const ModelConfig& model) {
+  const int64_t h = model.hidden;
+  const int64_t kv_dim = model.kv_heads * model.head_dim();
+  std::vector<GemmShape> shapes;
+  shapes.push_back({"qkv_proj", h + 2 * kv_dim, h});
+  shapes.push_back({"out_proj", h, h});
+  const int active = model.active_experts;
+  if (model.gated_ffn) {
+    // SwiGLU: gate and up projections fuse into one (2*ffn, h) GEMM.
+    shapes.push_back({"ffn_gate_up", static_cast<int64_t>(active) * 2 * model.ffn_hidden, h});
+    shapes.push_back({"ffn_down", h * static_cast<int64_t>(active), model.ffn_hidden});
+  } else {
+    shapes.push_back({"ffn_fc1", model.ffn_hidden, h});
+    shapes.push_back({"ffn_fc2", h, model.ffn_hidden});
+  }
+  return shapes;
+}
+
+ModelConfig Opt13B() { return Make("opt-13b", 5120, 40, 40, 40, 20480, 50272, false); }
+ModelConfig Opt30B() { return Make("opt-30b", 7168, 48, 56, 56, 28672, 50272, false); }
+ModelConfig Opt66B() { return Make("opt-66b", 9216, 64, 72, 72, 36864, 50272, false); }
+ModelConfig Opt175B() { return Make("opt-175b", 12288, 96, 96, 96, 49152, 50272, false); }
+ModelConfig Llama2_7B() { return Make("llama2-7b", 4096, 32, 32, 32, 11008, 32000, true); }
+ModelConfig Llama2_13B() { return Make("llama2-13b", 5120, 40, 40, 40, 13824, 32000, true); }
+ModelConfig Llama2_70B() { return Make("llama2-70b", 8192, 80, 64, 8, 28672, 32000, true); }
+ModelConfig Llama3_8B() { return Make("llama3-8b", 4096, 32, 32, 8, 14336, 128256, true); }
+ModelConfig Llama3_70B() { return Make("llama3-70b", 8192, 80, 64, 8, 28672, 128256, true); }
+ModelConfig Qwen2_7B() { return Make("qwen2-7b", 3584, 28, 28, 4, 18944, 152064, true); }
+ModelConfig Qwen2_72B() { return Make("qwen2-72b", 8192, 80, 64, 8, 29568, 152064, true); }
+ModelConfig Mixtral8x7B() {
+  return Make("mixtral-8x7b", 4096, 32, 32, 8, 14336, 32000, true, 8, 2);
+}
+
+std::vector<ModelConfig> AllModels() {
+  return {Opt13B(),     Opt30B(),     Opt66B(),    Opt175B(),   Llama2_7B(),
+          Llama2_13B(), Llama2_70B(), Llama3_8B(), Llama3_70B(), Qwen2_7B(),
+          Qwen2_72B(),  Mixtral8x7B()};
+}
+
+ModelConfig ModelByName(const std::string& name) {
+  for (const ModelConfig& m : AllModels()) {
+    if (m.name == name) {
+      return m;
+    }
+  }
+  SPINFER_UNREACHABLE("unknown model name: " + name);
+}
+
+}  // namespace spinfer

@@ -1,0 +1,64 @@
+// Transformer model descriptions for the paper's evaluation set (§5.1):
+// OPT 13B/30B/66B/175B, LLaMA2 7B/13B/70B, LLaMA3 8B/70B, Qwen2 7B/72B, and
+// Mixtral-8x7B. Only architecture shapes matter — kernels and formats are
+// value-agnostic — so configs carry dimensions, not checkpoints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spinfer {
+
+struct ModelConfig {
+  std::string name;
+  int64_t hidden = 0;      // model dimension h
+  int64_t layers = 0;
+  int64_t heads = 0;       // attention heads
+  int64_t kv_heads = 0;    // KV heads (GQA); == heads for classic MHA
+  int64_t ffn_hidden = 0;  // FFN intermediate dimension
+  int64_t vocab = 0;
+  // LLaMA-style gated FFN (SwiGLU): three FFN matrices instead of two.
+  bool gated_ffn = false;
+  // Mixture of experts (Mixtral): total and per-token-active expert counts.
+  int num_experts = 1;
+  int active_experts = 1;
+
+  int64_t head_dim() const { return hidden / heads; }
+
+  // Total parameter count (transformer weights + embeddings).
+  int64_t NumParams() const;
+};
+
+// One linear layer's weight shape: output = W(m x k) * input.
+struct GemmShape {
+  std::string op;  // "qkv_proj", "out_proj", "ffn_fc1", ...
+  int64_t m = 0;
+  int64_t k = 0;
+};
+
+// The distinct weight GEMMs of one decoder layer (fused QKV). For MoE
+// models, FFN shapes appear once per *active* expert (the per-token work).
+std::vector<GemmShape> LayerGemmShapes(const ModelConfig& model);
+
+// Named accessors for the evaluation models.
+ModelConfig Opt13B();
+ModelConfig Opt30B();
+ModelConfig Opt66B();
+ModelConfig Opt175B();
+ModelConfig Llama2_7B();
+ModelConfig Llama2_13B();
+ModelConfig Llama2_70B();
+ModelConfig Llama3_8B();
+ModelConfig Llama3_70B();
+ModelConfig Qwen2_7B();
+ModelConfig Qwen2_72B();
+ModelConfig Mixtral8x7B();
+
+// All models of the kernel-level evaluation (Fig. 10's matrix sources).
+std::vector<ModelConfig> AllModels();
+
+// Lookup by name (e.g. "opt-13b"); aborts on unknown names.
+ModelConfig ModelByName(const std::string& name);
+
+}  // namespace spinfer

@@ -1,0 +1,25 @@
+#include "src/llm/parallel.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+double AllReduceTimeUs(uint64_t bytes, int num_gpus, const DeviceSpec& dev) {
+  SPINFER_CHECK(num_gpus >= 1);
+  if (num_gpus == 1) {
+    return 0.0;
+  }
+  const double g = static_cast<double>(num_gpus);
+  const double steps = 2.0 * (g - 1.0);
+  const double volume = 2.0 * (g - 1.0) / g * static_cast<double>(bytes);
+  return steps * dev.link_latency_us + volume / (dev.link_bw_gbs * 1e3);
+}
+
+double LayerCommTimeUs(int64_t tokens, int64_t hidden, int num_gpus,
+                       const DeviceSpec& dev) {
+  const uint64_t bytes =
+      2ull * static_cast<uint64_t>(tokens) * static_cast<uint64_t>(hidden);
+  return 2.0 * AllReduceTimeUs(bytes, num_gpus, dev);
+}
+
+}  // namespace spinfer

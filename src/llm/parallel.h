@@ -1,0 +1,26 @@
+// Tensor-parallel communication model (Megatron-style sharding, as used by
+// FasterTransformer and inherited by SpInfer's and Flash-LLM's integrations).
+//
+// Each decoder layer performs two all-reduces over the activations (after
+// the attention output projection and after the FFN down projection). Cost
+// follows the alpha-beta ring model on the platform interconnect: PCIe on the
+// RTX4090 testbed (the paper measures 30.5 GB/s) and NVLink on A6000 — the
+// source of the Fig. 15 COMM gap between the two platforms.
+#pragma once
+
+#include <cstdint>
+
+#include "src/gpusim/device_spec.h"
+
+namespace spinfer {
+
+// Time for one all-reduce of `bytes` across `num_gpus` (ring algorithm:
+// 2*(g-1)/g data exchange plus per-step latency).
+double AllReduceTimeUs(uint64_t bytes, int num_gpus, const DeviceSpec& dev);
+
+// Total per-layer communication for a token batch of `tokens` rows of
+// `hidden` FP16 activations: two all-reduces.
+double LayerCommTimeUs(int64_t tokens, int64_t hidden, int num_gpus,
+                       const DeviceSpec& dev);
+
+}  // namespace spinfer

@@ -1,0 +1,146 @@
+#include "src/llm/serving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// Largest batch whose memory plan fits at full context.
+int64_t FeasibleBatch(const ServingConfig& cfg) {
+  const int64_t max_context = cfg.input_len + cfg.output_len;
+  int64_t lo = 0;
+  int64_t hi = cfg.max_batch;
+  while (lo < hi) {
+    const int64_t mid = (lo + hi + 1) / 2;
+    const MemoryPlan plan = PlanMemory(
+        cfg.engine.model, FrameworkWeightFormat(cfg.engine.framework),
+        FrameworkWeightFormat(cfg.engine.framework) == WeightFormat::kDense
+            ? 0.0
+            : cfg.engine.sparsity,
+        mid, max_context, cfg.engine.num_gpus, cfg.engine.device);
+    if (plan.Fits()) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+struct Request {
+  double arrival_s = 0.0;
+  int64_t generated = 0;
+};
+
+}  // namespace
+
+ServingReport SimulateServing(const ServingConfig& cfg) {
+  SPINFER_CHECK(cfg.arrival_rate_rps > 0.0 && cfg.sim_seconds > 0.0);
+  ServingReport report;
+  report.feasible_batch = FeasibleBatch(cfg);
+  if (report.feasible_batch == 0) {
+    return report;  // model does not fit at all: nothing to serve
+  }
+
+  Rng rng(cfg.seed);
+  // Pre-draw the arrival process over the horizon (plus slack so late
+  // iterations still see arrivals).
+  std::deque<Request> queue;
+  {
+    double t = 0.0;
+    while (t < cfg.sim_seconds) {
+      t += -std::log(1.0 - rng.Uniform()) / cfg.arrival_rate_rps;
+      if (t < cfg.sim_seconds) {
+        queue.push_back({t, 0});
+        ++report.arrived;
+      }
+    }
+  }
+
+  std::vector<Request> active;
+  std::vector<double> latencies_ms;
+  double now_s = 0.0;
+  double batch_time_integral = 0.0;
+  int64_t tokens_generated = 0;
+
+  while (now_s < cfg.sim_seconds || !active.empty()) {
+    // Admit arrived requests up to the feasible batch; each admission pays
+    // its prefill in this iteration.
+    int64_t admitted = 0;
+    while (!queue.empty() && queue.front().arrival_s <= now_s &&
+           static_cast<int64_t>(active.size()) < report.feasible_batch) {
+      active.push_back(queue.front());
+      queue.pop_front();
+      ++admitted;
+    }
+    if (active.empty()) {
+      // Idle: jump to the next arrival.
+      if (queue.empty()) {
+        break;
+      }
+      now_s = queue.front().arrival_s;
+      continue;
+    }
+
+    double iter_us = 0.0;
+    if (admitted > 0) {
+      iter_us += PrefillTimeUs(cfg.engine, admitted, cfg.input_len);
+    }
+    // Decode one token for every active sequence at the mean live context.
+    int64_t context_sum = 0;
+    for (const Request& r : active) {
+      context_sum += cfg.input_len + r.generated + 1;
+    }
+    const int64_t batch = static_cast<int64_t>(active.size());
+    iter_us += DecodeStepTimeUs(cfg.engine, batch, context_sum / batch);
+    now_s += iter_us / 1e6;
+    batch_time_integral += static_cast<double>(batch) * iter_us / 1e6;
+    tokens_generated += batch;
+
+    // Advance sequences; retire completed ones.
+    for (auto it = active.begin(); it != active.end();) {
+      it->generated += 1;
+      if (it->generated >= cfg.output_len) {
+        latencies_ms.push_back((now_s - it->arrival_s) * 1e3);
+        ++report.completed;
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Safety: cap runaway simulations (overload at high arrival rates).
+    if (now_s > cfg.sim_seconds * 5) {
+      break;
+    }
+  }
+
+  report.throughput_tps = tokens_generated / std::max(now_s, 1e-9);
+  report.mean_batch = batch_time_integral / std::max(now_s, 1e-9);
+  if (!latencies_ms.empty()) {
+    double sum = 0.0;
+    for (double l : latencies_ms) {
+      sum += l;
+    }
+    report.mean_latency_ms = sum / static_cast<double>(latencies_ms.size());
+    report.p50_latency_ms = Percentile(latencies_ms, 0.50);
+    report.p95_latency_ms = Percentile(latencies_ms, 0.95);
+    report.p99_latency_ms = Percentile(latencies_ms, 0.99);
+  }
+  return report;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,48 @@
+// Continuous-batching serving simulator.
+//
+// The paper calls serving-system work orthogonal (§2.3) — this simulator
+// quantifies the interaction: SpInfer's smaller weight footprint leaves more
+// HBM for KV cache, which raises the scheduler's feasible batch, which
+// raises throughput and lowers tail latency at the same request rate.
+//
+// Model: Poisson arrivals of identical (input_len, output_len) requests; an
+// Orca-style iteration-level scheduler admits queued requests up to the
+// memory-feasible batch; each decode iteration costs DecodeStepTimeUs at the
+// current batch/context, and newly admitted requests pay their prefill on
+// admission.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/llm/engine.h"
+
+namespace spinfer {
+
+struct ServingConfig {
+  EngineConfig engine;          // model/framework/device/gpus/sparsity
+  double arrival_rate_rps = 1.0;  // requests per second
+  int64_t input_len = 128;
+  int64_t output_len = 128;
+  double sim_seconds = 60.0;
+  uint64_t seed = 1;
+  // Scheduler cap on concurrent sequences (on top of the memory limit).
+  int64_t max_batch = 64;
+};
+
+struct ServingReport {
+  // Largest concurrent batch the memory plan admits (0 = model doesn't fit).
+  int64_t feasible_batch = 0;
+  int64_t completed = 0;
+  int64_t arrived = 0;
+  double throughput_tps = 0.0;     // generated tokens per second
+  double mean_batch = 0.0;         // average in-flight sequences
+  double mean_latency_ms = 0.0;    // request completion latency
+  double p50_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+};
+
+ServingReport SimulateServing(const ServingConfig& cfg);
+
+}  // namespace spinfer

@@ -1,0 +1,257 @@
+#include "src/llm/tiny_transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/cpu_backend.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// Encoding geometry for the tiny weights: GroupTile = one TCTile keeps the
+// padding overhead negligible at hidden sizes of 64.
+TcaBmeConfig TinyFormat() {
+  TcaBmeConfig cfg;
+  cfg.gt_rows = 16;
+  cfg.gt_cols = 16;
+  return cfg;
+}
+
+// Converts a float activation (rows x cols) to FP16 for the next matmul.
+HalfMatrix ToHalf(const FloatMatrix& f) {
+  HalfMatrix h(f.rows(), f.cols());
+  for (int64_t i = 0; i < f.size(); ++i) {
+    h.data()[i] = Half(f.data()[i]);
+  }
+  return h;
+}
+
+// LayerNorm over the hidden dimension. Activations are (hidden x seq):
+// normalize each column.
+void LayerNormColumns(FloatMatrix* a) {
+  const int64_t h = a->rows();
+  for (int64_t c = 0; c < a->cols(); ++c) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < h; ++r) {
+      mean += a->at(r, c);
+    }
+    mean /= static_cast<double>(h);
+    double var = 0.0;
+    for (int64_t r = 0; r < h; ++r) {
+      const double d = a->at(r, c) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(h);
+    const double inv = 1.0 / std::sqrt(var + 1e-5);
+    for (int64_t r = 0; r < h; ++r) {
+      a->at(r, c) = static_cast<float>((a->at(r, c) - mean) * inv);
+    }
+  }
+}
+
+float Gelu(float x) {
+  // tanh approximation, the variant transformer stacks use.
+  const float c = 0.7978845608f;  // sqrt(2/pi)
+  return 0.5f * x * (1.0f + std::tanh(c * (x + 0.044715f * x * x * x)));
+}
+
+}  // namespace
+
+TinyTransformer::TinyTransformer(const TinyConfig& config, uint64_t seed)
+    : config_(config) {
+  SPINFER_CHECK(config.hidden % config.heads == 0);
+  Rng rng(seed);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(config.hidden));
+  embedding_ = HalfMatrix::Random(config.vocab, config.hidden, rng, scale);
+  layers_.resize(static_cast<size_t>(config.layers));
+  for (Layer& l : layers_) {
+    l.wq = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
+    l.wk = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
+    l.wv = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
+    l.wo = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
+    l.fc1 = HalfMatrix::Random(config.ffn, config.hidden, rng, scale);
+    l.fc2 = HalfMatrix::Random(config.hidden, config.ffn, rng,
+                               1.0f / std::sqrt(static_cast<float>(config.ffn)));
+  }
+  EncodeAll();
+}
+
+void TinyTransformer::EncodeAll() {
+  const TcaBmeConfig fmt = TinyFormat();
+  for (Layer& l : layers_) {
+    l.enc_wq = TcaBmeMatrix::Encode(l.wq, fmt);
+    l.enc_wk = TcaBmeMatrix::Encode(l.wk, fmt);
+    l.enc_wv = TcaBmeMatrix::Encode(l.wv, fmt);
+    l.enc_wo = TcaBmeMatrix::Encode(l.wo, fmt);
+    l.enc_fc1 = TcaBmeMatrix::Encode(l.fc1, fmt);
+    l.enc_fc2 = TcaBmeMatrix::Encode(l.fc2, fmt);
+  }
+}
+
+void TinyTransformer::PruneWeights(const Pruner& pruner, double sparsity) {
+  for (Layer& l : layers_) {
+    l.wq = pruner.Prune(l.wq, sparsity);
+    l.wk = pruner.Prune(l.wk, sparsity);
+    l.wv = pruner.Prune(l.wv, sparsity);
+    l.wo = pruner.Prune(l.wo, sparsity);
+    l.fc1 = pruner.Prune(l.fc1, sparsity);
+    l.fc2 = pruner.Prune(l.fc2, sparsity);
+  }
+  EncodeAll();
+}
+
+FloatMatrix TinyTransformer::Matmul(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
+                                    const HalfMatrix& x, MatmulBackend backend) const {
+  if (backend == MatmulBackend::kDense) {
+    return ReferenceGemm(dense, x);
+  }
+  return CpuSpmm(encoded, x);
+}
+
+FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
+                                     MatmulBackend backend) const {
+  const int64_t seq = static_cast<int64_t>(tokens.size());
+  SPINFER_CHECK(seq > 0 && seq <= config_.max_seq);
+  const int64_t h = config_.hidden;
+  const int64_t hd = config_.head_dim();
+
+  // Activations are (hidden x seq): one column per token, matching the
+  // W(MxK) * X(KxN) convention of the kernels.
+  FloatMatrix act(h, seq);
+  for (int64_t t = 0; t < seq; ++t) {
+    SPINFER_CHECK(tokens[t] >= 0 && tokens[t] < config_.vocab);
+    // Embedding + a fixed sinusoidal positional signal.
+    for (int64_t r = 0; r < h; ++r) {
+      const double pos = static_cast<double>(t) /
+                         std::pow(10000.0, static_cast<double>(2 * (r / 2)) / h);
+      act.at(r, t) = embedding_.at(tokens[t], r).ToFloat() +
+                     0.1f * static_cast<float>((r % 2 == 0) ? std::sin(pos) : std::cos(pos));
+    }
+  }
+
+  for (const Layer& l : layers_) {
+    // --- Attention block (pre-LN). ---
+    FloatMatrix normed = act;
+    LayerNormColumns(&normed);
+    const HalfMatrix x = ToHalf(normed);
+    const FloatMatrix q = Matmul(l.wq, l.enc_wq, x, backend);
+    const FloatMatrix kk = Matmul(l.wk, l.enc_wk, x, backend);
+    const FloatMatrix v = Matmul(l.wv, l.enc_wv, x, backend);
+
+    FloatMatrix attn_out(h, seq);
+    const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
+    std::vector<float> scores(static_cast<size_t>(seq));
+    for (int64_t head = 0; head < config_.heads; ++head) {
+      const int64_t r0 = head * hd;
+      for (int64_t t = 0; t < seq; ++t) {
+        // Causal scores for query t against keys 0..t.
+        float max_score = -1e30f;
+        for (int64_t s = 0; s <= t; ++s) {
+          float dot = 0.0f;
+          for (int64_t r = 0; r < hd; ++r) {
+            dot += q.at(r0 + r, t) * kk.at(r0 + r, s);
+          }
+          scores[s] = dot * inv_sqrt_d;
+          max_score = std::max(max_score, scores[s]);
+        }
+        float denom = 0.0f;
+        for (int64_t s = 0; s <= t; ++s) {
+          scores[s] = std::exp(scores[s] - max_score);
+          denom += scores[s];
+        }
+        for (int64_t r = 0; r < hd; ++r) {
+          float acc = 0.0f;
+          for (int64_t s = 0; s <= t; ++s) {
+            acc += scores[s] * v.at(r0 + r, s);
+          }
+          attn_out.at(r0 + r, t) = acc / denom;
+        }
+      }
+    }
+    const FloatMatrix proj = Matmul(l.wo, l.enc_wo, ToHalf(attn_out), backend);
+    for (int64_t i = 0; i < act.size(); ++i) {
+      act.data()[i] += proj.data()[i];  // residual
+    }
+
+    // --- FFN block (pre-LN, GELU). ---
+    FloatMatrix ffn_in = act;
+    LayerNormColumns(&ffn_in);
+    FloatMatrix hidden_act = Matmul(l.fc1, l.enc_fc1, ToHalf(ffn_in), backend);
+    for (int64_t i = 0; i < hidden_act.size(); ++i) {
+      hidden_act.data()[i] = Gelu(hidden_act.data()[i]);
+    }
+    const FloatMatrix ffn_out = Matmul(l.fc2, l.enc_fc2, ToHalf(hidden_act), backend);
+    for (int64_t i = 0; i < act.size(); ++i) {
+      act.data()[i] += ffn_out.data()[i];
+    }
+  }
+
+  // Final LN + tied unembedding: logits[t][v] = <embedding_v, act_t>.
+  LayerNormColumns(&act);
+  FloatMatrix logits(seq, config_.vocab);
+  for (int64_t t = 0; t < seq; ++t) {
+    for (int64_t vtok = 0; vtok < config_.vocab; ++vtok) {
+      float dot = 0.0f;
+      for (int64_t r = 0; r < h; ++r) {
+        dot += embedding_.at(vtok, r).ToFloat() * act.at(r, t);
+      }
+      logits.at(t, vtok) = dot;
+    }
+  }
+  return logits;
+}
+
+std::vector<int32_t> TinyTransformer::Generate(const std::vector<int32_t>& prompt,
+                                               int steps, MatmulBackend backend) const {
+  std::vector<int32_t> tokens = prompt;
+  for (int i = 0; i < steps && static_cast<int64_t>(tokens.size()) < config_.max_seq;
+       ++i) {
+    const FloatMatrix logits = Forward(tokens, backend);
+    const int64_t last = logits.rows() - 1;
+    int32_t best = 0;
+    float best_score = logits.at(last, 0);
+    for (int64_t vtok = 1; vtok < config_.vocab; ++vtok) {
+      if (logits.at(last, vtok) > best_score) {
+        best_score = logits.at(last, vtok);
+        best = static_cast<int32_t>(vtok);
+      }
+    }
+    tokens.push_back(best);
+  }
+  return tokens;
+}
+
+uint64_t TinyTransformer::DenseWeightBytes() const {
+  uint64_t total = 0;
+  for (const Layer& l : layers_) {
+    total += 2ull * (l.wq.size() + l.wk.size() + l.wv.size() + l.wo.size() +
+                     l.fc1.size() + l.fc2.size());
+  }
+  return total;
+}
+
+uint64_t TinyTransformer::EncodedWeightBytes() const {
+  uint64_t total = 0;
+  for (const Layer& l : layers_) {
+    total += l.enc_wq.StorageBytes() + l.enc_wk.StorageBytes() +
+             l.enc_wv.StorageBytes() + l.enc_wo.StorageBytes() +
+             l.enc_fc1.StorageBytes() + l.enc_fc2.StorageBytes();
+  }
+  return total;
+}
+
+double TinyTransformer::WeightSparsity() const {
+  int64_t nnz = 0;
+  int64_t total = 0;
+  for (const Layer& l : layers_) {
+    for (const HalfMatrix* w : {&l.wq, &l.wk, &l.wv, &l.wo, &l.fc1, &l.fc2}) {
+      nnz += w->CountNonZeros();
+      total += w->size();
+    }
+  }
+  return 1.0 - static_cast<double>(nnz) / static_cast<double>(total);
+}
+
+}  // namespace spinfer

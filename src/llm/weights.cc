@@ -1,0 +1,67 @@
+#include "src/llm/weights.h"
+
+#include <cmath>
+
+#include "src/format/storage_model.h"
+#include "src/format/tca_bme.h"
+#include "src/format/tca_bme_quant.h"
+#include "src/format/tiled_csl.h"
+#include "src/format/sparse_util.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+const char* WeightFormatName(WeightFormat f) {
+  switch (f) {
+    case WeightFormat::kDense:
+      return "dense";
+    case WeightFormat::kTiledCsl:
+      return "tiled-csl";
+    case WeightFormat::kTcaBme:
+      return "tca-bme";
+    case WeightFormat::kTcaBmeQuant:
+      return "tca-bme-int8";
+  }
+  SPINFER_UNREACHABLE("bad WeightFormat");
+}
+
+uint64_t WeightMatrixBytes(int64_t m, int64_t k, double sparsity, WeightFormat format) {
+  SPINFER_CHECK(m > 0 && k > 0);
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  const int64_t nnz = static_cast<int64_t>(
+      std::llround(static_cast<double>(m) * static_cast<double>(k) * (1.0 - sparsity)));
+  switch (format) {
+    case WeightFormat::kDense:
+      return 2ull * static_cast<uint64_t>(m) * static_cast<uint64_t>(k);
+    case WeightFormat::kTiledCsl: {
+      const TiledCslConfig cfg;
+      const int64_t tiles = (PadUp(m, cfg.tile_rows) / cfg.tile_rows) *
+                            (PadUp(k, cfg.tile_cols) / cfg.tile_cols);
+      return TiledCslStorageModel(tiles, nnz);
+    }
+    case WeightFormat::kTcaBme:
+      return TcaBmeStorageModel(m, k, nnz);
+    case WeightFormat::kTcaBmeQuant:
+      return TcaBmeQuantStorageModel(m, k, nnz);
+  }
+  SPINFER_UNREACHABLE("bad WeightFormat");
+}
+
+uint64_t ModelWeightBytes(const ModelConfig& model, double sparsity, WeightFormat format) {
+  uint64_t bytes = 0;
+  for (const GemmShape& g : LayerGemmShapes(model)) {
+    // MoE: LayerGemmShapes reports per-token-active FFN shapes; storage holds
+    // every expert.
+    int64_t copies = model.layers;
+    if (model.num_experts > 1 && g.op.rfind("ffn", 0) == 0) {
+      copies = model.layers * model.num_experts / model.active_experts;
+    }
+    bytes += static_cast<uint64_t>(copies) * WeightMatrixBytes(g.m, g.k, sparsity, format);
+  }
+  // Embedding + LM head, always dense FP16.
+  bytes += 2ull * 2ull * static_cast<uint64_t>(model.vocab) *
+           static_cast<uint64_t>(model.hidden);
+  return bytes;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,34 @@
+// Weight storage accounting per inference framework.
+//
+// Frameworks differ in how they store transformer weights:
+//   * FasterTransformer / DeepSpeed: dense FP16;
+//   * Flash-LLM: Tiled-CSL (4B per nonzero);
+//   * SpInfer: TCA-BME (2B per nonzero + 1 bit per element).
+// Embeddings and the LM head stay dense in all frameworks (pruning targets
+// the transformer blocks). Sizes use the exact closed-form storage models
+// validated against the encoders.
+#pragma once
+
+#include <cstdint>
+
+#include "src/llm/model_config.h"
+
+namespace spinfer {
+
+enum class WeightFormat {
+  kDense,
+  kTiledCsl,
+  kTcaBme,
+  kTcaBmeQuant,  // sparsity x INT8 composition (see format/tca_bme_quant.h)
+};
+
+const char* WeightFormatName(WeightFormat f);
+
+// Bytes for one (m x k) weight matrix at `sparsity` in `format`.
+uint64_t WeightMatrixBytes(int64_t m, int64_t k, double sparsity, WeightFormat format);
+
+// Bytes for all of a model's weights (transformer blocks at `sparsity` in
+// `format`; embeddings + LM head dense).
+uint64_t ModelWeightBytes(const ModelConfig& model, double sparsity, WeightFormat format);
+
+}  // namespace spinfer

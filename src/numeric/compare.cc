@@ -1,0 +1,47 @@
+#include "src/numeric/compare.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+std::string CompareResult::ToString() const {
+  std::ostringstream oss;
+  oss << (ok ? "OK" : "MISMATCH") << " max_abs_err=" << max_abs_err
+      << " max_rel_err=" << max_rel_err;
+  if (!ok) {
+    oss << " first_bad=(" << first_bad_row << "," << first_bad_col << ")";
+  }
+  return oss.str();
+}
+
+CompareResult CompareMatrices(const FloatMatrix& got, const FloatMatrix& want,
+                              double rtol, double atol) {
+  SPINFER_CHECK_EQ(got.rows(), want.rows());
+  SPINFER_CHECK_EQ(got.cols(), want.cols());
+  CompareResult res;
+  for (int64_t r = 0; r < got.rows(); ++r) {
+    for (int64_t c = 0; c < got.cols(); ++c) {
+      const double g = got.at(r, c);
+      const double w = want.at(r, c);
+      const double abs_err = std::fabs(g - w);
+      const double rel_err = abs_err / (std::fabs(w) + 1e-30);
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+      if (std::fabs(w) > atol) {
+        res.max_rel_err = std::max(res.max_rel_err, rel_err);
+      }
+      if (abs_err > atol + rtol * std::fabs(w)) {
+        if (res.ok) {
+          res.first_bad_row = r;
+          res.first_bad_col = c;
+        }
+        res.ok = false;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace spinfer

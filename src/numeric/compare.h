@@ -1,0 +1,29 @@
+// Tolerant comparison of kernel outputs against the reference GEMM.
+//
+// Different kernels sum the K dimension in different orders (split-K, tile
+// order), so FP32 results differ by rounding. Comparisons use a relative
+// error threshold scaled by the reduction length.
+#pragma once
+
+#include <string>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+struct CompareResult {
+  bool ok = true;
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  int64_t first_bad_row = -1;
+  int64_t first_bad_col = -1;
+
+  std::string ToString() const;
+};
+
+// Compares `got` to `want` entry-wise. An entry passes if
+//   |got - want| <= atol + rtol * |want|.
+CompareResult CompareMatrices(const FloatMatrix& got, const FloatMatrix& want,
+                              double rtol = 1e-3, double atol = 1e-2);
+
+}  // namespace spinfer

@@ -1,0 +1,59 @@
+// Software IEEE 754 binary16 ("half precision") implementation.
+//
+// The paper's kernels operate on FP16 weights/activations with FP32
+// accumulation (the Tensor Core mma.m16n8k16 contract). This environment has
+// no hardware half type we can rely on portably, so Half stores the 16-bit
+// pattern and converts to/from float with round-to-nearest-even — the same
+// semantics as CUDA's __half.
+#pragma once
+
+#include <cstdint>
+
+namespace spinfer {
+
+// A 16-bit IEEE binary16 value. POD; exactly 2 bytes, safe to memcpy into the
+// packed Values arrays of the sparse formats.
+class Half {
+ public:
+  Half() = default;
+
+  // Converts from float with round-to-nearest-even; overflow maps to +/-inf.
+  explicit Half(float f) : bits_(FromFloat(f)) {}
+
+  // Reinterprets a raw bit pattern.
+  static Half FromBits(uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  uint16_t bits() const { return bits_; }
+
+  bool IsZero() const { return (bits_ & 0x7fff) == 0; }
+  bool IsNan() const { return (bits_ & 0x7c00) == 0x7c00 && (bits_ & 0x03ff) != 0; }
+  bool IsInf() const { return (bits_ & 0x7fff) == 0x7c00; }
+
+  // Equality is bitwise except that +0 == -0 (matching float semantics for the
+  // common sparse-format roundtrip checks); NaN != NaN.
+  friend bool operator==(Half a, Half b) {
+    if (a.IsNan() || b.IsNan()) {
+      return false;
+    }
+    if (a.IsZero() && b.IsZero()) {
+      return true;
+    }
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Half a, Half b) { return !(a == b); }
+
+ private:
+  static uint16_t FromFloat(float f);
+  static float ToFloatImpl(uint16_t h);
+
+  uint16_t bits_ = 0;
+};
+
+static_assert(sizeof(Half) == 2, "Half must be exactly 16 bits");
+
+}  // namespace spinfer

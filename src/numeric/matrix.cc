@@ -1,0 +1,87 @@
+#include "src/numeric/matrix.h"
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+HalfMatrix::HalfMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols)) {
+  SPINFER_CHECK(rows >= 0 && cols >= 0);
+}
+
+int64_t HalfMatrix::CountNonZeros() const {
+  int64_t nnz = 0;
+  for (const Half& h : data_) {
+    if (!h.IsZero()) {
+      ++nnz;
+    }
+  }
+  return nnz;
+}
+
+double HalfMatrix::Sparsity() const {
+  if (size() == 0) {
+    return 0.0;
+  }
+  return 1.0 - static_cast<double>(CountNonZeros()) / static_cast<double>(size());
+}
+
+HalfMatrix HalfMatrix::Random(int64_t rows, int64_t cols, Rng& rng, float stddev) {
+  HalfMatrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = Half(static_cast<float>(rng.Gaussian()) * stddev);
+  }
+  return m;
+}
+
+HalfMatrix HalfMatrix::RandomSparse(int64_t rows, int64_t cols, double sparsity, Rng& rng) {
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  HalfMatrix m(rows, cols);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    if (rng.Bernoulli(sparsity)) {
+      m.data()[i] = Half(0.0f);
+    } else {
+      float v = static_cast<float>(rng.Gaussian());
+      // A pruned-in-place weight must stay non-zero so the mask is exactly
+      // what the Bernoulli draw decided; nudge the (measure-zero) exact zeros.
+      if (Half(v).IsZero()) {
+        v = 0.001f;
+      }
+      m.data()[i] = Half(v);
+    }
+  }
+  return m;
+}
+
+FloatMatrix::FloatMatrix(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows * cols), 0.0f) {
+  SPINFER_CHECK(rows >= 0 && cols >= 0);
+}
+
+void FloatMatrix::Fill(float v) {
+  for (float& f : data_) {
+    f = v;
+  }
+}
+
+FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {
+  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  const int64_t m = w.rows();
+  const int64_t k = w.cols();
+  const int64_t n = x.cols();
+  FloatMatrix out(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float wv = w.at(i, kk).ToFloat();
+      if (wv == 0.0f) {
+        continue;  // sparse-friendly; result identical because 0*x contributes 0
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        out.at(i, j) += wv * x.at(kk, j).ToFloat();
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,82 @@
+// Host-side dense matrices and the reference GEMM.
+//
+// Conventions follow the paper (§2.1): the weight matrix W is M×K, the
+// activation matrix X is K×N, and O = W·X is M×N. Weight matrices are stored
+// row-major in FP16; accumulations happen in FP32, matching the Tensor Core
+// mma contract (f16 inputs, f32 accumulator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/numeric/fp16.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+
+// Row-major M×K matrix of FP16 values.
+class HalfMatrix {
+ public:
+  HalfMatrix() = default;
+  HalfMatrix(int64_t rows, int64_t cols);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  Half& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  Half at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  const Half* data() const { return data_.data(); }
+  Half* data() { return data_.data(); }
+
+  // Number of non-zero entries (zero = bit pattern +/-0).
+  int64_t CountNonZeros() const;
+
+  // Fraction of entries that are zero.
+  double Sparsity() const;
+
+  // Builders -----------------------------------------------------------------
+
+  // Gaussian(0, stddev) entries; deterministic for a given rng state.
+  static HalfMatrix Random(int64_t rows, int64_t cols, Rng& rng, float stddev = 1.0f);
+
+  // Gaussian entries with each entry independently zeroed with probability
+  // `sparsity` — the i.i.d. mask model the paper's analysis assumes (Eq. 4).
+  static HalfMatrix RandomSparse(int64_t rows, int64_t cols, double sparsity, Rng& rng);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<Half> data_;
+};
+
+// Row-major matrix of FP32 values (outputs / accumulators).
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(int64_t rows, int64_t cols);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+
+  float& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  const float* data() const { return data_.data(); }
+  float* data() { return data_.data(); }
+
+  void Fill(float v);
+
+ private:
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// Reference dense GEMM: O = W(MxK) * X(KxN), FP16 inputs, FP32 accumulation,
+// plain triple loop. This is the correctness oracle for every kernel.
+FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x);
+
+}  // namespace spinfer

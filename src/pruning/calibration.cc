@@ -1,0 +1,27 @@
+#include "src/pruning/calibration.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+std::vector<float> SyntheticFeatureNorms(const CalibrationConfig& cfg, Rng& rng) {
+  SPINFER_CHECK(cfg.num_features > 0 && cfg.num_samples > 0);
+  std::vector<float> norms(static_cast<size_t>(cfg.num_features));
+  for (auto& norm : norms) {
+    // Sum of num_samples squared Gaussians has mean num_samples; sample the
+    // norm directly from its concentration rather than materializing tokens.
+    double sum_sq = 0.0;
+    for (int s = 0; s < 8; ++s) {
+      const double g = rng.Gaussian();
+      sum_sq += g * g;
+    }
+    const double scale = rng.Bernoulli(cfg.outlier_fraction) ? cfg.outlier_scale : 1.0;
+    norm = static_cast<float>(
+        scale * std::sqrt(sum_sq / 8.0 * static_cast<double>(cfg.num_samples)));
+  }
+  return norms;
+}
+
+}  // namespace spinfer

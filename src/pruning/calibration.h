@@ -1,0 +1,31 @@
+// Calibration activations for activation-aware pruning.
+//
+// Wanda scores weights by |W| * ||X_j||_2, where ||X_j||_2 is the L2 norm of
+// input feature j over a calibration set. The paper prunes real OPT models
+// with WikiText calibration data; this repository substitutes synthetic
+// activations whose per-feature scale statistics follow the heavy-tailed
+// pattern observed in transformer hidden states (a few large-scale outlier
+// features) — the property that makes Wanda differ from plain magnitude
+// pruning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+
+struct CalibrationConfig {
+  int64_t num_features = 0;   // K of the layer being pruned
+  int64_t num_samples = 128;  // calibration tokens
+  // Fraction of features that are outliers, and their scale multiplier
+  // (transformers exhibit ~0.1–1% outlier channels with ~10–100x scale).
+  double outlier_fraction = 0.005;
+  double outlier_scale = 20.0;
+};
+
+// Per-feature L2 norms of a synthetic calibration activation matrix.
+std::vector<float> SyntheticFeatureNorms(const CalibrationConfig& cfg, Rng& rng);
+
+}  // namespace spinfer

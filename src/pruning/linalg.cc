@@ -1,0 +1,66 @@
+#include "src/pruning/linalg.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+bool CholeskyFactor(SquareMatrix* a) {
+  const int64_t n = a->n();
+  for (int64_t j = 0; j < n; ++j) {
+    double diag = a->at(j, j);
+    for (int64_t k = 0; k < j; ++k) {
+      diag -= a->at(j, k) * a->at(j, k);
+    }
+    if (diag <= 0.0) {
+      return false;
+    }
+    const double ljj = std::sqrt(diag);
+    a->at(j, j) = ljj;
+    for (int64_t i = j + 1; i < n; ++i) {
+      double v = a->at(i, j);
+      for (int64_t k = 0; k < j; ++k) {
+        v -= a->at(i, k) * a->at(j, k);
+      }
+      a->at(i, j) = v / ljj;
+    }
+    // Zero the strictly-upper part so the result is a clean L.
+    for (int64_t c = j + 1; c < n; ++c) {
+      a->at(j, c) = 0.0;
+    }
+  }
+  return true;
+}
+
+bool SpdInverse(const SquareMatrix& a, SquareMatrix* inv) {
+  const int64_t n = a.n();
+  SPINFER_CHECK_EQ(inv->n(), n);
+  SquareMatrix l = a;
+  if (!CholeskyFactor(&l)) {
+    return false;
+  }
+  // Solve L L^T X = I column by column: forward then backward substitution.
+  std::vector<double> y(static_cast<size_t>(n));
+  for (int64_t col = 0; col < n; ++col) {
+    // Forward: L y = e_col.
+    for (int64_t i = 0; i < n; ++i) {
+      double v = (i == col) ? 1.0 : 0.0;
+      for (int64_t k = 0; k < i; ++k) {
+        v -= l.at(i, k) * y[k];
+      }
+      y[i] = v / l.at(i, i);
+    }
+    // Backward: L^T x = y.
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double v = y[i];
+      for (int64_t k = i + 1; k < n; ++k) {
+        v -= l.at(k, i) * inv->at(k, col);
+      }
+      inv->at(i, col) = v / l.at(i, i);
+    }
+  }
+  return true;
+}
+
+}  // namespace spinfer

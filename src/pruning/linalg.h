@@ -1,0 +1,34 @@
+// Small dense linear algebra for the SparseGPT-style pruner: symmetric
+// positive-definite Cholesky factorization and inversion in double
+// precision. K is a layer's input dimension (a few thousand at most in the
+// paper's models); O(K^3) once per layer is what SparseGPT itself pays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spinfer {
+
+// Row-major dense square double matrix.
+class SquareMatrix {
+ public:
+  explicit SquareMatrix(int64_t n) : n_(n), data_(static_cast<size_t>(n * n), 0.0) {}
+
+  int64_t n() const { return n_; }
+  double& at(int64_t r, int64_t c) { return data_[r * n_ + c]; }
+  double at(int64_t r, int64_t c) const { return data_[r * n_ + c]; }
+
+ private:
+  int64_t n_;
+  std::vector<double> data_;
+};
+
+// In-place lower Cholesky factorization A = L L^T. Returns false if A is not
+// positive definite (a zero/negative pivot), leaving A partially modified.
+bool CholeskyFactor(SquareMatrix* a);
+
+// Inverse of an SPD matrix via Cholesky. Returns false if not SPD.
+bool SpdInverse(const SquareMatrix& a, SquareMatrix* inv);
+
+}  // namespace spinfer

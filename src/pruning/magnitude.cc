@@ -1,0 +1,36 @@
+#include "src/pruning/magnitude.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+HalfMatrix MagnitudePruner::Prune(const HalfMatrix& w, double sparsity) const {
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  HalfMatrix out = w;
+  const int64_t k = w.cols();
+  const int64_t keep = k - static_cast<int64_t>(std::llround(sparsity * static_cast<double>(k)));
+  std::vector<std::pair<float, int64_t>> scored(static_cast<size_t>(k));
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      scored[c] = {std::fabs(w.at(r, c).ToFloat()), c};
+    }
+    // Partition so the `keep` largest magnitudes stay; ties resolve by index
+    // for determinism.
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) {
+        return a.first > b.first;
+      }
+      return a.second < b.second;
+    });
+    for (int64_t i = keep; i < k; ++i) {
+      out.at(r, scored[i].second) = Half(0.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,16 @@
+// Magnitude pruning: drop the smallest-|w| weights per row.
+#pragma once
+
+#include "src/pruning/pruner.h"
+
+namespace spinfer {
+
+class MagnitudePruner final : public Pruner {
+ public:
+  std::string name() const override { return "magnitude"; }
+
+  // Keeps the ceil((1-sparsity)*K) largest-magnitude entries of every row.
+  HalfMatrix Prune(const HalfMatrix& w, double sparsity) const override;
+};
+
+}  // namespace spinfer

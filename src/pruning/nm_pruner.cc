@@ -1,0 +1,47 @@
+#include "src/pruning/nm_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+NmPruner::NmPruner(int n, int m) : n_(n), m_(m) {
+  SPINFER_CHECK(m > 0 && n > 0 && n <= m);
+}
+
+std::string NmPruner::name() const {
+  return std::to_string(n_) + ":" + std::to_string(m_);
+}
+
+HalfMatrix NmPruner::Prune(const HalfMatrix& w, double sparsity) const {
+  if (sparsity != 0.0) {
+    SPINFER_CHECK_MSG(std::fabs(sparsity - PatternSparsity()) < 1e-9,
+                      "requested sparsity conflicts with the N:M pattern");
+  }
+  HalfMatrix out = w;
+  std::vector<std::pair<float, int>> group(static_cast<size_t>(m_));
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t g0 = 0; g0 < w.cols(); g0 += m_) {
+      const int len = static_cast<int>(std::min<int64_t>(m_, w.cols() - g0));
+      for (int i = 0; i < len; ++i) {
+        group[i] = {std::fabs(w.at(r, g0 + i).ToFloat()), i};
+      }
+      std::sort(group.begin(), group.begin() + len,
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) {
+                    return a.first > b.first;
+                  }
+                  return a.second < b.second;
+                });
+      for (int i = n_; i < len; ++i) {
+        out.at(r, g0 + group[i].second) = Half(0.0f);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,29 @@
+// N:M semi-structured pruning (paper §1/§2.3): keep at most N nonzeros in
+// every group of M consecutive weights along the row. 2:4 is the pattern
+// NVIDIA Sparse Tensor Cores accelerate and the structured half of SparTA's
+// decomposition — an N:M-pruned matrix has an empty SparTA CSR residual.
+#pragma once
+
+#include "src/pruning/pruner.h"
+
+namespace spinfer {
+
+class NmPruner final : public Pruner {
+ public:
+  NmPruner(int n, int m);
+
+  std::string name() const override;
+
+  // Keeps the `n` largest-magnitude weights of every `m`-group; the
+  // `sparsity` argument is ignored (the pattern fixes it at 1 - n/m) but
+  // checked for consistency when nonzero.
+  HalfMatrix Prune(const HalfMatrix& w, double sparsity) const override;
+
+  double PatternSparsity() const { return 1.0 - static_cast<double>(n_) / m_; }
+
+ private:
+  int n_;
+  int m_;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,20 @@
+#include "src/pruning/pruner.h"
+
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+
+HalfMatrix RandomPruner::Prune(const HalfMatrix& w, double sparsity) const {
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  Rng rng(seed_);
+  HalfMatrix out = w;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    if (rng.Bernoulli(sparsity)) {
+      out.data()[i] = Half(0.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

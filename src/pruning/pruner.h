@@ -1,0 +1,41 @@
+// Unstructured weight pruning (paper §2.3 / §5.2).
+//
+// SpInfer consumes the *output* of pruning algorithms — an unstructured
+// sparse weight matrix at a target sparsity — and is agnostic to which
+// algorithm produced it. This module implements the two families the paper
+// uses: magnitude pruning and Wanda (activation-aware; the paper's
+// end-to-end evaluation prunes OPT with Wanda at 60%).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/numeric/matrix.h"
+
+namespace spinfer {
+
+class Pruner {
+ public:
+  virtual ~Pruner() = default;
+
+  virtual std::string name() const = 0;
+
+  // Returns a copy of `w` with a `sparsity` fraction of entries zeroed.
+  // The selection is per-output-row (uniform layer sparsity), matching
+  // Wanda's comparison-group choice.
+  virtual HalfMatrix Prune(const HalfMatrix& w, double sparsity) const = 0;
+};
+
+// Zeroes entries uniformly at random — the mask-statistics workload used by
+// kernel benches (matches the i.i.d. assumption of paper Eq. 4).
+class RandomPruner final : public Pruner {
+ public:
+  explicit RandomPruner(uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "random"; }
+  HalfMatrix Prune(const HalfMatrix& w, double sparsity) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,101 @@
+#include "src/pruning/sparsegpt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/pruning/linalg.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+SparseGptPruner::SparseGptPruner(std::vector<float> calibration, int64_t num_samples,
+                                 int64_t num_features, double lambda_fraction)
+    : calibration_(std::move(calibration)),
+      num_samples_(num_samples),
+      num_features_(num_features),
+      lambda_fraction_(lambda_fraction) {
+  SPINFER_CHECK_EQ(static_cast<int64_t>(calibration_.size()),
+                   num_samples_ * num_features_);
+  SPINFER_CHECK(num_samples_ > 0 && num_features_ > 0);
+}
+
+HalfMatrix SparseGptPruner::Prune(const HalfMatrix& w, double sparsity) const {
+  SPINFER_CHECK_EQ(w.cols(), num_features_);
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  const int64_t k = w.cols();
+
+  // Hessian H = X X^T (summed over calibration samples) with dampening.
+  SquareMatrix h(k);
+  for (int64_t s = 0; s < num_samples_; ++s) {
+    const float* row = calibration_.data() + s * k;
+    for (int64_t i = 0; i < k; ++i) {
+      const double xi = row[i];
+      for (int64_t j = i; j < k; ++j) {
+        h.at(i, j) += xi * row[j];
+      }
+    }
+  }
+  double mean_diag = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    mean_diag += h.at(i, i);
+  }
+  mean_diag /= static_cast<double>(k);
+  const double lambda = std::max(lambda_fraction_ * mean_diag, 1e-8);
+  for (int64_t i = 0; i < k; ++i) {
+    h.at(i, i) += lambda;
+    for (int64_t j = i + 1; j < k; ++j) {
+      h.at(j, i) = h.at(i, j);  // symmetrize the upper-triangle accumulation
+    }
+  }
+
+  SquareMatrix hinv(k);
+  SPINFER_CHECK_MSG(SpdInverse(h, &hinv), "dampened Hessian not SPD");
+
+  const int64_t keep = k - static_cast<int64_t>(std::llround(sparsity * static_cast<double>(k)));
+  HalfMatrix out = w;
+  std::vector<double> row(static_cast<size_t>(k));
+  std::vector<std::pair<double, int64_t>> scored(static_cast<size_t>(k));
+  std::vector<bool> pruned(static_cast<size_t>(k));
+
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      row[c] = w.at(r, c).ToFloat();
+      // SparseGPT saliency: error incurred by removing w_c under OBS.
+      scored[c] = {row[c] * row[c] / hinv.at(c, c), c};
+    }
+    std::sort(scored.begin(), scored.end());
+    std::fill(pruned.begin(), pruned.end(), false);
+    for (int64_t i = 0; i < k - keep; ++i) {
+      pruned[scored[i].second] = true;
+    }
+    // Sequential OBS compensation, left to right.
+    for (int64_t j = 0; j < k; ++j) {
+      if (!pruned[j] || row[j] == 0.0) {
+        continue;
+      }
+      const double err = row[j] / hinv.at(j, j);
+      for (int64_t l = j + 1; l < k; ++l) {
+        if (!pruned[l]) {
+          row[l] -= err * hinv.at(j, l);
+        }
+      }
+      row[j] = 0.0;
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (pruned[c]) {
+        out.at(r, c) = Half(0.0f);
+      } else {
+        Half v(static_cast<float>(row[c]));
+        if (row[c] != 0.0 && v.IsZero()) {
+          // A surviving weight whose compensated value underflows FP16 must
+          // stay nonzero so the stored mask matches the selected one.
+          v = Half(row[c] >= 0.0 ? 6.0e-5f : -6.0e-5f);
+        }
+        out.at(r, c) = v;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,40 @@
+// SparseGPT-style one-shot pruning with OBS error compensation
+// (Frantar & Alistarh, ICML'23) — one of the pruning algorithms the paper's
+// introduction cites as producing the ~50%-sparsity models SpInfer serves.
+//
+// Per layer: build the Hessian H = X X^T + lambda*I from calibration
+// activations, invert it once, then walk columns left to right. A pruned
+// weight w_j is compensated into the remaining columns with the OBS update
+//   w_{j+1:} -= (w_j / [H^-1]_{jj}) * [H^-1]_{j, j+1:},
+// which is what lets SparseGPT reach 50-60% sparsity where plain magnitude
+// pruning collapses. This implementation selects the pruning mask per row by
+// the SparseGPT saliency w_j^2 / [H^-1]_{jj}, then applies the exact
+// sequential compensation.
+#pragma once
+
+#include <vector>
+
+#include "src/pruning/pruner.h"
+
+namespace spinfer {
+
+class SparseGptPruner final : public Pruner {
+ public:
+  // `calibration` holds `num_samples` rows of K features each (row-major):
+  // the activations X^T seen by the layer. `lambda` is the percent-of-mean
+  // dampening SparseGPT applies to keep H invertible.
+  SparseGptPruner(std::vector<float> calibration, int64_t num_samples,
+                  int64_t num_features, double lambda_fraction = 0.01);
+
+  std::string name() const override { return "sparsegpt"; }
+
+  HalfMatrix Prune(const HalfMatrix& w, double sparsity) const override;
+
+ private:
+  std::vector<float> calibration_;  // num_samples x num_features
+  int64_t num_samples_;
+  int64_t num_features_;
+  double lambda_fraction_;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,39 @@
+#include "src/pruning/wanda.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+WandaPruner::WandaPruner(std::vector<float> feature_norms)
+    : feature_norms_(std::move(feature_norms)) {
+  SPINFER_CHECK(!feature_norms_.empty());
+}
+
+HalfMatrix WandaPruner::Prune(const HalfMatrix& w, double sparsity) const {
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity <= 1.0);
+  SPINFER_CHECK_EQ(static_cast<int64_t>(feature_norms_.size()), w.cols());
+  HalfMatrix out = w;
+  const int64_t k = w.cols();
+  const int64_t keep = k - static_cast<int64_t>(std::llround(sparsity * static_cast<double>(k)));
+  std::vector<std::pair<float, int64_t>> scored(static_cast<size_t>(k));
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < k; ++c) {
+      scored[c] = {std::fabs(w.at(r, c).ToFloat()) * feature_norms_[c], c};
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) {
+        return a.first > b.first;
+      }
+      return a.second < b.second;
+    });
+    for (int64_t i = keep; i < k; ++i) {
+      out.at(r, scored[i].second) = Half(0.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace spinfer

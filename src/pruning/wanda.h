@@ -1,0 +1,27 @@
+// Wanda pruning (Sun et al., ICLR'24) — the algorithm the paper's end-to-end
+// evaluation uses at 60% sparsity on OPT (§5.2).
+//
+// Score(i, j) = |W[i][j]| * ||X_j||_2, pruned per output row (comparison
+// group = row), no retraining.
+#pragma once
+
+#include <vector>
+
+#include "src/pruning/pruner.h"
+
+namespace spinfer {
+
+class WandaPruner final : public Pruner {
+ public:
+  // `feature_norms` holds ||X_j||_2 for each of the K input features.
+  explicit WandaPruner(std::vector<float> feature_norms);
+
+  std::string name() const override { return "wanda"; }
+
+  HalfMatrix Prune(const HalfMatrix& w, double sparsity) const override;
+
+ private:
+  std::vector<float> feature_norms_;
+};
+
+}  // namespace spinfer

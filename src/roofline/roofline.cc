@@ -1,0 +1,43 @@
+#include "src/roofline/roofline.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+double CiGemm(int64_t m, int64_t n) {
+  SPINFER_CHECK(m > 0 && n > 0);
+  return static_cast<double>(m) * static_cast<double>(n) /
+         (static_cast<double>(m) + static_cast<double>(n));
+}
+
+double CiSpmm(int64_t m, int64_t n, double compression_ratio) {
+  SPINFER_CHECK(m > 0 && n > 0 && compression_ratio > 0.0);
+  return static_cast<double>(m) * static_cast<double>(n) /
+         (static_cast<double>(m) / compression_ratio + static_cast<double>(n));
+}
+
+double CiOptimal(int64_t m, int64_t n, double sparsity) {
+  SPINFER_CHECK(m > 0 && n > 0);
+  SPINFER_CHECK(sparsity >= 0.0 && sparsity < 1.0);
+  return static_cast<double>(m) * static_cast<double>(n) /
+         (static_cast<double>(m) * (1.0 - sparsity) + static_cast<double>(n));
+}
+
+RooflinePoint RooflineAttainable(const std::string& label, double flops_per_byte,
+                                 const DeviceSpec& dev) {
+  RooflinePoint p;
+  p.label = label;
+  p.flops_per_byte = flops_per_byte;
+  const double mem_limited = flops_per_byte * dev.dram_bw_gbs / 1e3;  // TFLOP/s
+  p.attainable_tflops = std::min(mem_limited, dev.tc_fp16_tflops);
+  p.memory_bound = mem_limited < dev.tc_fp16_tflops;
+  return p;
+}
+
+double RooflineRidge(const DeviceSpec& dev) {
+  return dev.tc_fp16_tflops * 1e3 / dev.dram_bw_gbs;  // FLOP per byte
+}
+
+}  // namespace spinfer

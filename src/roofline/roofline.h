@@ -1,0 +1,45 @@
+// Roofline analysis of GEMM vs SpMM (paper §3.2.2, Eqs. 6-8, Fig. 4).
+//
+// Compute Intensity (CI) is FLOPs per FP16-element of memory traffic, in the
+// paper's normalized units: CI_GEMM = M*N / (M + N) for a K-contracted
+// product (the K factor cancels). SpMM's weight traffic shrinks by the
+// format's compression ratio, so CI_SpMM = M*N / (M/CR + N); the optimum
+// assumes zero indexing overhead: CI_opt = M*N / (M*(1-s) + N).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device_spec.h"
+
+namespace spinfer {
+
+// Eq. 6.
+double CiGemm(int64_t m, int64_t n);
+
+// Eq. 7: CI given a format's compression ratio.
+double CiSpmm(int64_t m, int64_t n, double compression_ratio);
+
+// Eq. 8: CI with zero indexing overhead at sparsity s.
+double CiOptimal(int64_t m, int64_t n, double sparsity);
+
+// A point on the roofline: compute intensity (FLOP per byte) and attainable
+// performance (TFLOP/s) on a device.
+struct RooflinePoint {
+  std::string label;
+  double flops_per_byte = 0.0;
+  double attainable_tflops = 0.0;
+  bool memory_bound = false;
+};
+
+// Attainable performance min(CI * BW, peak) for the device's Tensor Core
+// roofline. `flops_per_byte` is true arithmetic intensity in FLOP/B.
+RooflinePoint RooflineAttainable(const std::string& label, double flops_per_byte,
+                                 const DeviceSpec& dev);
+
+// The ridge point (FLOP/B) where the device transitions from memory- to
+// compute-bound.
+double RooflineRidge(const DeviceSpec& dev);
+
+}  // namespace spinfer

@@ -1,0 +1,48 @@
+// Lightweight invariant-checking macros.
+//
+// SPINFER_CHECK aborts with a diagnostic when a precondition or internal
+// invariant is violated. These are always on (also in release builds): the
+// library manipulates hand-packed binary formats where silently continuing
+// after a violated invariant would corrupt results.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace spinfer {
+
+// Aborts the process after printing `msg` with source location context.
+// Used by the SPINFER_CHECK family; not intended to be called directly.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
+
+}  // namespace spinfer
+
+#define SPINFER_CHECK(cond)                                                      \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      ::spinfer::CheckFailed(__FILE__, __LINE__, "check failed: " #cond);         \
+    }                                                                             \
+  } while (0)
+
+#define SPINFER_CHECK_MSG(cond, msg)                                              \
+  do {                                                                            \
+    if (!(cond)) {                                                                \
+      std::ostringstream spinfer_check_oss_;                                      \
+      spinfer_check_oss_ << "check failed: " #cond ": " << msg;                   \
+      ::spinfer::CheckFailed(__FILE__, __LINE__, spinfer_check_oss_.str());       \
+    }                                                                             \
+  } while (0)
+
+#define SPINFER_CHECK_EQ(a, b)                                                    \
+  do {                                                                            \
+    auto spinfer_a_ = (a);                                                        \
+    auto spinfer_b_ = (b);                                                        \
+    if (!(spinfer_a_ == spinfer_b_)) {                                            \
+      std::ostringstream spinfer_check_oss_;                                      \
+      spinfer_check_oss_ << "check failed: " #a " == " #b " (" << spinfer_a_      \
+                         << " vs " << spinfer_b_ << ")";                          \
+      ::spinfer::CheckFailed(__FILE__, __LINE__, spinfer_check_oss_.str());       \
+    }                                                                             \
+  } while (0)
+
+#define SPINFER_UNREACHABLE(msg) ::spinfer::CheckFailed(__FILE__, __LINE__, msg)

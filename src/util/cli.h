@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing shared by examples and benches.
+//
+// Supports `--name=value` and `--name value` forms. Unknown flags are
+// reported and abort, so typos in bench invocations fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spinfer {
+
+class CliFlags {
+ public:
+  // Parses argv; aborts on malformed input.
+  CliFlags(int argc, char** argv);
+
+  // Typed getters with defaults.
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+  bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace spinfer

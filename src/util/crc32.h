@@ -1,0 +1,14 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for serialized-container
+// integrity checking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spinfer {
+
+// CRC of `len` bytes starting at `data`, seeded by `seed` (pass the previous
+// result to checksum discontiguous regions; 0 for a fresh computation).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace spinfer

@@ -1,0 +1,88 @@
+#include "src/util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: seeds the xoshiro state from a single 64-bit value.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(x);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 high bits -> uniform in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+uint64_t Rng::Below(uint64_t n) {
+  SPINFER_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % n;
+    }
+  }
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; draw u1 away from 0 to keep log() finite.
+  double u1 = Uniform();
+  while (u1 <= 1e-300) {
+    u1 = Uniform();
+  }
+  const double u2 = Uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+std::vector<uint32_t> Rng::Sample(uint32_t n, uint32_t k) {
+  SPINFER_CHECK(k <= n);
+  std::vector<uint32_t> idx(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    idx[i] = i;
+  }
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint32_t j = i + static_cast<uint32_t>(Below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,46 @@
+// Deterministic, fast pseudo-random number generation (xoshiro256**).
+//
+// All synthetic data in the repository (weights, activations, sparsity masks)
+// flows through this generator so that tests and benches are reproducible
+// across runs and platforms without depending on libstdc++'s unspecified
+// distribution implementations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spinfer {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+// Deterministic for a given seed; passes BigCrush.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n);
+
+  // Standard normal via Box-Muller (deterministic, no cached spare).
+  double Gaussian();
+
+  // Bernoulli draw: true with probability p.
+  bool Bernoulli(double p);
+
+  // Fisher-Yates shuffles indices [0, n) and returns the first k of them:
+  // a uniform random k-subset. Requires k <= n.
+  std::vector<uint32_t> Sample(uint32_t n, uint32_t k);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace spinfer

@@ -1,0 +1,91 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  SPINFER_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  SPINFER_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::Render() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out << "  ";
+      }
+      if (c == 0) {
+        out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string FormatF(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatSI(double v) {
+  const char* suffix[] = {"", "K", "M", "G", "T", "P"};
+  int idx = 0;
+  double a = std::fabs(v);
+  while (a >= 1000.0 && idx < 5) {
+    a /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, suffix[idx]);
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* suffix[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int idx = 0;
+  double v = static_cast<double>(bytes);
+  while (v >= 1024.0 && idx < 4) {
+    v /= 1024.0;
+    ++idx;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, suffix[idx]);
+  return buf;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,40 @@
+// Plain-text table rendering for bench output.
+//
+// Every bench binary regenerates one of the paper's figures or tables as an
+// aligned ASCII table so the series can be diffed against the paper by eye
+// and grepped by scripts.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace spinfer {
+
+// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends one row; pads or truncates to the header width is NOT done —
+  // rows must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and per-column alignment (left for the first
+  // column, right for the rest — the usual layout for label + numbers).
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers used by bench output.
+std::string FormatF(double v, int precision);   // fixed, e.g. "1.66"
+std::string FormatSI(double v);                 // engineering, e.g. "28.7K", "1.2G"
+std::string FormatBytes(uint64_t bytes);        // e.g. "14.4 GiB"
+
+}  // namespace spinfer

@@ -1,0 +1,63 @@
+#include "src/llm/attention.h"
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+TEST(AttentionTest, KvCacheBytesFormula) {
+  const ModelConfig m = Opt13B();
+  // 2 (K,V) * 40 layers * 5120 * batch * context * 2B.
+  EXPECT_EQ(KvCacheBytes(m, 8, 1024, 1),
+            2ull * 40 * 5120 * 8 * 1024 * 2);
+  EXPECT_EQ(KvCacheBytes(m, 8, 1024, 2), KvCacheBytes(m, 8, 1024, 1) / 2);
+}
+
+TEST(AttentionTest, GqaShrinksCache) {
+  // LLaMA2-70B has 8 KV heads vs 64 query heads: cache is 8x smaller than
+  // an MHA model of the same width.
+  const uint64_t gqa = KvCacheBytes(Llama2_70B(), 1, 1000, 1);
+  const ModelConfig mha = []() {
+    ModelConfig m = Llama2_70B();
+    m.kv_heads = m.heads;
+    return m;
+  }();
+  EXPECT_EQ(KvCacheBytes(mha, 1, 1000, 1), 8 * gqa);
+}
+
+TEST(AttentionTest, DecodeCostGrowsWithContext) {
+  const DeviceSpec dev = Rtx4090();
+  const ModelConfig m = Opt13B();
+  const double t256 = DecodeAttentionCost(m, 16, 256, 1, dev).time_us;
+  const double t512 = DecodeAttentionCost(m, 16, 512, 1, dev).time_us;
+  EXPECT_GT(t512, t256);
+}
+
+TEST(AttentionTest, DecodeIsKvBandwidthBound) {
+  const DeviceSpec dev = Rtx4090();
+  const AttentionCost c = DecodeAttentionCost(Opt13B(), 32, 512, 1, dev);
+  // Streaming the cache at ~80% of 1008 GB/s should dominate the estimate.
+  const double stream_us =
+      static_cast<double>(c.kv_bytes_read) / (dev.dram_bw_gbs * 0.8 * 1e3);
+  EXPECT_NEAR(c.time_us, stream_us + 1.5 * 40, stream_us * 0.05);
+}
+
+TEST(AttentionTest, PrefillScalesQuadratically) {
+  const DeviceSpec dev = Rtx4090();
+  const ModelConfig m = Opt13B();
+  const double t512 = PrefillAttentionCost(m, 8, 512, 1, dev).time_us;
+  const double t1024 = PrefillAttentionCost(m, 8, 1024, 1, dev).time_us;
+  EXPECT_GT(t1024 / t512, 3.0);  // ~4x flops, some fixed cost
+}
+
+TEST(AttentionTest, TensorParallelSplitsWork) {
+  const DeviceSpec dev = Rtx4090();
+  const ModelConfig m = Opt13B();
+  const AttentionCost one = DecodeAttentionCost(m, 16, 512, 1, dev);
+  const AttentionCost two = DecodeAttentionCost(m, 16, 512, 2, dev);
+  EXPECT_EQ(two.kv_bytes_read, one.kv_bytes_read / 2);
+  EXPECT_LT(two.time_us, one.time_us);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,69 @@
+#include "src/core/autotuner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/compare.h"
+
+namespace spinfer {
+namespace {
+
+SpmmProblem Problem(int64_t m, int64_t k, int64_t n, double s) {
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = s;
+  return p;
+}
+
+TEST(AutotunerTest, ExploresAllGeometries) {
+  const AutotuneResult r = AutotuneSpInfer(Problem(4096, 4096, 16, 0.5), Rtx4090());
+  EXPECT_EQ(r.candidates.size(), 16u);  // 4 x 4 geometries
+  // Candidates sorted best-first.
+  for (size_t i = 1; i < r.candidates.size(); ++i) {
+    EXPECT_LE(r.candidates[i - 1].modeled_us, r.candidates[i].modeled_us);
+  }
+}
+
+TEST(AutotunerTest, NeverWorseThanDefault) {
+  const DeviceSpec dev = Rtx4090();
+  for (const auto& [m, k] : {std::pair<int64_t, int64_t>{4096, 4096},
+                             {28672, 8192},
+                             {5120, 5120},
+                             {1024, 16384}}) {
+    const SpmmProblem p = Problem(m, k, 16, 0.6);
+    const AutotuneResult tuned = AutotuneSpInfer(p, dev);
+    const double default_us = SpInferSpmmKernel().Estimate(p, dev).time.total_us;
+    EXPECT_LE(tuned.time.total_us, default_us * 1.0001) << m << "x" << k;
+  }
+}
+
+TEST(AutotunerTest, WinnerIsLaunchable) {
+  const AutotuneResult r = AutotuneSpInfer(Problem(8192, 8192, 32, 0.5), Rtx4090());
+  const OccupancyResult occ = ComputeOccupancy(
+      SpInferSpmmKernel(r.config).Resources(0.5, 32), Rtx4090());
+  EXPECT_GT(occ.blocks_per_sm, 0);
+  EXPECT_LT(r.time.total_us, 1e17);  // not the cannot-launch sentinel
+}
+
+TEST(AutotunerTest, TunedConfigStaysNumericallyCorrect) {
+  const AutotuneResult r = AutotuneSpInfer(Problem(96, 96, 16, 0.5), Rtx4090());
+  Rng rng(181);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 96, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(96, 16, rng, 0.5f);
+  SpInferKernelConfig cfg = r.config;
+  cfg.split_k = 1;  // functional path needs an explicit split within range
+  const FloatMatrix got = SpInferSpmmKernel(cfg).Run(w, x, nullptr);
+  const CompareResult cmp = CompareMatrices(got, ReferenceGemm(w, x), 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+}
+
+TEST(AutotunerTest, SmallMatrixPrefersSmallTiles) {
+  // A short-M matrix underfills the grid with 128-row GroupTiles; the tuner
+  // should pick something that keeps the device busy.
+  const AutotuneResult r = AutotuneSpInfer(Problem(512, 16384, 16, 0.6), Rtx4090());
+  EXPECT_LE(r.config.format.gt_rows, 64);
+}
+
+}  // namespace
+}  // namespace spinfer

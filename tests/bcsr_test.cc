@@ -1,0 +1,61 @@
+#include "src/format/bcsr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (!(a.at(r, c) == b.at(r, c))) {
+        return false;
+      }
+    }
+  }
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+class BcsrRoundtripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BcsrRoundtripTest, EncodeDecodeRoundtrips) {
+  Rng rng(61);
+  const HalfMatrix w = HalfMatrix::RandomSparse(72, 88, GetParam(), rng);
+  const BcsrMatrix enc = BcsrMatrix::Encode(w);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, BcsrRoundtripTest,
+                         ::testing::Values(0.0, 0.5, 0.9, 0.99, 1.0));
+
+TEST(BcsrTest, LowSparsityKeepsEveryBlock) {
+  Rng rng(62);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const BcsrMatrix enc = BcsrMatrix::Encode(w);
+  // P[8x8 block all-zero] = 0.5^64 ~ 5e-20: all 64 blocks survive.
+  EXPECT_EQ(enc.num_nonzero_blocks(), 8 * 8);
+}
+
+TEST(BcsrTest, ExtremeSparsitySkipsBlocks) {
+  Rng rng(63);
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, 0.999, rng);
+  const BcsrMatrix enc = BcsrMatrix::Encode(w);
+  const int64_t total_blocks = 64 * 64;
+  // P[nonzero] = 1 - 0.999^64 ~ 0.062.
+  EXPECT_LT(enc.num_nonzero_blocks(), total_blocks / 8);
+  EXPECT_GT(enc.num_nonzero_blocks(), 0);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+TEST(BcsrTest, StorageCountsBlocks) {
+  Rng rng(64);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const BcsrMatrix enc = BcsrMatrix::Encode(w);
+  EXPECT_EQ(enc.StorageBytes(), 128ull * enc.num_nonzero_blocks() +
+                                    4ull * enc.num_nonzero_blocks() + 4ull * (8 + 1));
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,154 @@
+// Property tests over the analytical performance layer: monotonicities and
+// invariants that must hold for the figure benches to be trustworthy.
+#include <gtest/gtest.h>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/llm/engine.h"
+
+namespace spinfer {
+namespace {
+
+SpmmProblem Problem(int64_t m, int64_t k, int64_t n, double s) {
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = s;
+  return p;
+}
+
+// SpInfer's modeled time never increases with sparsity (fewer bytes).
+TEST(CostModelPropertiesTest, SpInferTimeMonotoneInSparsity) {
+  const DeviceSpec dev = Rtx4090();
+  const auto kernel = MakeKernel("spinfer");
+  double prev = 1e30;
+  for (double s = 0.1; s <= 0.95; s += 0.05) {
+    const double t = kernel->Estimate(Problem(8192, 8192, 16, s), dev).time.total_us;
+    EXPECT_LE(t, prev + 1e-9) << "s=" << s;
+    prev = t;
+  }
+}
+
+// Every kernel's time is monotone in each shape dimension.
+TEST(CostModelPropertiesTest, TimesMonotoneInShape) {
+  const DeviceSpec dev = Rtx4090();
+  for (const std::string& name : KernelNames()) {
+    const auto kernel = MakeKernel(name);
+    const double base = kernel->Estimate(Problem(4096, 4096, 16, 0.5), dev).time.total_us;
+    EXPECT_GE(kernel->Estimate(Problem(8192, 4096, 16, 0.5), dev).time.total_us, base)
+        << name << " M";
+    EXPECT_GE(kernel->Estimate(Problem(4096, 8192, 16, 0.5), dev).time.total_us, base)
+        << name << " K";
+    EXPECT_GE(kernel->Estimate(Problem(4096, 4096, 256, 0.5), dev).time.total_us, base)
+        << name << " N";
+  }
+}
+
+// A6000 (lower bandwidth and fewer SMs) is never faster than RTX4090.
+TEST(CostModelPropertiesTest, A6000NeverFasterThan4090) {
+  for (const std::string& name : KernelNames()) {
+    const auto kernel = MakeKernel(name);
+    const SpmmProblem p = Problem(8192, 8192, 16, 0.5);
+    EXPECT_GE(kernel->Estimate(p, A6000()).time.total_us,
+              kernel->Estimate(p, Rtx4090()).time.total_us)
+        << name;
+  }
+}
+
+// Utilizations are physical: in (0, 1].
+TEST(CostModelPropertiesTest, UtilizationsBounded) {
+  const DeviceSpec dev = Rtx4090();
+  for (const std::string& name : KernelNames()) {
+    const KernelEstimate est =
+        MakeKernel(name)->Estimate(Problem(8192, 8192, 32, 0.6), dev);
+    EXPECT_GT(est.time.bw_utilization, 0.0) << name;
+    EXPECT_LE(est.time.bw_utilization, 1.0) << name;
+    EXPECT_GE(est.time.tc_utilization, 0.0) << name;
+    EXPECT_LE(est.time.tc_utilization, 1.0) << name;
+    EXPECT_GT(est.time.total_us, 0.0) << name;
+  }
+}
+
+// Decode-phase estimates are bandwidth-limited, not compute-limited, for
+// the Tensor-Core kernels (the paper's §3.2.2 premise).
+TEST(CostModelPropertiesTest, DecodePhaseIsMemoryBound) {
+  const DeviceSpec dev = Rtx4090();
+  for (const char* name : {"cublas_tc", "flash_llm"}) {
+    const KernelEstimate est =
+        MakeKernel(name)->Estimate(Problem(28672, 8192, 16, 0.5), dev);
+    EXPECT_GT(est.time.mem_us, est.time.compute_us) << name;
+  }
+}
+
+// Engine-level sanity sweeps: latency grows with batch and model size.
+TEST(CostModelPropertiesTest, EngineLatencyMonotone) {
+  EngineConfig cfg;
+  cfg.model = Opt13B();
+  cfg.framework = Framework::kSpInfer;
+  cfg.device = Rtx4090();
+  cfg.num_gpus = 2;
+  cfg.input_len = 128;
+  cfg.output_len = 64;
+  cfg.sparsity = 0.6;
+  double prev = 0.0;
+  for (int64_t batch : {1, 4, 16, 32}) {
+    cfg.batch = batch;
+    const InferenceReport r = SimulateInference(cfg);
+    ASSERT_FALSE(r.oom);
+    EXPECT_GT(r.total_ms, prev);
+    prev = r.total_ms;
+  }
+  // Bigger model on the same hardware is slower.
+  cfg.batch = 8;
+  const double t13 = SimulateInference(cfg).total_ms;
+  cfg.model = Opt30B();
+  cfg.num_gpus = 4;
+  const InferenceReport r30 = SimulateInference(cfg);
+  ASSERT_FALSE(r30.oom);
+  // Per-GPU bandwidth doubled but the model is >2x larger.
+  EXPECT_GT(r30.total_ms, t13 * 0.9);
+}
+
+// Throughput (tokens/s) improves with batch even as latency grows.
+TEST(CostModelPropertiesTest, BatchingImprovesThroughput) {
+  EngineConfig cfg;
+  cfg.model = Opt13B();
+  cfg.framework = Framework::kSpInfer;
+  cfg.device = Rtx4090();
+  cfg.num_gpus = 1;
+  cfg.input_len = 64;
+  cfg.output_len = 64;
+  cfg.sparsity = 0.6;
+  double prev_tps = 0.0;
+  for (int64_t batch : {1, 8, 32}) {
+    cfg.batch = batch;
+    const InferenceReport r = SimulateInference(cfg);
+    ASSERT_FALSE(r.oom) << batch;
+    EXPECT_GT(r.tokens_per_second, prev_tps) << batch;
+    prev_tps = r.tokens_per_second;
+  }
+}
+
+// Fig. 14 memory patterns on the A6000 platform: OPT-66B dense needs 4
+// GPUs; SpInfer serves it on 2.
+TEST(CostModelPropertiesTest, Opt66BOnA6000MemoryPattern) {
+  EngineConfig cfg;
+  cfg.model = Opt66B();
+  cfg.device = A6000();
+  cfg.batch = 8;
+  cfg.input_len = 128;
+  cfg.output_len = 128;
+  cfg.sparsity = 0.6;
+  cfg.num_gpus = 2;
+  cfg.framework = Framework::kFasterTransformer;
+  EXPECT_TRUE(SimulateInference(cfg).oom);  // 132 GB dense on 96 GB
+  cfg.framework = Framework::kSpInfer;
+  EXPECT_FALSE(SimulateInference(cfg).oom);
+  cfg.framework = Framework::kFasterTransformer;
+  cfg.num_gpus = 4;
+  EXPECT_FALSE(SimulateInference(cfg).oom);
+}
+
+}  // namespace
+}  // namespace spinfer

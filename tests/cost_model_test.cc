@@ -1,0 +1,116 @@
+#include "src/gpusim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/gpusim/device_spec.h"
+
+namespace spinfer {
+namespace {
+
+KernelTraits BasicTraits() {
+  KernelTraits t;
+  t.name = "test";
+  t.bw_eff = 0.9;
+  t.tc_eff_max = 0.8;
+  t.tc_n_sat = 16.0;
+  t.uses_tensor_core = true;
+  t.decode_serial_fraction = 0.5;
+  t.fixed_us = 2.0;
+  return t;
+}
+
+TEST(CostModelTest, MemoryBoundTimeMatchesHandComputation) {
+  const DeviceSpec dev = Rtx4090();
+  KernelWork w;
+  w.dram_bytes_read = 100'000'000;  // 100 MB
+  w.flops = 1;                      // negligible compute
+  w.n = 16;
+  const TimeBreakdown t = EstimateKernelTime(BasicTraits(), w, dev);
+  // 1e8 B / (1008 GB/s * 0.9) = 110.2 us.
+  EXPECT_NEAR(t.mem_us, 1e8 / (1008.0 * 0.9 * 1e3), 0.01);
+  EXPECT_NEAR(t.total_us, t.mem_us + 2.0, 0.01);
+  EXPECT_NEAR(t.bw_utilization, 0.9 * t.mem_us / t.total_us, 0.01);
+}
+
+TEST(CostModelTest, ComputeBoundAtLargeN) {
+  const DeviceSpec dev = Rtx4090();
+  KernelWork w;
+  w.dram_bytes_read = 1000;
+  w.flops = 100ull * 1000 * 1000 * 1000 * 10;  // 1 TFLOP
+  w.n = 4096;
+  const TimeBreakdown t = EstimateKernelTime(BasicTraits(), w, dev);
+  EXPECT_GT(t.compute_us, t.mem_us);
+  // eff(4096) = 0.8 * (1 - exp(-4096/16)) ~= 0.8 (fully saturated).
+  EXPECT_NEAR(t.compute_us, 1e12 / (165.2e12 * 0.8) * 1e6, 1.0);
+}
+
+TEST(CostModelTest, TcEfficiencyGrowsWithN) {
+  const DeviceSpec dev = Rtx4090();
+  KernelWork w;
+  w.dram_bytes_read = 1000;
+  w.flops = 1ull << 40;
+  w.n = 8;
+  const double t8 = EstimateKernelTime(BasicTraits(), w, dev).compute_us;
+  w.n = 64;
+  const double t64 = EstimateKernelTime(BasicTraits(), w, dev).compute_us;
+  w.n = 1024;
+  const double t1024 = EstimateKernelTime(BasicTraits(), w, dev).compute_us;
+  EXPECT_GT(t8, t64);
+  EXPECT_GT(t64, t1024);
+}
+
+TEST(CostModelTest, SerialDecodeAddsToTotal) {
+  const DeviceSpec dev = Rtx4090();
+  KernelWork w;
+  w.dram_bytes_read = 100'000'000;
+  w.flops = 1;
+  w.decode_ops = 41'300'000;  // exactly 1 us of INT32 work on RTX4090
+  w.n = 16;
+  KernelTraits t = BasicTraits();
+  t.decode_serial_fraction = 1.0;
+  const TimeBreakdown serial = EstimateKernelTime(t, w, dev);
+  t.decode_serial_fraction = 0.0;
+  const TimeBreakdown overlapped = EstimateKernelTime(t, w, dev);
+  EXPECT_NEAR(serial.total_us - overlapped.total_us, 1.0, 0.01);
+}
+
+TEST(CostModelTest, OverlappedDecodeHiddenUnderMemory) {
+  const DeviceSpec dev = Rtx4090();
+  KernelWork w;
+  w.dram_bytes_read = 100'000'000;
+  w.flops = 1;
+  w.decode_ops = 413'000;  // 0.01 us << mem time
+  w.n = 16;
+  KernelTraits t = BasicTraits();
+  t.decode_serial_fraction = 0.0;
+  const TimeBreakdown with = EstimateKernelTime(t, w, dev);
+  w.decode_ops = 0;
+  const TimeBreakdown without = EstimateKernelTime(t, w, dev);
+  EXPECT_DOUBLE_EQ(with.total_us, without.total_us);
+}
+
+TEST(CostModelTest, CudaCoreKernelUsesCudaThroughput) {
+  const DeviceSpec dev = Rtx4090();
+  KernelTraits t = BasicTraits();
+  t.uses_tensor_core = false;
+  t.cuda_eff = 0.5;
+  KernelWork w;
+  w.dram_bytes_read = 1;
+  w.flops = 413ull * 1000 * 1000 * 100;  // 41.3 GFLOP
+  w.n = 16;
+  const TimeBreakdown b = EstimateKernelTime(t, w, dev);
+  EXPECT_NEAR(b.compute_us, 41.3e9 / (82.6e12 * 0.5) * 1e6, 0.1);
+  EXPECT_EQ(b.tc_utilization, 0.0);
+}
+
+TEST(DeviceSpecTest, Presets) {
+  EXPECT_EQ(Rtx4090().sm_count, 128);
+  EXPECT_EQ(A6000().interconnect, Interconnect::kNvlink);
+  EXPECT_EQ(Rtx4090().interconnect, Interconnect::kPcie);
+  EXPECT_EQ(DeviceByName("rtx4090").name, "RTX4090");
+  EXPECT_EQ(DeviceByName("a6000").name, "A6000");
+  EXPECT_GT(Rtx4090().PeakMmaPerSecond(), 1e9);
+}
+
+}  // namespace
+}  // namespace spinfer

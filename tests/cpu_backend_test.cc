@@ -1,0 +1,77 @@
+#include "src/core/cpu_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/spinfer_kernel.h"
+#include "src/numeric/compare.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+class CpuSpmmSweep : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
+
+TEST_P(CpuSpmmSweep, MatchesReference) {
+  const auto [sparsity, n] = GetParam();
+  Rng rng(191 + static_cast<uint64_t>(n) + static_cast<uint64_t>(sparsity * 100));
+  const HalfMatrix w = HalfMatrix::RandomSparse(160, 224, sparsity, rng);
+  const HalfMatrix x = HalfMatrix::Random(224, n, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const FloatMatrix got = CpuSpmm(enc, x);
+  const CompareResult cmp = CompareMatrices(got, ReferenceGemm(w, x), 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CpuSpmmSweep,
+                         ::testing::Combine(::testing::Values(0.0, 0.3, 0.5, 0.9, 1.0),
+                                            ::testing::Values<int64_t>(1, 8, 16, 33)));
+
+TEST(CpuBackendTest, AgreesWithWarpSimulatorExactlyStructured) {
+  // The two execution paths walk the same format; results agree to FP32
+  // rounding (different accumulation orders).
+  Rng rng(192);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(128, 16, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const FloatMatrix cpu = CpuSpmm(enc, x);
+  const FloatMatrix warp = SpInferSpmmKernel().RunEncoded(enc, x, nullptr);
+  EXPECT_TRUE(CompareMatrices(cpu, warp, 1e-3, 1e-2).ok);
+}
+
+TEST(CpuBackendTest, AccumulateAddsIntoExistingOutput) {
+  Rng rng(193);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(64, 8, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  FloatMatrix out(64, 8);
+  out.Fill(10.0f);
+  CpuSpmmAccumulate(enc, x, &out);
+  const FloatMatrix base = CpuSpmm(enc, x);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out.data()[i], base.data()[i] + 10.0f, 1e-4);
+  }
+}
+
+TEST(CpuBackendTest, NonDefaultGeometry) {
+  Rng rng(194);
+  TcaBmeConfig cfg;
+  cfg.gt_rows = 16;
+  cfg.gt_cols = 128;
+  const HalfMatrix w = HalfMatrix::RandomSparse(80, 300, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(300, 8, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
+  EXPECT_TRUE(CompareMatrices(CpuSpmm(enc, x), ReferenceGemm(w, x), 2e-3, 5e-2).ok);
+}
+
+TEST(CpuBackendTest, AllZeroMatrix) {
+  HalfMatrix w(64, 64);
+  Rng rng(195);
+  const HalfMatrix x = HalfMatrix::Random(64, 8, rng);
+  const FloatMatrix out = CpuSpmm(TcaBmeMatrix::Encode(w), x);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,148 @@
+// Cross-format consistency and randomized ("fuzz-lite") property tests that
+// span the whole format layer at once.
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cpu_backend.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/format/bcsr.h"
+#include "src/format/csr.h"
+#include "src/format/serialize.h"
+#include "src/format/sparta_format.h"
+#include "src/format/tca_bme.h"
+#include "src/format/tca_bme_quant.h"
+#include "src/format/tiled_csl.h"
+#include "src/numeric/compare.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool SameBits(const HalfMatrix& a, const HalfMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (!(a.data()[i] == b.data()[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Every lossless format decodes to the same matrix; the lossy (quantized)
+// one preserves at least the mask.
+TEST(CrossFormatTest, AllFormatsDecodeConsistently) {
+  Rng rng(251);
+  for (const auto& [rows, cols, s] :
+       {std::tuple<int64_t, int64_t, double>{64, 64, 0.5},
+        {100, 70, 0.3},
+        {128, 256, 0.8}}) {
+    const HalfMatrix w = HalfMatrix::RandomSparse(rows, cols, s, rng);
+    EXPECT_TRUE(SameBits(CsrMatrix::Encode(w).Decode(), w));
+    EXPECT_TRUE(SameBits(TiledCslMatrix::Encode(w).Decode(), w));
+    EXPECT_TRUE(SameBits(SpartaMatrix::Encode(w).Decode(), w));
+    EXPECT_TRUE(SameBits(BcsrMatrix::Encode(w).Decode(), w));
+    EXPECT_TRUE(SameBits(TcaBmeMatrix::Encode(w).Decode(), w));
+    const HalfMatrix quant = TcaBmeQuantMatrix::Encode(w).Decode();
+    for (int64_t i = 0; i < w.size(); ++i) {
+      EXPECT_EQ(w.data()[i].IsZero(), quant.data()[i].IsZero());
+    }
+  }
+}
+
+// All formats agree byte-for-byte on the nonzero count.
+TEST(CrossFormatTest, NnzAgreesAcrossFormats) {
+  Rng rng(252);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 80, 0.55, rng);
+  const int64_t nnz = w.CountNonZeros();
+  EXPECT_EQ(CsrMatrix::Encode(w).nnz(), nnz);
+  EXPECT_EQ(TiledCslMatrix::Encode(w).nnz(), nnz);
+  EXPECT_EQ(TcaBmeMatrix::Encode(w).nnz(), nnz);
+  EXPECT_EQ(TcaBmeQuantMatrix::Encode(w).nnz(), nnz);
+  const SpartaMatrix sp = SpartaMatrix::Encode(w);
+  EXPECT_EQ(sp.structured_nnz() + sp.residual_nnz(), nnz);
+}
+
+// Randomized geometry fuzz: TCA-BME encode/decode/serialize/SpMM compose
+// correctly for arbitrary shapes and GroupTile configurations.
+TEST(CrossFormatTest, RandomGeometryFuzz) {
+  Rng rng(253);
+  const int kTrials = 25;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int64_t rows = 1 + static_cast<int64_t>(rng.Below(200));
+    const int64_t cols = 1 + static_cast<int64_t>(rng.Below(200));
+    const double sparsity = rng.Uniform();
+    TcaBmeConfig cfg;
+    cfg.gt_rows = 16 * (1 + static_cast<int>(rng.Below(4)));
+    cfg.gt_cols = 16 * (1 + static_cast<int>(rng.Below(4)));
+    const HalfMatrix w = HalfMatrix::RandomSparse(rows, cols, sparsity, rng);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
+
+    // Roundtrip through memory and the serializer.
+    EXPECT_TRUE(SameBits(enc.Decode(), w)) << trial;
+    std::string error;
+    const auto back = DeserializeTcaBme(SerializeTcaBme(enc), &error);
+    ASSERT_TRUE(back.has_value()) << trial << ": " << error;
+    EXPECT_TRUE(SameBits(back->Decode(), w)) << trial;
+
+    // SpMM through the CPU backend against the reference.
+    const int64_t n = 1 + static_cast<int64_t>(rng.Below(20));
+    const HalfMatrix x = HalfMatrix::Random(cols, n, rng, 0.5f);
+    const CompareResult cmp =
+        CompareMatrices(CpuSpmm(enc, x), ReferenceGemm(w, x), 2e-3, 5e-2);
+    EXPECT_TRUE(cmp.ok) << trial << ": " << cmp.ToString();
+  }
+}
+
+// The warp-level kernel and the CPU backend agree on random geometries too.
+TEST(CrossFormatTest, WarpKernelFuzz) {
+  Rng rng(254);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int64_t rows = 16 + static_cast<int64_t>(rng.Below(100));
+    const int64_t cols = 16 + static_cast<int64_t>(rng.Below(100));
+    const double sparsity = 0.3 + 0.6 * rng.Uniform();
+    SpInferKernelConfig cfg;
+    cfg.format.gt_rows = 16 * (1 + static_cast<int>(rng.Below(3)));
+    cfg.format.gt_cols = 16 * (1 + static_cast<int>(rng.Below(3)));
+    cfg.split_k = 1;
+    const HalfMatrix w = HalfMatrix::RandomSparse(rows, cols, sparsity, rng);
+    const HalfMatrix x =
+        HalfMatrix::Random(cols, 1 + static_cast<int64_t>(rng.Below(17)), rng, 0.5f);
+    const SpInferSpmmKernel kernel(cfg);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg.format);
+    const FloatMatrix warp = kernel.RunEncoded(enc, x, nullptr);
+    const FloatMatrix cpu = CpuSpmm(enc, x);
+    const CompareResult cmp = CompareMatrices(warp, cpu, 1e-3, 1e-2);
+    EXPECT_TRUE(cmp.ok) << trial << ": " << cmp.ToString();
+  }
+}
+
+// Storage ordering in the LLM regime (matches Fig. 3's curves): quantized
+// TCA-BME < TCA-BME < everything; SparTA beats Tiled-CSL below ~60%
+// sparsity and loses above (their curves cross between 60 and 70%); CSR is
+// always worst.
+TEST(CrossFormatTest, StorageOrderingHoldsAcrossRegime) {
+  Rng rng(255);
+  for (double s : {0.3, 0.5, 0.7}) {
+    const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, s, rng);
+    const uint64_t quant = TcaBmeQuantMatrix::Encode(w).StorageBytes();
+    const uint64_t tca = TcaBmeMatrix::Encode(w).StorageBytes();
+    const uint64_t sparta = SpartaMatrix::Encode(w).StorageBytes();
+    const uint64_t csl = TiledCslMatrix::Encode(w).StorageBytes();
+    const uint64_t csr = CsrMatrix::Encode(w).StorageBytes();
+    EXPECT_LT(quant, tca) << s;
+    EXPECT_LT(tca, sparta) << s;
+    EXPECT_LT(tca, csl) << s;
+    if (s <= 0.5) {
+      EXPECT_LT(sparta, csl) << s;
+    } else if (s >= 0.7) {
+      EXPECT_LT(csl, sparta) << s;
+    }
+    EXPECT_LT(csl, csr) << s;
+  }
+}
+
+}  // namespace
+}  // namespace spinfer

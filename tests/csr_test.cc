@@ -1,0 +1,63 @@
+#include "src/format/csr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return false;
+  }
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (!(a.at(r, c) == b.at(r, c))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+class CsrRoundtripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CsrRoundtripTest, EncodeDecodeRoundtrips) {
+  Rng rng(31);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 80, GetParam(), rng);
+  const CsrMatrix enc = CsrMatrix::Encode(w);
+  EXPECT_EQ(enc.nnz(), w.CountNonZeros());
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, CsrRoundtripTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+TEST(CsrTest, StorageMatchesEq3) {
+  Rng rng(32);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const CsrMatrix enc = CsrMatrix::Encode(w);
+  // (2B + 4B) * NNZ + 4B * (M + 1).
+  EXPECT_EQ(enc.StorageBytes(), 6ull * enc.nnz() + 4ull * (64 + 1));
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  HalfMatrix w(4, 4);
+  const CsrMatrix enc = CsrMatrix::Encode(w);
+  EXPECT_EQ(enc.nnz(), 0);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+TEST(CsrTest, RowPtrMonotone) {
+  Rng rng(33);
+  const HalfMatrix w = HalfMatrix::RandomSparse(50, 30, 0.6, rng);
+  const CsrMatrix enc = CsrMatrix::Encode(w);
+  for (size_t i = 1; i < enc.row_ptr().size(); ++i) {
+    EXPECT_LE(enc.row_ptr()[i - 1], enc.row_ptr()[i]);
+  }
+  EXPECT_EQ(enc.row_ptr().back(), enc.nnz());
+}
+
+}  // namespace
+}  // namespace spinfer

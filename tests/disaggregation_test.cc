@@ -1,0 +1,77 @@
+#include "src/llm/disaggregation.h"
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+DisaggConfig Base(Framework f) {
+  DisaggConfig cfg;
+  cfg.model = Opt13B();
+  cfg.framework = f;
+  cfg.sparsity = 0.6;
+  cfg.prefill_gpus = 2;
+  cfg.decode_gpus = 1;
+  cfg.request_rate_rps = 2.0;
+  cfg.input_len = 512;
+  cfg.output_len = 128;
+  return cfg;
+}
+
+TEST(DisaggregationTest, SpInferPlanIsFeasible) {
+  const DisaggReport r = PlanDisaggregation(Base(Framework::kSpInfer));
+  EXPECT_TRUE(r.prefill_fits);
+  EXPECT_TRUE(r.decode_fits);
+  EXPECT_GT(r.decode_batch, 8);
+  EXPECT_GT(r.ttft_ms, r.kv_transfer_ms);
+  EXPECT_GT(r.tpot_ms, 0.0);
+  EXPECT_GT(r.total_gpus, 0.0);
+}
+
+TEST(DisaggregationTest, DenseDecodeClusterCannotUseSingleGpus) {
+  // The dense model doesn't fit a 24 GB decode instance at all — the exact
+  // situation SpInfer's weight compression fixes.
+  const DisaggReport dense = PlanDisaggregation(Base(Framework::kFasterTransformer));
+  EXPECT_FALSE(dense.decode_fits);
+  const DisaggReport sparse = PlanDisaggregation(Base(Framework::kSpInfer));
+  EXPECT_TRUE(sparse.decode_fits);
+}
+
+TEST(DisaggregationTest, SpInferNeedsFewerDecodeGpusThanFlashLlm) {
+  DisaggConfig cfg = Base(Framework::kFlashLlm);
+  cfg.decode_gpus = 2;  // Flash-LLM needs 2 GPUs per decode instance
+  const DisaggReport flash = PlanDisaggregation(cfg);
+  const DisaggReport spinfer = PlanDisaggregation(Base(Framework::kSpInfer));
+  ASSERT_TRUE(flash.decode_fits);
+  ASSERT_TRUE(spinfer.decode_fits);
+  EXPECT_LT(spinfer.total_gpus, flash.total_gpus + 1e-9);
+}
+
+TEST(DisaggregationTest, KvTransferScalesWithPrompt) {
+  DisaggConfig cfg = Base(Framework::kSpInfer);
+  cfg.input_len = 256;
+  const double short_xfer = PlanDisaggregation(cfg).kv_transfer_ms;
+  cfg.input_len = 1024;
+  const double long_xfer = PlanDisaggregation(cfg).kv_transfer_ms;
+  EXPECT_NEAR(long_xfer / short_xfer, 4.0, 0.01);
+}
+
+TEST(DisaggregationTest, ClusterSizingScalesWithRate) {
+  DisaggConfig cfg = Base(Framework::kSpInfer);
+  cfg.request_rate_rps = 1.0;
+  const DisaggReport one = PlanDisaggregation(cfg);
+  cfg.request_rate_rps = 8.0;
+  const DisaggReport eight = PlanDisaggregation(cfg);
+  EXPECT_NEAR(eight.decode_instances / one.decode_instances, 8.0, 0.01);
+  EXPECT_GE(eight.total_gpus, one.total_gpus);
+}
+
+TEST(DisaggregationTest, TpotBeatsTtftPerToken) {
+  // Steady-state decode cadence is far cheaper than the prompt cost — the
+  // reason the phases are split in the first place.
+  const DisaggReport r = PlanDisaggregation(Base(Framework::kSpInfer));
+  EXPECT_LT(r.tpot_ms, r.ttft_ms);
+}
+
+}  // namespace
+}  // namespace spinfer

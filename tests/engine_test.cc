@@ -1,0 +1,153 @@
+#include "src/llm/engine.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+EngineConfig BaseConfig() {
+  EngineConfig cfg;
+  cfg.model = Opt13B();
+  cfg.framework = Framework::kSpInfer;
+  cfg.device = Rtx4090();
+  cfg.num_gpus = 1;
+  cfg.batch = 16;
+  cfg.input_len = 128;
+  cfg.output_len = 256;
+  cfg.sparsity = 0.6;
+  return cfg;
+}
+
+TEST(EngineTest, SpInferOpt13BRunsOnOneGpu) {
+  const InferenceReport r = SimulateInference(BaseConfig());
+  EXPECT_FALSE(r.oom) << r.memory.ToString();
+  EXPECT_GT(r.tokens_per_second, 100.0);
+  EXPECT_GT(r.decode_ms, r.prefill_ms);  // 256 steps vs one prefill
+}
+
+TEST(EngineTest, ThroughputNearPaperHeadline) {
+  // Paper: SpInfer OPT-13B, 1x RTX4090, batch 32 -> ~1817 tok/s;
+  // Flash-LLM -> ~1184 tok/s. Both only fit a single 24 GB GPU at a short
+  // context (the paper itself reports Flash-LLM OOM at batch 8 beyond 256
+  // output tokens), so evaluate the shortest point of the sweep.
+  EngineConfig cfg = BaseConfig();
+  cfg.batch = 32;
+  cfg.input_len = 32;
+  cfg.output_len = 64;
+  const InferenceReport spinfer_r = SimulateInference(cfg);
+  ASSERT_FALSE(spinfer_r.oom) << spinfer_r.memory.ToString();
+  EXPECT_NEAR(spinfer_r.tokens_per_second, 1817.0, 1817.0 * 0.25);
+
+  cfg.framework = Framework::kFlashLlm;
+  const InferenceReport flash_r = SimulateInference(cfg);
+  ASSERT_FALSE(flash_r.oom) << flash_r.memory.ToString();
+  EXPECT_NEAR(flash_r.tokens_per_second, 1184.0, 1184.0 * 0.30);
+
+  // Max speedup over Flash-LLM ~1.5x in this configuration (paper: 1.58x).
+  const double speedup = spinfer_r.tokens_per_second / flash_r.tokens_per_second;
+  EXPECT_GT(speedup, 1.25);
+  EXPECT_LT(speedup, 1.9);
+}
+
+TEST(EngineTest, DenseFrameworksOomOnOneGpu) {
+  EngineConfig cfg = BaseConfig();
+  cfg.framework = Framework::kFasterTransformer;
+  EXPECT_TRUE(SimulateInference(cfg).oom);
+  cfg.framework = Framework::kDeepSpeed;
+  EXPECT_TRUE(SimulateInference(cfg).oom);
+}
+
+TEST(EngineTest, SpInferFastestOnTwoGpus) {
+  EngineConfig cfg = BaseConfig();
+  cfg.num_gpus = 2;
+  double best = 1e30;
+  double spinfer_ms = 0.0;
+  for (Framework f : {Framework::kSpInfer, Framework::kFlashLlm,
+                      Framework::kFasterTransformer, Framework::kDeepSpeed}) {
+    cfg.framework = f;
+    const InferenceReport r = SimulateInference(cfg);
+    ASSERT_FALSE(r.oom) << FrameworkName(f);
+    if (f == Framework::kSpInfer) {
+      spinfer_ms = r.total_ms;
+    }
+    best = std::min(best, r.total_ms);
+  }
+  EXPECT_DOUBLE_EQ(best, spinfer_ms);
+}
+
+TEST(EngineTest, DeepSpeedSlowerThanFasterTransformer) {
+  EngineConfig cfg = BaseConfig();
+  cfg.num_gpus = 2;
+  cfg.framework = Framework::kFasterTransformer;
+  const double ft = SimulateInference(cfg).total_ms;
+  cfg.framework = Framework::kDeepSpeed;
+  const double ds = SimulateInference(cfg).total_ms;
+  EXPECT_GT(ds, ft);
+}
+
+TEST(EngineTest, DecodeDominatedByLinears) {
+  // Fig. 15: SpMM (linear) is the largest decode component for SpInfer.
+  const InferenceReport r = SimulateInference(BaseConfig());
+  EXPECT_GT(r.decode.linear_us, r.decode.attention_us);
+  EXPECT_GT(r.decode.linear_us, r.decode.comm_us);
+  EXPECT_GT(r.decode.linear_us, r.decode.other_us);
+}
+
+TEST(EngineTest, CommAppearsOnlyWithMultipleGpus) {
+  EngineConfig cfg = BaseConfig();
+  EXPECT_DOUBLE_EQ(SimulateInference(cfg).decode.comm_us, 0.0);
+  cfg.num_gpus = 2;
+  EXPECT_GT(SimulateInference(cfg).decode.comm_us, 0.0);
+}
+
+TEST(EngineTest, PcieCommExceedsNvlink) {
+  // Fig. 15: COMM is pronounced on the PCIe-only RTX4090 platform.
+  EngineConfig cfg = BaseConfig();
+  cfg.num_gpus = 2;
+  const double pcie = SimulateInference(cfg).decode.comm_us;
+  cfg.device = A6000();
+  const double nvlink = SimulateInference(cfg).decode.comm_us;
+  EXPECT_GT(pcie, nvlink);
+}
+
+TEST(EngineTest, LongerOutputsScaleDecodeTime) {
+  EngineConfig cfg = BaseConfig();
+  cfg.output_len = 64;
+  const double t64 = SimulateInference(cfg).decode_ms;
+  cfg.output_len = 512;
+  const double t512 = SimulateInference(cfg).decode_ms;
+  EXPECT_GT(t512, 6.0 * t64);  // superlinear: KV cache grows
+}
+
+TEST(EngineTest, SpeedupOverFlashLlmInPaperRange) {
+  // Fig. 13 average: 1.35x over Flash-LLM on RTX4090 across configs.
+  EngineConfig cfg = BaseConfig();
+  cfg.num_gpus = 2;
+  cfg.model = Opt13B();
+  double total_speedup = 0.0;
+  int count = 0;
+  for (int64_t batch : {8, 16, 32}) {
+    for (int64_t out : {128, 256}) {
+      cfg.batch = batch;
+      cfg.output_len = out;
+      cfg.framework = Framework::kSpInfer;
+      const InferenceReport a = SimulateInference(cfg);
+      cfg.framework = Framework::kFlashLlm;
+      const InferenceReport b = SimulateInference(cfg);
+      if (a.oom || b.oom) {
+        continue;
+      }
+      total_speedup += b.total_ms / a.total_ms;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  const double avg = total_speedup / count;
+  EXPECT_GT(avg, 1.15);
+  EXPECT_LT(avg, 1.7);
+}
+
+}  // namespace
+}  // namespace spinfer

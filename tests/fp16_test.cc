@@ -1,0 +1,120 @@
+#include "src/numeric/fp16.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(Fp16Test, ZeroAndSign) {
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+  EXPECT_TRUE(Half(0.0f).IsZero());
+  EXPECT_TRUE(Half(-0.0f).IsZero());
+  EXPECT_EQ(Half(0.0f), Half(-0.0f));
+}
+
+TEST(Fp16Test, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const Half h(static_cast<float>(i));
+    EXPECT_EQ(h.ToFloat(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Fp16Test, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00);
+  EXPECT_EQ(Half(-2.0f).bits(), 0xc000);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bff);  // max finite half
+  EXPECT_EQ(Half(0.099975586f).bits(), 0x2e66);
+}
+
+TEST(Fp16Test, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).IsInf());
+  EXPECT_TRUE(Half(1e30f).IsInf());
+  EXPECT_TRUE(Half(-1e30f).IsInf());
+  EXPECT_EQ(Half(1e30f).bits(), 0x7c00);
+  EXPECT_EQ(Half(-1e30f).bits(), 0xfc00);
+  // 65519.996 rounds down to 65504 under RNE.
+  EXPECT_FALSE(Half(65519.0f).IsInf());
+}
+
+TEST(Fp16Test, SubnormalRange) {
+  // Smallest subnormal: 2^-24.
+  const float tiny = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(tiny).bits(), 0x0001);
+  EXPECT_EQ(Half(tiny).ToFloat(), tiny);
+  // Half of it ties to even -> 0.
+  EXPECT_TRUE(Half(tiny / 2).IsZero());
+  // 0.75 * tiny rounds up to tiny.
+  EXPECT_EQ(Half(tiny * 0.75f).bits(), 0x0001);
+  // Largest subnormal.
+  const float max_sub = std::ldexp(1023.0f, -24);
+  EXPECT_EQ(Half(max_sub).bits(), 0x03ff);
+  EXPECT_EQ(Half(max_sub).ToFloat(), max_sub);
+}
+
+TEST(Fp16Test, SubnormalToNormalRoundingCarry) {
+  // Just below the smallest normal (2^-14) rounds up into the normal range.
+  const float almost_normal = std::ldexp(1023.9f, -24);
+  const Half h(almost_normal);
+  EXPECT_EQ(h.bits(), 0x0400);  // smallest normal
+}
+
+TEST(Fp16Test, NanHandling) {
+  const Half h(std::nanf(""));
+  EXPECT_TRUE(h.IsNan());
+  EXPECT_TRUE(std::isnan(h.ToFloat()));
+  EXPECT_FALSE(h == h);
+}
+
+TEST(Fp16Test, InfinityRoundtrip) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_TRUE(Half(inf).IsInf());
+  EXPECT_EQ(Half(inf).ToFloat(), inf);
+  EXPECT_EQ(Half(-inf).ToFloat(), -inf);
+}
+
+TEST(Fp16Test, RoundTripAllBitPatterns) {
+  // Every finite half converts to float and back to the identical pattern.
+  for (uint32_t bits = 0; bits <= 0xffff; ++bits) {
+    const Half h = Half::FromBits(static_cast<uint16_t>(bits));
+    if (h.IsNan()) {
+      continue;
+    }
+    const Half back(h.ToFloat());
+    EXPECT_EQ(back.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Fp16Test, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly halfway between 1.0 and the next half (1 + 2^-10);
+  // RNE picks the even mantissa (1.0).
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.0f, -11)).bits(), 0x3c00);
+  // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; RNE picks 1+2^-9.
+  EXPECT_EQ(Half(1.0f + 3 * std::ldexp(1.0f, -11)).bits(), 0x3c02);
+  // Anything strictly above the halfway point rounds up.
+  EXPECT_EQ(Half(1.0f + std::ldexp(1.2f, -11)).bits(), 0x3c01);
+}
+
+TEST(Fp16Test, ConversionErrorBounded) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = static_cast<float>(rng.Uniform(-1000.0, 1000.0));
+    const float g = Half(f).ToFloat();
+    // Relative error of RNE conversion is at most 2^-11.
+    EXPECT_LE(std::fabs(f - g), std::fabs(f) * std::ldexp(1.0f, -11) + 1e-7f) << f;
+  }
+}
+
+TEST(Fp16Test, FloatSubnormalsFlushToZero) {
+  EXPECT_TRUE(Half(std::ldexp(1.0f, -127)).IsZero());
+  EXPECT_TRUE(Half(-std::ldexp(1.0f, -130)).IsZero());
+}
+
+}  // namespace
+}  // namespace spinfer

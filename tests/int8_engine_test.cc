@@ -1,0 +1,87 @@
+// End-to-end behaviour of the sparsity x INT8 extension (Framework::kSpInferInt8).
+#include <gtest/gtest.h>
+
+#include "src/core/spinfer_kernel.h"
+#include "src/llm/engine.h"
+
+namespace spinfer {
+namespace {
+
+TEST(Int8KernelTest, Int8CutsModeledTimeWhenMemoryBound) {
+  const DeviceSpec dev = Rtx4090();
+  SpmmProblem p;
+  p.m = 8192;
+  p.k = 8192;
+  p.n = 16;
+  // Low sparsity = deeply memory-bound: the INT8 payload halving shows
+  // fully. (At higher sparsity the kernel sits near its mma issue floor and
+  // INT8 helps less — checked below.)
+  p.sparsity = 0.3;
+  SpInferKernelConfig fp16;
+  SpInferKernelConfig int8;
+  int8.int8_values = true;
+  const double t16 = SpInferSpmmKernel(fp16).Estimate(p, dev).time.total_us;
+  const double t8 = SpInferSpmmKernel(int8).Estimate(p, dev).time.total_us;
+  EXPECT_LT(t8, t16 * 0.80);
+  EXPECT_GT(t8, t16 * 0.40);
+
+  // Near the compute floor (60% sparsity) the gain shrinks but never
+  // reverses.
+  p.sparsity = 0.6;
+  const double t16_hi = SpInferSpmmKernel(fp16).Estimate(p, dev).time.total_us;
+  const double t8_hi = SpInferSpmmKernel(int8).Estimate(p, dev).time.total_us;
+  EXPECT_LE(t8_hi, t16_hi);
+  EXPECT_GT(t8_hi, t16_hi * 0.80);
+}
+
+TEST(Int8KernelTest, NameReflectsVariant) {
+  SpInferKernelConfig cfg;
+  cfg.int8_values = true;
+  EXPECT_EQ(SpInferSpmmKernel(cfg).name(), "spinfer-int8");
+}
+
+TEST(Int8EngineTest, WeightFormatMapping) {
+  EXPECT_EQ(FrameworkWeightFormat(Framework::kSpInferInt8), WeightFormat::kTcaBmeQuant);
+  EXPECT_STREQ(FrameworkName(Framework::kSpInferInt8), "SpInfer-INT8");
+}
+
+TEST(Int8EngineTest, FasterAndSmallerThanFp16SpInfer) {
+  EngineConfig cfg;
+  cfg.model = Opt13B();
+  cfg.device = Rtx4090();
+  cfg.num_gpus = 1;
+  cfg.batch = 16;
+  cfg.input_len = 128;
+  cfg.output_len = 128;
+  cfg.sparsity = 0.6;
+
+  cfg.framework = Framework::kSpInfer;
+  const InferenceReport fp16 = SimulateInference(cfg);
+  cfg.framework = Framework::kSpInferInt8;
+  const InferenceReport int8 = SimulateInference(cfg);
+  ASSERT_FALSE(fp16.oom);
+  ASSERT_FALSE(int8.oom);
+  EXPECT_LT(int8.total_ms, fp16.total_ms);
+  EXPECT_LT(int8.memory.weight_bytes, fp16.memory.weight_bytes);
+}
+
+TEST(Int8EngineTest, UnlocksConfigurationsFp16Cannot) {
+  // OPT-30B on a single 24 GB RTX4090: FP16 TCA-BME at 60% needs ~28 GB of
+  // weights; the INT8 composition (~16.5 GB) fits at small batch.
+  EngineConfig cfg;
+  cfg.model = Opt30B();
+  cfg.device = Rtx4090();
+  cfg.num_gpus = 1;
+  cfg.batch = 4;
+  cfg.input_len = 64;
+  cfg.output_len = 64;
+  cfg.sparsity = 0.6;
+  cfg.framework = Framework::kSpInfer;
+  EXPECT_TRUE(SimulateInference(cfg).oom);
+  cfg.framework = Framework::kSpInferInt8;
+  EXPECT_FALSE(SimulateInference(cfg).oom)
+      << SimulateInference(cfg).memory.ToString();
+}
+
+}  // namespace
+}  // namespace spinfer

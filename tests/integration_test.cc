@@ -1,0 +1,101 @@
+// End-to-end integration: prune -> encode -> SpMM -> verify, across the full
+// public API, the way a downstream user composes the library.
+#include <gtest/gtest.h>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/spinfer.h"
+#include "src/pruning/magnitude.h"
+#include "src/pruning/wanda.h"
+#include "src/pruning/calibration.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(IntegrationTest, PruneEncodeComputeVerify) {
+  Rng rng(161);
+  // 1. A dense "layer" weight matrix.
+  const HalfMatrix dense = HalfMatrix::Random(128, 128, rng, 0.1f);
+  // 2. Prune with Wanda at the paper's 60%.
+  CalibrationConfig cal;
+  cal.num_features = 128;
+  Rng cal_rng(162);
+  const WandaPruner pruner(SyntheticFeatureNorms(cal, cal_rng));
+  const HalfMatrix sparse = pruner.Prune(dense, 0.6);
+  EXPECT_NEAR(sparse.Sparsity(), 0.6, 0.01);
+  // 3. Encode to TCA-BME: memory shrinks below dense.
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(sparse);
+  EXPECT_GT(enc.CompressionRatio(), 1.0);
+  // 4. Run the SpInfer kernel against the reference.
+  const HalfMatrix x = HalfMatrix::Random(128, 16, rng, 0.5f);
+  const SpInferSpmmKernel kernel;
+  PerfCounters counters;
+  const FloatMatrix got = kernel.RunEncoded(enc, x, &counters);
+  const FloatMatrix want = ReferenceGemm(sparse, x);
+  const CompareResult cmp = CompareMatrices(got, want, 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+  // 5. The decoded format is byte-exact.
+  const HalfMatrix roundtrip = enc.Decode();
+  for (int64_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_EQ(roundtrip.data()[i].bits(), sparse.data()[i].bits());
+  }
+}
+
+// Every kernel agrees with every other kernel on the same problem.
+TEST(IntegrationTest, AllKernelsAgreePairwise) {
+  Rng rng(163);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 96, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(96, 8, rng, 0.5f);
+  const FloatMatrix reference = ReferenceGemm(w, x);
+  for (const auto& kernel : AllKernels()) {
+    const FloatMatrix out = kernel->Run(w, x, nullptr);
+    const CompareResult cmp = CompareMatrices(out, reference, 2e-3, 5e-2);
+    EXPECT_TRUE(cmp.ok) << kernel->name() << ": " << cmp.ToString();
+  }
+}
+
+// Magnitude pruning degrades the *output* less than random pruning at equal
+// sparsity — the reason pruning algorithms exist; sanity check that our
+// pipeline preserves this.
+TEST(IntegrationTest, MagnitudePruningBeatsRandomOnOutputError) {
+  Rng rng(164);
+  const HalfMatrix dense = HalfMatrix::Random(96, 96, rng, 0.1f);
+  const HalfMatrix x = HalfMatrix::Random(96, 8, rng, 0.5f);
+  const FloatMatrix want = ReferenceGemm(dense, x);
+
+  auto output_error = [&](const HalfMatrix& pruned) {
+    const FloatMatrix got = ReferenceGemm(pruned, x);
+    double err = 0.0;
+    for (int64_t i = 0; i < got.size(); ++i) {
+      const double d = got.data()[i] - want.data()[i];
+      err += d * d;
+    }
+    return err;
+  };
+
+  const double mag_err = output_error(MagnitudePruner().Prune(dense, 0.6));
+  const double rand_err = output_error(RandomPruner(5).Prune(dense, 0.6));
+  EXPECT_LT(mag_err, rand_err);
+}
+
+// Sweep sparsity x shape as a property test: the SpInfer kernel is exact for
+// every mask the pruners can produce.
+class SparsityShapeSweep
+    : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
+
+TEST_P(SparsityShapeSweep, KernelCorrectEverywhere) {
+  const auto [sparsity, dim] = GetParam();
+  Rng rng(165 + static_cast<uint64_t>(dim) + static_cast<uint64_t>(sparsity * 100));
+  const HalfMatrix w = HalfMatrix::RandomSparse(dim, dim, sparsity, rng);
+  const HalfMatrix x = HalfMatrix::Random(dim, 8, rng, 0.5f);
+  const FloatMatrix got = SpInferSpmmKernel().Run(w, x, nullptr);
+  const CompareResult cmp = CompareMatrices(got, ReferenceGemm(w, x), 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparsityShapeSweep,
+                         ::testing::Combine(::testing::Values(0.3, 0.5, 0.7),
+                                            ::testing::Values<int64_t>(64, 128)));
+
+}  // namespace
+}  // namespace spinfer

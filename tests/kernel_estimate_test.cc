@@ -1,0 +1,181 @@
+// Tests that tie the analytical Estimate() paths to the functional
+// simulators and to the paper's headline performance claims.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+double RelErr(double a, double b) { return std::fabs(a - b) / (std::fabs(b) + 1e-12); }
+
+// The estimator's event counts must agree with the functional simulation.
+TEST(KernelEstimateTest, SpInferEstimateMatchesFunctionalCounts) {
+  Rng rng(131);
+  const int64_t m = 128;
+  const int64_t k = 256;
+  const int64_t n = 16;
+  const HalfMatrix w = HalfMatrix::RandomSparse(m, k, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(k, n, rng, 0.5f);
+
+  SpInferKernelConfig cfg;
+  cfg.split_k = 2;
+  const SpInferSpmmKernel kernel(cfg);
+  PerfCounters run;
+  kernel.Run(w, x, &run);
+
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = 0.5;
+  p.nnz = w.CountNonZeros();
+  const KernelEstimate est = kernel.Estimate(p, Rtx4090());
+
+  // Exact instruction-mix agreement.
+  EXPECT_EQ(est.counters.mma_instrs, run.mma_instrs);
+  EXPECT_EQ(est.counters.flops, run.flops);
+  EXPECT_EQ(est.counters.popc_ops, run.popc_ops);
+  EXPECT_EQ(est.counters.lds_instrs, run.lds_instrs);
+  EXPECT_EQ(est.counters.ldsm_instrs, run.ldsm_instrs);
+  EXPECT_EQ(est.counters.ldg_instrs, run.ldg_instrs);
+  EXPECT_EQ(est.counters.dram_bytes_written, run.dram_bytes_written);
+  // DRAM read bytes agree up to alignment-padding estimation.
+  EXPECT_LT(RelErr(static_cast<double>(est.counters.dram_bytes_read),
+                   static_cast<double>(run.dram_bytes_read)),
+            0.01);
+}
+
+TEST(KernelEstimateTest, BaselineEstimatesMatchFunctionalBytes) {
+  Rng rng(132);
+  const int64_t m = 128;
+  const int64_t k = 128;
+  const int64_t n = 16;
+  const HalfMatrix w = HalfMatrix::RandomSparse(m, k, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(k, n, rng, 0.5f);
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = 0.5;
+  p.nnz = w.CountNonZeros();
+  for (const char* name : {"cublas_tc", "sputnik", "cusparse", "smat"}) {
+    const auto kernel = MakeKernel(name);
+    PerfCounters run;
+    kernel->Run(w, x, &run);
+    const KernelEstimate est = kernel->Estimate(p, Rtx4090());
+    EXPECT_LT(RelErr(static_cast<double>(est.counters.dram_bytes_read),
+                     static_cast<double>(run.dram_bytes_read)),
+              0.05)
+        << name;
+    EXPECT_EQ(est.counters.flops, run.flops) << name;
+  }
+}
+
+// ---- Paper-shape properties of the modeled times. ---------------------------
+
+SpmmProblem Problem(int64_t m, int64_t k, int64_t n, double s) {
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = s;
+  return p;
+}
+
+double KernelTimeUs(const std::string& name, const SpmmProblem& p, const DeviceSpec& dev) {
+  return MakeKernel(name)->Estimate(p, dev).time.total_us;
+}
+
+// Paper abstract: SpInfer beats cuBLAS from 30% sparsity upward.
+TEST(KernelEstimateTest, SpInferBeatsCublasFrom30Percent) {
+  const DeviceSpec dev = Rtx4090();
+  for (double s : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const SpmmProblem p = Problem(8192, 8192, 16, s);
+    EXPECT_LT(KernelTimeUs("spinfer", p, dev), KernelTimeUs("cublas_tc", p, dev))
+        << "s=" << s;
+  }
+}
+
+// Fig. 1 / Fig. 10: Flash-LLM roughly ties cuBLAS at 50% and wins at 70%.
+TEST(KernelEstimateTest, FlashLlmCrossoverNear50Percent) {
+  const DeviceSpec dev = Rtx4090();
+  const double t_cublas = KernelTimeUs("cublas_tc", Problem(8192, 8192, 16, 0.5), dev);
+  const double t_fl_50 = KernelTimeUs("flash_llm", Problem(8192, 8192, 16, 0.5), dev);
+  const double t_fl_70 = KernelTimeUs("flash_llm", Problem(8192, 8192, 16, 0.7), dev);
+  EXPECT_NEAR(t_cublas / t_fl_50, 1.0, 0.25);
+  EXPECT_GT(t_cublas / t_fl_70, 1.1);
+}
+
+// SpInfer's speedup grows with sparsity.
+TEST(KernelEstimateTest, SpInferSpeedupMonotoneInSparsity) {
+  const DeviceSpec dev = Rtx4090();
+  double prev = 0.0;
+  for (double s : {0.4, 0.5, 0.6, 0.7}) {
+    const SpmmProblem p = Problem(8192, 8192, 16, s);
+    const double speedup =
+        KernelTimeUs("cublas_tc", p, dev) / KernelTimeUs("spinfer", p, dev);
+    EXPECT_GT(speedup, prev) << "s=" << s;
+    prev = speedup;
+  }
+}
+
+// cuSPARSE is an order of magnitude off at LLM densities (paper: 18x).
+TEST(KernelEstimateTest, CusparseFarBehind) {
+  const DeviceSpec dev = Rtx4090();
+  const SpmmProblem p = Problem(8192, 8192, 16, 0.5);
+  EXPECT_GT(KernelTimeUs("cusparse", p, dev) / KernelTimeUs("spinfer", p, dev), 8.0);
+}
+
+// Fig. 11: SpInfer dominates SMaT at LLM sparsities; SMaT wins only in the
+// extreme (>99.7%) regime.
+TEST(KernelEstimateTest, SmatCrossoverAtExtremeSparsity) {
+  const DeviceSpec dev = Rtx4090();
+  const SpmmProblem p50 = Problem(8192, 8192, 16, 0.5);
+  EXPECT_GT(KernelTimeUs("smat", p50, dev) / KernelTimeUs("spinfer", p50, dev), 1.5);
+  const SpmmProblem p999 = Problem(8192, 8192, 16, 0.999);
+  EXPECT_LT(KernelTimeUs("smat", p999, dev), KernelTimeUs("spinfer", p999, dev));
+}
+
+// Fig. 16: compute-bound prefill (large N) flips the result — SpInfer up to
+// ~12% slower than cuBLAS, but never worse than that.
+TEST(KernelEstimateTest, PrefillLargeNSlightlySlower) {
+  const DeviceSpec dev = Rtx4090();
+  const SpmmProblem p = Problem(28672, 8192, 4096, 0.5);
+  const double ratio = KernelTimeUs("spinfer", p, dev) / KernelTimeUs("cublas_tc", p, dev);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.20);
+}
+
+// Table 1: the ablation variants are slower than the full kernel.
+TEST(KernelEstimateTest, AblationsDegradeModeledTime) {
+  const DeviceSpec dev = Rtx4090();
+  SpmmProblem p = Problem(8192, 8192, 16, 0.6);
+  SpInferKernelConfig full;
+  SpInferKernelConfig no_smbd;
+  no_smbd.smbd = false;
+  SpInferKernelConfig no_pipe;
+  no_pipe.async_pipe = false;
+  const double t_full = SpInferSpmmKernel(full).Estimate(p, dev).time.total_us;
+  const double t_no_smbd = SpInferSpmmKernel(no_smbd).Estimate(p, dev).time.total_us;
+  const double t_no_pipe = SpInferSpmmKernel(no_pipe).Estimate(p, dev).time.total_us;
+  EXPECT_GT(t_no_smbd, t_full);
+  EXPECT_GT(t_no_pipe, t_full);
+  // SMBD matters more than the async pipeline (10% vs 2% in Table 1).
+  EXPECT_GT(t_no_smbd - t_full, t_no_pipe - t_full);
+}
+
+// Both devices support the evaluation; A6000 trends match (Fig. 10 bottom).
+TEST(KernelEstimateTest, A6000TrendsMatch) {
+  const DeviceSpec dev = A6000();
+  const SpmmProblem p = Problem(8192, 8192, 16, 0.6);
+  EXPECT_LT(KernelTimeUs("spinfer", p, dev), KernelTimeUs("cublas_tc", p, dev));
+  EXPECT_LT(KernelTimeUs("spinfer", p, dev), KernelTimeUs("flash_llm", p, dev));
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,80 @@
+#include "src/numeric/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/compare.h"
+
+namespace spinfer {
+namespace {
+
+TEST(MatrixTest, RandomSparseHitsTargetSparsity) {
+  Rng rng(11);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.6, rng);
+  EXPECT_NEAR(w.Sparsity(), 0.6, 0.02);
+}
+
+TEST(MatrixTest, RandomSparseZeroAndFull) {
+  Rng rng(12);
+  const HalfMatrix dense = HalfMatrix::RandomSparse(64, 64, 0.0, rng);
+  EXPECT_EQ(dense.CountNonZeros(), 64 * 64);
+  const HalfMatrix empty = HalfMatrix::RandomSparse(64, 64, 1.0, rng);
+  EXPECT_EQ(empty.CountNonZeros(), 0);
+}
+
+TEST(MatrixTest, ReferenceGemmIdentity) {
+  Rng rng(13);
+  const int64_t k = 32;
+  HalfMatrix eye(k, k);
+  for (int64_t i = 0; i < k; ++i) {
+    eye.at(i, i) = Half(1.0f);
+  }
+  const HalfMatrix x = HalfMatrix::Random(k, 8, rng);
+  const FloatMatrix out = ReferenceGemm(eye, x);
+  for (int64_t r = 0; r < k; ++r) {
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(out.at(r, c), x.at(r, c).ToFloat());
+    }
+  }
+}
+
+TEST(MatrixTest, ReferenceGemmKnownValues) {
+  HalfMatrix w(2, 3);
+  w.at(0, 0) = Half(1.0f);
+  w.at(0, 1) = Half(2.0f);
+  w.at(0, 2) = Half(3.0f);
+  w.at(1, 0) = Half(-1.0f);
+  w.at(1, 2) = Half(0.5f);
+  HalfMatrix x(3, 2);
+  x.at(0, 0) = Half(4.0f);
+  x.at(1, 0) = Half(5.0f);
+  x.at(2, 0) = Half(6.0f);
+  x.at(0, 1) = Half(1.0f);
+  x.at(1, 1) = Half(1.0f);
+  x.at(2, 1) = Half(1.0f);
+  const FloatMatrix out = ReferenceGemm(w, x);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 4 + 10 + 18);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), -4 + 3);
+  EXPECT_FLOAT_EQ(out.at(1, 1), -0.5f);
+}
+
+TEST(CompareTest, DetectsMismatch) {
+  FloatMatrix a(2, 2);
+  FloatMatrix b(2, 2);
+  a.at(1, 1) = 1.0f;
+  const CompareResult res = CompareMatrices(a, b);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.first_bad_row, 1);
+  EXPECT_EQ(res.first_bad_col, 1);
+}
+
+TEST(CompareTest, AcceptsWithinTolerance) {
+  FloatMatrix a(2, 2);
+  FloatMatrix b(2, 2);
+  a.Fill(100.0f);
+  b.Fill(100.05f);
+  EXPECT_TRUE(CompareMatrices(a, b, /*rtol=*/1e-3, /*atol=*/1e-2).ok);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,62 @@
+#include "src/llm/model_config.h"
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+TEST(ModelConfigTest, ParameterCountsNearNominal) {
+  // Within 15% of the marketing parameter count (embeddings etc. vary).
+  EXPECT_NEAR(static_cast<double>(Opt13B().NumParams()), 13e9, 13e9 * 0.15);
+  EXPECT_NEAR(static_cast<double>(Opt30B().NumParams()), 30e9, 30e9 * 0.15);
+  EXPECT_NEAR(static_cast<double>(Opt66B().NumParams()), 66e9, 66e9 * 0.15);
+  EXPECT_NEAR(static_cast<double>(Llama2_7B().NumParams()), 6.7e9, 6.7e9 * 0.15);
+  EXPECT_NEAR(static_cast<double>(Llama2_70B().NumParams()), 69e9, 69e9 * 0.15);
+  EXPECT_NEAR(static_cast<double>(Qwen2_7B().NumParams()), 7.6e9, 7.6e9 * 0.15);
+  // Mixtral: all experts stored -> ~47B total.
+  EXPECT_NEAR(static_cast<double>(Mixtral8x7B().NumParams()), 47e9, 47e9 * 0.15);
+}
+
+TEST(ModelConfigTest, LayerShapesOpt) {
+  const auto shapes = LayerGemmShapes(Opt13B());
+  ASSERT_EQ(shapes.size(), 4u);
+  EXPECT_EQ(shapes[0].op, "qkv_proj");
+  EXPECT_EQ(shapes[0].m, 3 * 5120);
+  EXPECT_EQ(shapes[0].k, 5120);
+  EXPECT_EQ(shapes[2].m, 20480);  // fc1
+  EXPECT_EQ(shapes[3].k, 20480);  // fc2
+}
+
+TEST(ModelConfigTest, LayerShapesGqa) {
+  // LLaMA2-70B: 64 heads, 8 KV heads, head_dim 128 -> QKV M = 8192 + 2*1024.
+  const auto shapes = LayerGemmShapes(Llama2_70B());
+  EXPECT_EQ(shapes[0].m, 8192 + 2 * 1024);
+  // Fig. 1 / Fig. 16 use M=28672, K=8192: the LLaMA2-70B FFN down-proj
+  // transposed pair; gate_up is (2*28672, 8192).
+  EXPECT_EQ(shapes[2].m, 2 * 28672);
+  EXPECT_EQ(shapes[2].k, 8192);
+  EXPECT_EQ(shapes[3].k, 28672);
+}
+
+TEST(ModelConfigTest, MoeActiveExperts) {
+  const auto shapes = LayerGemmShapes(Mixtral8x7B());
+  // Two active experts double the per-token FFN shape.
+  EXPECT_EQ(shapes[2].m, 2 * 2 * 14336);
+}
+
+TEST(ModelConfigTest, LookupByName) {
+  EXPECT_EQ(ModelByName("opt-13b").hidden, 5120);
+  EXPECT_EQ(ModelByName("llama3-8b").kv_heads, 8);
+  EXPECT_EQ(AllModels().size(), 12u);
+}
+
+TEST(ModelConfigTest, HeadDimDividesHidden) {
+  for (const ModelConfig& m : AllModels()) {
+    EXPECT_EQ(m.hidden % m.heads, 0) << m.name;
+    EXPECT_EQ(m.heads % m.kv_heads, 0) << m.name;
+    EXPECT_GT(m.NumParams(), 0) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,88 @@
+#include "src/gpusim/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/spinfer_kernel.h"
+
+namespace spinfer {
+namespace {
+
+TEST(OccupancyTest, UnconstrainedHitsBlockSlotLimit) {
+  KernelResources res;
+  res.registers_per_thread = 16;
+  res.smem_bytes_per_block = 128;
+  res.threads_per_block = 32;
+  const OccupancyResult occ = ComputeOccupancy(res, Rtx4090());
+  EXPECT_EQ(occ.blocks_per_sm, kMaxBlocksPerSm);
+  EXPECT_EQ(occ.limiter, OccupancyResult::Limiter::kBlockSlots);
+}
+
+TEST(OccupancyTest, RegisterLimited) {
+  KernelResources res;
+  res.registers_per_thread = 128;  // 128 * 256 = 32768 regs per block
+  res.smem_bytes_per_block = 1024;
+  res.threads_per_block = 256;
+  const OccupancyResult occ = ComputeOccupancy(res, Rtx4090());
+  EXPECT_EQ(occ.blocks_per_sm, 2);  // 65536 / 32768
+  EXPECT_EQ(occ.limiter, OccupancyResult::Limiter::kRegisters);
+  EXPECT_EQ(occ.warps_per_sm, 16);
+  EXPECT_NEAR(occ.occupancy, 16.0 / 48.0, 1e-9);
+}
+
+TEST(OccupancyTest, SharedMemoryLimited) {
+  KernelResources res;
+  res.registers_per_thread = 32;
+  res.smem_bytes_per_block = 40 << 10;  // 40 KB of 100 KB
+  res.threads_per_block = 128;
+  const OccupancyResult occ = ComputeOccupancy(res, Rtx4090());
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+  EXPECT_EQ(occ.limiter, OccupancyResult::Limiter::kSharedMemory);
+}
+
+TEST(OccupancyTest, WarpSlotLimited) {
+  KernelResources res;
+  res.registers_per_thread = 16;
+  res.smem_bytes_per_block = 64;
+  res.threads_per_block = 1024;  // 32 warps per block
+  const OccupancyResult occ = ComputeOccupancy(res, Rtx4090());
+  EXPECT_EQ(occ.blocks_per_sm, 1);  // 48 / 32
+  EXPECT_EQ(occ.limiter, OccupancyResult::Limiter::kWarpSlots);
+}
+
+TEST(OccupancyTest, ImpossibleLaunch) {
+  KernelResources res;
+  res.registers_per_thread = 200;
+  res.smem_bytes_per_block = 200 << 10;  // exceeds the SM
+  res.threads_per_block = 128;
+  const OccupancyResult occ = ComputeOccupancy(res, Rtx4090());
+  EXPECT_EQ(occ.blocks_per_sm, 0);
+  EXPECT_EQ(occ.occupancy, 0.0);
+}
+
+// The register-economy argument from Fig. 12: SMBD's lower register count
+// admits more resident blocks than the no-SMBD register-staging variant.
+TEST(OccupancyTest, SmbdEnablesHigherOccupancy) {
+  SpInferKernelConfig with;
+  SpInferKernelConfig without;
+  without.smbd = false;
+  const SpInferSpmmKernel a(with);
+  const SpInferSpmmKernel b(without);
+  const OccupancyResult occ_with = ComputeOccupancy(a.Resources(0.6, 16), Rtx4090());
+  const OccupancyResult occ_without = ComputeOccupancy(b.Resources(0.6, 16), Rtx4090());
+  EXPECT_GT(occ_with.warps_per_sm, occ_without.warps_per_sm);
+}
+
+TEST(OccupancyTest, LargeGroupTilesCostSharedMemory) {
+  SpInferKernelConfig small;
+  small.format.gt_rows = 32;
+  small.format.gt_cols = 32;
+  SpInferKernelConfig large;
+  large.format.gt_rows = 128;
+  large.format.gt_cols = 128;
+  const auto res_small = SpInferSpmmKernel(small).Resources(0.5, 16);
+  const auto res_large = SpInferSpmmKernel(large).Resources(0.5, 16);
+  EXPECT_GT(res_large.smem_bytes_per_block, 4 * res_small.smem_bytes_per_block);
+}
+
+}  // namespace
+}  // namespace spinfer

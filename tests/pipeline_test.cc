@@ -1,0 +1,63 @@
+#include "src/gpusim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+constexpr StageTimes kStages{/*load_w=*/4.0, /*load_x=*/2.0, /*decode=*/3.0,
+                             /*mma=*/5.0};
+
+TEST(PipelineTest, SerializedSumsAllStages) {
+  PipelineConfig cfg;
+  cfg.double_buffer = false;
+  EXPECT_DOUBLE_EQ(PipelineIterationTime(kStages, cfg), 4 + 2 + 3 + 5);
+  EXPECT_DOUBLE_EQ(PipelineTotalTime(kStages, cfg, 10), 140.0);
+}
+
+TEST(PipelineTest, DoubleBufferOverlapsMemoryWithCompute) {
+  PipelineConfig cfg;
+  cfg.double_buffer = true;
+  cfg.fine_grained_groups = false;
+  // max(mem=6, decode+mma=8) = 8.
+  EXPECT_DOUBLE_EQ(PipelineIterationTime(kStages, cfg), 8.0);
+}
+
+TEST(PipelineTest, FineGrainedOverlapsAllThreeResources) {
+  PipelineConfig cfg;
+  // max(mem=6, decode=3, mma=5) = 6.
+  EXPECT_DOUBLE_EQ(PipelineIterationTime(kStages, cfg), 6.0);
+}
+
+TEST(PipelineTest, FineGrainedBeatsCoarseBeatsSerial) {
+  PipelineConfig fine;
+  PipelineConfig coarse;
+  coarse.fine_grained_groups = false;
+  PipelineConfig serial;
+  serial.double_buffer = false;
+  const double tf = PipelineTotalTime(kStages, fine, 100);
+  const double tc = PipelineTotalTime(kStages, coarse, 100);
+  const double ts = PipelineTotalTime(kStages, serial, 100);
+  EXPECT_LT(tf, tc);
+  EXPECT_LT(tc, ts);
+}
+
+TEST(PipelineTest, SteadyStateDominatesLongLoops) {
+  PipelineConfig cfg;
+  const double t1000 = PipelineTotalTime(kStages, cfg, 1000);
+  EXPECT_NEAR(t1000 / 1000.0, PipelineIterationTime(kStages, cfg), 0.05);
+}
+
+TEST(PipelineTest, ZeroIterations) {
+  PipelineConfig cfg;
+  EXPECT_DOUBLE_EQ(PipelineTotalTime(kStages, cfg, 0), 0.0);
+}
+
+TEST(PipelineTest, MemoryBoundIterBottleneckedByLoads) {
+  StageTimes s{/*load_w=*/10.0, /*load_x=*/5.0, /*decode=*/1.0, /*mma=*/2.0};
+  PipelineConfig cfg;
+  EXPECT_DOUBLE_EQ(PipelineIterationTime(s, cfg), 15.0);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,85 @@
+#include "src/format/reorder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "src/core/cpu_backend.h"
+#include "src/numeric/compare.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// A matrix with strongly skewed per-row nonzero counts: rows in the first
+// half are dense, the rest nearly empty.
+HalfMatrix SkewedMatrix(int64_t rows, int64_t cols, Rng& rng) {
+  HalfMatrix w(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double density = r < rows / 2 ? 0.9 : 0.05;
+    for (int64_t c = 0; c < cols; ++c) {
+      if (rng.Bernoulli(density)) {
+        w.at(r, c) = Half(static_cast<float>(rng.Gaussian()) + 2.0f);
+      }
+    }
+  }
+  return w;
+}
+
+TEST(ReorderTest, PermutationIsABijection) {
+  Rng rng(221);
+  const HalfMatrix w = SkewedMatrix(128, 64, rng);
+  const RowPermutation perm = BalanceRows(w, 64);
+  ASSERT_EQ(perm.order.size(), 128u);
+  std::vector<uint32_t> sorted = perm.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(ReorderTest, ApplyUnapplyRoundtrips) {
+  Rng rng(222);
+  const HalfMatrix w = SkewedMatrix(96, 48, rng);
+  const HalfMatrix x = HalfMatrix::Random(48, 8, rng, 0.5f);
+  const RowPermutation perm = BalanceRows(w, 32);
+
+  const HalfMatrix permuted = perm.Apply(w);
+  // SpMM on permuted weights, then un-permute the outputs == SpMM on the
+  // original weights.
+  const FloatMatrix direct = CpuSpmm(TcaBmeMatrix::Encode(w), x);
+  const FloatMatrix via_perm =
+      perm.Unapply(CpuSpmm(TcaBmeMatrix::Encode(permuted), x));
+  EXPECT_TRUE(CompareMatrices(via_perm, direct, 1e-5, 1e-4).ok);
+}
+
+TEST(ReorderTest, ReducesGroupImbalance) {
+  Rng rng(223);
+  const HalfMatrix w = SkewedMatrix(512, 128, rng);
+  const int group = 64;
+  const double before = RowGroupImbalance(w, group);
+  const HalfMatrix balanced = BalanceRows(w, group).Apply(w);
+  const double after = RowGroupImbalance(balanced, group);
+  EXPECT_GT(before, 1.5);   // the skew is real
+  EXPECT_LT(after, 1.05);   // and the deal flattens it
+}
+
+TEST(ReorderTest, UniformMatrixStaysBalanced) {
+  Rng rng(224);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 128, 0.5, rng);
+  const double before = RowGroupImbalance(w, 64);
+  const double after = RowGroupImbalance(BalanceRows(w, 64).Apply(w), 64);
+  EXPECT_LT(after, before + 0.01);
+  EXPECT_LT(after, 1.05);
+}
+
+TEST(ReorderTest, AllZeroMatrix) {
+  HalfMatrix w(64, 32);
+  EXPECT_DOUBLE_EQ(RowGroupImbalance(w, 16), 1.0);
+  const RowPermutation perm = BalanceRows(w, 16);
+  EXPECT_EQ(perm.order.size(), 64u);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,68 @@
+#include "src/roofline/roofline.h"
+
+#include <gtest/gtest.h>
+
+#include "src/format/storage_model.h"
+#include "src/format/tca_bme.h"
+
+namespace spinfer {
+namespace {
+
+TEST(RooflineTest, CiGemmEq6) {
+  EXPECT_DOUBLE_EQ(CiGemm(4096, 16), 4096.0 * 16 / (4096 + 16));
+  // Decode-phase N=1: CI ~ 1, deeply memory bound.
+  EXPECT_NEAR(CiGemm(4096, 1), 1.0, 0.01);
+}
+
+TEST(RooflineTest, CiSpmmReducesToGemmAtCrOne) {
+  EXPECT_DOUBLE_EQ(CiSpmm(4096, 16, 1.0), CiGemm(4096, 16));
+}
+
+TEST(RooflineTest, CiOptimalEq8) {
+  // At s=0.5 the weight term halves.
+  EXPECT_DOUBLE_EQ(CiOptimal(4096, 16, 0.5), 4096.0 * 16 / (4096 * 0.5 + 16));
+  EXPECT_GT(CiOptimal(4096, 16, 0.7), CiOptimal(4096, 16, 0.5));
+}
+
+TEST(RooflineTest, HigherCrMeansHigherCi) {
+  const double ci_csr = CiSpmm(4096, 16, 0.8);     // CR < 1: worse than dense
+  const double ci_dense = CiGemm(4096, 16);
+  const double ci_tca = CiSpmm(4096, 16, 1.7);
+  EXPECT_LT(ci_csr, ci_dense);
+  EXPECT_GT(ci_tca, ci_dense);
+  EXPECT_LT(ci_tca, CiOptimal(4096, 16, 0.5));
+}
+
+TEST(RooflineTest, FormatCiOrderingMatchesFig4) {
+  // Derive each format's CI from its storage model at s=0.5, M=K=4096, N=16.
+  const int64_t m = 4096;
+  const int64_t k = 4096;
+  const int64_t n = 16;
+  const double s = 0.5;
+  const int64_t nnz = static_cast<int64_t>(m * k * (1 - s));
+  const double cr_csr = CompressionRatio(m, k, CsrStorageModel(m, nnz));
+  const double cr_tca = CompressionRatio(m, k, TcaBmeStorageModel(m, k, nnz));
+  EXPECT_LT(CiSpmm(m, n, cr_csr), CiGemm(m, n));
+  EXPECT_GT(CiSpmm(m, n, cr_tca), CiGemm(m, n));
+  EXPECT_LT(CiSpmm(m, n, cr_tca), CiOptimal(m, n, s));
+}
+
+TEST(RooflineTest, DecodeShapesAreMemoryBound) {
+  const DeviceSpec dev = Rtx4090();
+  // True arithmetic intensity of a decode GEMM: 2*M*K*N flops over
+  // ~2*M*K bytes = N flops/byte; far below the ridge.
+  const RooflinePoint p = RooflineAttainable("decode", 16.0, dev);
+  EXPECT_TRUE(p.memory_bound);
+  EXPECT_LT(p.attainable_tflops, dev.tc_fp16_tflops);
+  EXPECT_GT(RooflineRidge(dev), 100.0);
+}
+
+TEST(RooflineTest, PrefillShapesAreComputeBound) {
+  const DeviceSpec dev = Rtx4090();
+  const RooflinePoint p = RooflineAttainable("prefill", 2000.0, dev);
+  EXPECT_FALSE(p.memory_bound);
+  EXPECT_DOUBLE_EQ(p.attainable_tflops, dev.tc_fp16_tflops);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,193 @@
+#include "src/format/serialize.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return false;
+  }
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i].bits() != b.data()[i].bits()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // The classic IEEE CRC-32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, SeedChainsRegions) {
+  const char data[] = "hello world";
+  const uint32_t whole = Crc32(data, 11);
+  const uint32_t part = Crc32(data + 5, 6, Crc32(data, 5));
+  EXPECT_EQ(whole, part);
+}
+
+TEST(SerializeTest, MatrixRoundtrip) {
+  Rng rng(171);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 192, 0.6, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const std::vector<uint8_t> bytes = SerializeTcaBme(enc);
+  std::string error;
+  const auto back = DeserializeTcaBme(bytes, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->rows(), enc.rows());
+  EXPECT_EQ(back->nnz(), enc.nnz());
+  EXPECT_EQ(back->StorageBytes(), enc.StorageBytes());
+  EXPECT_TRUE(MatricesEqual(back->Decode(), w));
+}
+
+TEST(SerializeTest, NonDefaultGeometryRoundtrips) {
+  Rng rng(172);
+  TcaBmeConfig cfg;
+  cfg.gt_rows = 32;
+  cfg.gt_cols = 128;
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 256, 0.4, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
+  std::string error;
+  const auto back = DeserializeTcaBme(SerializeTcaBme(enc), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->config().gt_cols, 128);
+  EXPECT_TRUE(MatricesEqual(back->Decode(), w));
+}
+
+TEST(SerializeTest, DetectsTruncation) {
+  Rng rng(173);
+  const TcaBmeMatrix enc =
+      TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(64, 64, 0.5, rng));
+  std::vector<uint8_t> bytes = SerializeTcaBme(enc);
+  bytes.resize(bytes.size() / 2);
+  std::string error;
+  EXPECT_FALSE(DeserializeTcaBme(bytes, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SerializeTest, DetectsBitFlipAnywhere) {
+  // Failure injection: a single flipped bit anywhere must be caught by the
+  // CRC (or by structural validation), never returned as a valid matrix
+  // with silently different *structure*. (Flips inside the FP16 payload are
+  // caught by the CRC.)
+  Rng rng(174);
+  const TcaBmeMatrix enc =
+      TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(32, 32, 0.5, rng));
+  const std::vector<uint8_t> good = SerializeTcaBme(enc);
+  for (size_t trial = 0; trial < 64; ++trial) {
+    std::vector<uint8_t> bad = good;
+    const size_t byte = rng.Below(bad.size());
+    bad[byte] ^= static_cast<uint8_t>(1u << rng.Below(8));
+    std::string error;
+    EXPECT_FALSE(DeserializeTcaBme(bad, &error).has_value())
+        << "flip at byte " << byte << " accepted";
+  }
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  Rng rng(175);
+  const TcaBmeMatrix enc =
+      TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(32, 32, 0.5, rng));
+  std::vector<uint8_t> bytes = SerializeTcaBme(enc);
+  bytes[0] ^= 0xff;
+  std::string error;
+  EXPECT_FALSE(DeserializeTcaBme(bytes, &error).has_value());
+}
+
+TEST(SerializeTest, FileRoundtrip) {
+  Rng rng(176);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "spinfer_serialize_test.tcbm").string();
+  std::string error;
+  ASSERT_TRUE(SaveTcaBme(path, enc, &error)) << error;
+  const auto back = LoadTcaBme(path, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_TRUE(MatricesEqual(back->Decode(), w));
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LoadMissingFileFailsGracefully) {
+  std::string error;
+  EXPECT_FALSE(LoadTcaBme("/nonexistent/path/weights.tcbm", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(SerializeTest, BundleRoundtrip) {
+  Rng rng(177);
+  WeightBundle bundle;
+  bundle.Add("layer0.qkv", TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(64, 32, 0.5, rng)));
+  bundle.Add("layer0.out", TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(32, 32, 0.6, rng)));
+  bundle.Add("layer1.fc1", TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(128, 32, 0.4, rng)));
+  EXPECT_EQ(bundle.size(), 3u);
+
+  std::string error;
+  const auto back = WeightBundle::Deserialize(bundle.Serialize(), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->Names(), bundle.Names());
+  EXPECT_EQ(back->TotalStorageBytes(), bundle.TotalStorageBytes());
+  ASSERT_NE(back->Find("layer0.qkv"), nullptr);
+  EXPECT_EQ(back->Find("layer0.qkv")->nnz(), bundle.Find("layer0.qkv")->nnz());
+  EXPECT_EQ(back->Find("missing"), nullptr);
+}
+
+TEST(SerializeTest, BundleDetectsCorruption) {
+  Rng rng(178);
+  WeightBundle bundle;
+  bundle.Add("w", TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(32, 32, 0.5, rng)));
+  std::vector<uint8_t> bytes = bundle.Serialize();
+  bytes[bytes.size() / 2] ^= 0x10;
+  std::string error;
+  EXPECT_FALSE(WeightBundle::Deserialize(bytes, &error).has_value());
+}
+
+TEST(FromPartsTest, RejectsInconsistentParts) {
+  Rng rng(179);
+  const TcaBmeMatrix good =
+      TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(32, 32, 0.5, rng));
+  std::string error;
+
+  // Wrong bitmap count.
+  auto bitmaps = good.bitmaps();
+  bitmaps.pop_back();
+  EXPECT_FALSE(TcaBmeMatrix::FromParts(32, 32, good.config(), good.gtile_offsets(),
+                                       bitmaps, good.values(), &error)
+                   .has_value());
+
+  // Bitmap popcount exceeding the segment.
+  bitmaps = good.bitmaps();
+  bitmaps[0] = ~0ull;
+  EXPECT_FALSE(TcaBmeMatrix::FromParts(32, 32, good.config(), good.gtile_offsets(),
+                                       bitmaps, good.values(), &error)
+                   .has_value());
+
+  // Non-monotone offsets.
+  auto offsets = good.gtile_offsets();
+  if (offsets.size() >= 3) {
+    std::swap(offsets[0], offsets[1]);
+    EXPECT_FALSE(TcaBmeMatrix::FromParts(32, 32, good.config(), offsets,
+                                         good.bitmaps(), good.values(), &error)
+                     .has_value());
+  }
+
+  // The unmodified parts reassemble fine.
+  const auto ok = TcaBmeMatrix::FromParts(32, 32, good.config(), good.gtile_offsets(),
+                                          good.bitmaps(), good.values(), &error);
+  ASSERT_TRUE(ok.has_value()) << error;
+  EXPECT_EQ(ok->nnz(), good.nnz());
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,76 @@
+#include "src/gpusim/shared_memory.h"
+
+#include <gtest/gtest.h>
+
+namespace spinfer {
+namespace {
+
+TEST(SharedMemoryTest, ConflictFreeSequential4B) {
+  std::vector<uint32_t> addrs;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back(lane * 4);
+  }
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 4);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+}
+
+TEST(SharedMemoryTest, BroadcastIsConflictFree) {
+  std::vector<uint32_t> addrs(32, 128);  // all lanes read the same word
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 4);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+}
+
+TEST(SharedMemoryTest, StrideTwoWordsGivesTwoWayConflict) {
+  std::vector<uint32_t> addrs;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back(lane * 8);  // stride 2 words: banks repeat after 16 lanes
+  }
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 4);
+  EXPECT_EQ(r.transactions, 2u);
+  EXPECT_EQ(r.bank_conflicts, 1u);
+}
+
+TEST(SharedMemoryTest, Stride32WordsIsWorstCase) {
+  std::vector<uint32_t> addrs;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back(lane * 128);  // all lanes hit bank 0
+  }
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 4);
+  EXPECT_EQ(r.transactions, 32u);
+  EXPECT_EQ(r.bank_conflicts, 31u);
+}
+
+TEST(SharedMemoryTest, TwoByteAccessesSharingWordsBroadcast) {
+  // Lane pairs share a 4B word: 16 distinct words over 16 banks, one
+  // transaction.
+  std::vector<uint32_t> addrs;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back(lane * 2);
+  }
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 2);
+  EXPECT_EQ(r.transactions, 1u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+}
+
+TEST(SharedMemoryTest, VectorizedAccessSplitsIntoPhases) {
+  // 16B per lane: 32 lanes x 4 words = 128 words in 4 phases of 32; each
+  // phase is sequential and conflict-free.
+  std::vector<uint32_t> addrs;
+  for (uint32_t lane = 0; lane < 32; ++lane) {
+    addrs.push_back(lane * 16);
+  }
+  const SmemAccessResult r = SimulateSmemAccess(addrs, 16);
+  EXPECT_EQ(r.transactions, 4u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+}
+
+TEST(SharedMemoryTest, EmptyAccess) {
+  const SmemAccessResult r = SimulateSmemAccess({}, 4);
+  EXPECT_EQ(r.transactions, 0u);
+  EXPECT_EQ(r.bank_conflicts, 0u);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,78 @@
+#include "src/core/sparse_linear.h"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/compare.h"
+#include "src/pruning/magnitude.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(SparseLinearTest, ForwardMatchesReference) {
+  Rng rng(241);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 96, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(96, 16, rng, 0.5f);
+  const SparseLinear layer = SparseLinear::FromDense(w);
+  EXPECT_EQ(layer.in_features(), 96);
+  EXPECT_EQ(layer.out_features(), 128);
+  EXPECT_NEAR(layer.sparsity(), w.Sparsity(), 1e-9);
+  const CompareResult cmp =
+      CompareMatrices(layer.Forward(x), ReferenceGemm(w, x), 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+}
+
+TEST(SparseLinearTest, BiasBroadcastsAcrossColumns) {
+  Rng rng(242);
+  const HalfMatrix w = HalfMatrix::RandomSparse(32, 32, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(32, 4, rng, 0.5f);
+  SparseLinear layer = SparseLinear::FromDense(w);
+  std::vector<float> bias(32);
+  for (size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = static_cast<float>(i);
+  }
+  layer.SetBias(bias);
+  const FloatMatrix with_bias = layer.Forward(x);
+  const FloatMatrix without = SparseLinear::FromDense(w).Forward(x);
+  for (int64_t r = 0; r < 32; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(with_bias.at(r, c), without.at(r, c) + static_cast<float>(r), 1e-4);
+    }
+  }
+}
+
+TEST(SparseLinearTest, TunedConstructionStaysCorrect) {
+  Rng rng(243);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 128, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(128, 16, rng, 0.5f);
+  SparseLinear::Options opts;
+  opts.tune = true;
+  opts.expected_n = 16;
+  const SparseLinear layer = SparseLinear::FromDense(w, opts);
+  const CompareResult cmp =
+      CompareMatrices(layer.Forward(x), ReferenceGemm(w, x), 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+}
+
+TEST(SparseLinearTest, StorageAndEstimateSane) {
+  Rng rng(244);
+  const HalfMatrix dense = HalfMatrix::Random(512, 512, rng, 0.05f);
+  const HalfMatrix pruned = MagnitudePruner().Prune(dense, 0.6);
+  const SparseLinear layer = SparseLinear::FromDense(pruned);
+  EXPECT_LT(layer.StorageBytes(), 2ull * 512 * 512);  // beats dense FP16
+  const double t = layer.EstimateGpuTimeUs(16, Rtx4090());
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1000.0);
+}
+
+TEST(SparseLinearTest, WrapsCheckpointMatrix) {
+  Rng rng(245);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const SparseLinear layer(enc);
+  const HalfMatrix x = HalfMatrix::Random(64, 8, rng, 0.5f);
+  EXPECT_TRUE(CompareMatrices(layer.Forward(x), ReferenceGemm(w, x), 2e-3, 5e-2).ok);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,78 @@
+#include "src/format/sparta_format.h"
+
+#include <gtest/gtest.h>
+
+#include "src/format/storage_model.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (!(a.at(r, c) == b.at(r, c))) {
+        return false;
+      }
+    }
+  }
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+class SpartaRoundtripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpartaRoundtripTest, EncodeDecodeRoundtrips) {
+  Rng rng(51);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 96, GetParam(), rng);
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+  EXPECT_EQ(enc.structured_nnz() + enc.residual_nnz(), w.CountNonZeros());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, SpartaRoundtripTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.7, 1.0));
+
+TEST(SpartaTest, DenseMatrixPutsHalfInResidual) {
+  Rng rng(52);
+  const HalfMatrix w = HalfMatrix::RandomSparse(32, 32, 0.0, rng);
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  // Every 4-group has 4 nonzeros: 2 structured + 2 residual.
+  EXPECT_EQ(enc.structured_nnz(), 32 * 32 / 2);
+  EXPECT_EQ(enc.residual_nnz(), 32 * 32 / 2);
+}
+
+TEST(SpartaTest, TwoFourPatternNeedsNoResidual) {
+  // A matrix already in 2:4 form fits entirely in the structured part.
+  HalfMatrix w(8, 16);
+  for (int64_t r = 0; r < 8; ++r) {
+    for (int64_t g = 0; g < 4; ++g) {
+      w.at(r, g * 4 + 1) = Half(1.0f);
+      w.at(r, g * 4 + 3) = Half(2.0f);
+    }
+  }
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  EXPECT_EQ(enc.residual_nnz(), 0);
+  EXPECT_EQ(enc.structured_nnz(), 8 * 4 * 2);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+TEST(SpartaTest, ResidualCountMatchesEq4Expectation) {
+  // Eq. 4 gives the expected residual NNZ under an i.i.d. mask; the encoder
+  // should land within a few percent at this size.
+  Rng rng(53);
+  const double s = 0.5;
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, s, rng);
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  const double expected = SpartaExpectedCsrNnz(512, 512, s);
+  EXPECT_NEAR(static_cast<double>(enc.residual_nnz()), expected, expected * 0.08);
+}
+
+TEST(SpartaTest, NonMultipleOfFourColumns) {
+  Rng rng(54);
+  const HalfMatrix w = HalfMatrix::RandomSparse(16, 30, 0.5, rng);
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,139 @@
+#include "src/core/spinfer_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/compare.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+struct KernelCase {
+  int64_t m;
+  int64_t k;
+  int64_t n;
+  double sparsity;
+  int split_k;
+};
+
+class SpInferKernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(SpInferKernelTest, MatchesReferenceGemm) {
+  const KernelCase& tc = GetParam();
+  Rng rng(101 + static_cast<uint64_t>(tc.m * 7 + tc.k * 3 + tc.n + tc.split_k));
+  const HalfMatrix w = HalfMatrix::RandomSparse(tc.m, tc.k, tc.sparsity, rng);
+  const HalfMatrix x = HalfMatrix::Random(tc.k, tc.n, rng, 0.5f);
+
+  SpInferKernelConfig cfg;
+  cfg.split_k = tc.split_k;
+  const SpInferSpmmKernel kernel(cfg);
+  PerfCounters counters;
+  const FloatMatrix got = kernel.Run(w, x, &counters);
+  const FloatMatrix want = ReferenceGemm(w, x);
+  const CompareResult cmp = CompareMatrices(got, want, 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+  EXPECT_GT(counters.mma_instrs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpInferKernelTest,
+    ::testing::Values(KernelCase{64, 64, 16, 0.5, 1},    // one GroupTile
+                      KernelCase{128, 128, 16, 0.5, 1},  // grid of GroupTiles
+                      KernelCase{128, 128, 16, 0.5, 2},  // split-K 2
+                      KernelCase{128, 256, 8, 0.6, 4},   // split-K 4
+                      KernelCase{64, 128, 1, 0.5, 1},    // n=1 decode shape
+                      KernelCase{64, 64, 5, 0.5, 1},     // ragged n
+                      KernelCase{100, 100, 16, 0.5, 1},  // ragged m,k (padding)
+                      KernelCase{64, 64, 16, 0.0, 1},    // dense
+                      KernelCase{64, 64, 16, 0.9, 1},    // high sparsity
+                      KernelCase{64, 64, 16, 1.0, 1},    // all-zero weights
+                      KernelCase{192, 64, 32, 0.4, 1},
+                      KernelCase{64, 192, 24, 0.7, 3}));
+
+TEST(SpInferKernelTest, SplitKInvariantToPartitioning) {
+  Rng rng(111);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 256, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(256, 8, rng, 0.5f);
+  FloatMatrix base;
+  for (int split : {1, 2, 4}) {
+    SpInferKernelConfig cfg;
+    cfg.split_k = split;
+    const FloatMatrix out = SpInferSpmmKernel(cfg).Run(w, x, nullptr);
+    if (split == 1) {
+      base = out;
+      continue;
+    }
+    const CompareResult cmp = CompareMatrices(out, base, 1e-4, 1e-3);
+    EXPECT_TRUE(cmp.ok) << "split=" << split << " " << cmp.ToString();
+  }
+}
+
+TEST(SpInferKernelTest, AblationVariantsStayCorrect) {
+  // SMBD / AsyncPipe switches change the performance model, never numerics.
+  Rng rng(112);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(64, 16, rng, 0.5f);
+  const FloatMatrix want = ReferenceGemm(w, x);
+  for (bool smbd : {true, false}) {
+    for (bool pipe : {true, false}) {
+      SpInferKernelConfig cfg;
+      cfg.smbd = smbd;
+      cfg.async_pipe = pipe;
+      const FloatMatrix got = SpInferSpmmKernel(cfg).Run(w, x, nullptr);
+      EXPECT_TRUE(CompareMatrices(got, want, 2e-3, 5e-2).ok);
+    }
+  }
+}
+
+TEST(SpInferKernelTest, AlternateGroupTileGeometries) {
+  Rng rng(113);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 96, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(96, 16, rng, 0.5f);
+  const FloatMatrix want = ReferenceGemm(w, x);
+  for (const auto& [gr, gc] : {std::pair{16, 16}, {32, 32}, {64, 32}, {16, 64}}) {
+    SpInferKernelConfig cfg;
+    cfg.format.gt_rows = gr;
+    cfg.format.gt_cols = gc;
+    const FloatMatrix got = SpInferSpmmKernel(cfg).Run(w, x, nullptr);
+    EXPECT_TRUE(CompareMatrices(got, want, 2e-3, 5e-2).ok) << gr << "x" << gc;
+  }
+}
+
+TEST(SpInferKernelTest, RunEncodedAvoidsReencoding) {
+  Rng rng(114);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(64, 8, rng, 0.5f);
+  const SpInferSpmmKernel kernel;
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, kernel.config().format);
+  const FloatMatrix a = kernel.RunEncoded(enc, x, nullptr);
+  const FloatMatrix b = kernel.Run(w, x, nullptr);
+  EXPECT_TRUE(CompareMatrices(a, b, 0.0, 0.0).ok);
+}
+
+TEST(SpInferKernelTest, CountersAccumulateAcrossRuns) {
+  Rng rng(115);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(64, 8, rng, 0.5f);
+  const SpInferSpmmKernel kernel;
+  PerfCounters c;
+  kernel.Run(w, x, &c);
+  const uint64_t once = c.mma_instrs;
+  kernel.Run(w, x, &c);
+  EXPECT_EQ(c.mma_instrs, 2 * once);
+}
+
+TEST(ChooseSplitKTest, FillsDeviceWithoutOverSlicing) {
+  const DeviceSpec dev = Rtx4090();
+  const TcaBmeConfig fmt;
+  // Tall matrix already fills the device: no split.
+  EXPECT_EQ(ChooseSplitK(65536, 4096, fmt, dev), 1);
+  // Short-wide matrix needs split-K to occupy SMs.
+  const int split = ChooseSplitK(4096, 16384, fmt, dev);
+  EXPECT_GT(split, 1);
+  EXPECT_LE(split, 16);
+  // Never slice K below one GroupTile column.
+  EXPECT_EQ(ChooseSplitK(64, 64, fmt, dev), 1);
+}
+
+}  // namespace
+}  // namespace spinfer

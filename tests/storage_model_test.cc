@@ -1,0 +1,98 @@
+#include "src/format/storage_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/format/csr.h"
+#include "src/format/sparta_format.h"
+#include "src/format/tca_bme.h"
+#include "src/format/tiled_csl.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(StorageModelTest, CsrModelMatchesEncoder) {
+  Rng rng(81);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 96, 0.5, rng);
+  const CsrMatrix enc = CsrMatrix::Encode(w);
+  EXPECT_EQ(enc.StorageBytes(), CsrStorageModel(128, enc.nnz()));
+}
+
+TEST(StorageModelTest, TiledCslModelMatchesEncoder) {
+  Rng rng(82);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, 0.5, rng);
+  const TiledCslMatrix enc = TiledCslMatrix::Encode(w);
+  // Model uses NT; encoder stores NT+1 offsets.
+  EXPECT_EQ(enc.StorageBytes(), TiledCslStorageModel(enc.num_tiles(), enc.nnz()) + 4);
+}
+
+TEST(StorageModelTest, SpartaModelTracksEncoder) {
+  Rng rng(83);
+  const double s = 0.5;
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, s, rng);
+  const SpartaMatrix enc = SpartaMatrix::Encode(w);
+  const double model = static_cast<double>(SpartaStorageModel(512, 512, s));
+  const double actual = static_cast<double>(enc.StorageBytes());
+  EXPECT_NEAR(actual, model, model * 0.05);
+}
+
+TEST(StorageModelTest, OptimalCr) {
+  EXPECT_DOUBLE_EQ(OptimalCompressionRatio(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(OptimalCompressionRatio(0.5), 2.0);
+  EXPECT_NEAR(OptimalCompressionRatio(0.9), 10.0, 1e-9);
+}
+
+TEST(StorageModelTest, CompressionRatioDefinition) {
+  EXPECT_DOUBLE_EQ(CompressionRatio(100, 100, 20000), 1.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(100, 100, 10000), 2.0);
+}
+
+// The paper's Fig. 3 ordering at the representative 4096x4096 scale:
+// CSR < Tiled-CSL < 1 <= SparTA < TCA-BME < optimal at 50% sparsity.
+TEST(StorageModelTest, Fig3OrderingAt50PercentSparsity) {
+  const int64_t m = 4096;
+  const int64_t k = 4096;
+  const double s = 0.5;
+  const int64_t nnz = static_cast<int64_t>(m * k * (1 - s));
+  const double cr_csr = CompressionRatio(m, k, CsrStorageModel(m, nnz));
+  const double cr_csl =
+      CompressionRatio(m, k, TiledCslStorageModel(m * k / 4096, nnz));
+  const double cr_sparta = CompressionRatio(m, k, SpartaStorageModel(m, k, s));
+  const double cr_tca = CompressionRatio(m, k, TcaBmeStorageModel(m, k, nnz));
+  EXPECT_LT(cr_csr, cr_csl);
+  EXPECT_LT(cr_csl, 1.0);
+  EXPECT_GT(cr_sparta, 1.0);
+  EXPECT_LT(cr_sparta, cr_tca);
+  EXPECT_GT(cr_tca, 1.5);
+  EXPECT_LT(cr_tca, OptimalCompressionRatio(s));
+}
+
+// TCA-BME keeps CR > 1 across the paper's whole 30-70% range.
+TEST(StorageModelTest, TcaBmeCrAboveOneFrom30Percent) {
+  for (double s : {0.3, 0.4, 0.5, 0.6, 0.7}) {
+    const int64_t nnz = static_cast<int64_t>(4096 * 4096 * (1 - s));
+    EXPECT_GT(CompressionRatio(4096, 4096, TcaBmeStorageModel(4096, 4096, nnz)), 1.0)
+        << "s=" << s;
+  }
+}
+
+// At extreme sparsity the bitmap overhead dominates and CSR wins — the
+// limitation the paper concedes in §6.
+TEST(StorageModelTest, CsrWinsAtExtremeSparsity) {
+  const double s = 0.99;
+  const int64_t nnz = static_cast<int64_t>(4096 * 4096 * (1 - s));
+  const double cr_csr = CompressionRatio(4096, 4096, CsrStorageModel(4096, nnz));
+  const double cr_tca = CompressionRatio(4096, 4096, TcaBmeStorageModel(4096, 4096, nnz));
+  EXPECT_GT(cr_csr, cr_tca);
+}
+
+TEST(StorageModelTest, SpartaExpectationEdgeCases) {
+  // Fully dense: every 4-group has 4 nonzeros -> 2 to CSR per group; a 4x4
+  // matrix has 4 groups.
+  EXPECT_DOUBLE_EQ(SpartaExpectedCsrNnz(4, 4, 0.0), 8.0);
+  // Fully sparse: nothing to store.
+  EXPECT_DOUBLE_EQ(SpartaExpectedCsrNnz(4096, 4096, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,41 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/cli.h"
+
+namespace spinfer {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "23"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("23"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, FormatHelpers) {
+  EXPECT_EQ(FormatF(1.6666, 2), "1.67");
+  EXPECT_EQ(FormatF(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatBytes(1024), "1.00 KiB");
+  EXPECT_EQ(FormatBytes(15461882265ull), "14.40 GiB");
+  EXPECT_EQ(FormatSI(28672.0), "28.7K");
+}
+
+TEST(CliTest, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "0.5", "--flag", "--name=x"};
+  CliFlags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 0.5);
+  EXPECT_TRUE(flags.GetBool("flag", false));
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+}  // namespace
+}  // namespace spinfer

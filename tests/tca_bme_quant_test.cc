@@ -1,0 +1,94 @@
+#include "src/format/tca_bme_quant.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/format/storage_model.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(TcaBmeQuantTest, MaskIsExactAfterRoundtrip) {
+  Rng rng(211);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, 0.5, rng);
+  const TcaBmeQuantMatrix enc = TcaBmeQuantMatrix::Encode(w);
+  const HalfMatrix back = enc.Decode();
+  for (int64_t r = 0; r < w.rows(); ++r) {
+    for (int64_t c = 0; c < w.cols(); ++c) {
+      EXPECT_EQ(w.at(r, c).IsZero(), back.at(r, c).IsZero()) << r << "," << c;
+    }
+  }
+  EXPECT_EQ(enc.nnz(), w.CountNonZeros());
+}
+
+TEST(TcaBmeQuantTest, QuantizationErrorBoundedByTileScale) {
+  Rng rng(212);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const TcaBmeQuantMatrix enc = TcaBmeQuantMatrix::Encode(w);
+  const HalfMatrix back = enc.Decode();
+  // Per-tile absmax scaling: error <= scale/2 + FP16 rounding; scale is at
+  // most tile_absmax / 127, and values are standard-normal-ish, so a loose
+  // global bound of 4/127 * max|w| holds comfortably.
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(w.data()[i].ToFloat()));
+  }
+  for (int64_t i = 0; i < w.size(); ++i) {
+    const float err = std::fabs(w.data()[i].ToFloat() - back.data()[i].ToFloat());
+    EXPECT_LE(err, 4.0f * max_abs / 127.0f) << "i=" << i;
+  }
+}
+
+TEST(TcaBmeQuantTest, RelativeErrorSmallOnAverage) {
+  Rng rng(213);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.6, rng);
+  const TcaBmeQuantMatrix enc = TcaBmeQuantMatrix::Encode(w);
+  const HalfMatrix back = enc.Decode();
+  double num = 0.0;
+  double den = 0.0;
+  for (int64_t i = 0; i < w.size(); ++i) {
+    const double a = w.data()[i].ToFloat();
+    const double b = back.data()[i].ToFloat();
+    num += (a - b) * (a - b);
+    den += a * a;
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.02);  // INT8 absmax: ~0.3-1% typical
+}
+
+TEST(TcaBmeQuantTest, CompressesBeyondFp16Variant) {
+  Rng rng(214);
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, 0.5, rng);
+  const TcaBmeQuantMatrix q = TcaBmeQuantMatrix::Encode(w);
+  const TcaBmeMatrix fp = TcaBmeMatrix::Encode(w);
+  EXPECT_LT(q.StorageBytes(), fp.StorageBytes());
+  // ~ 2B / (1B*0.5 + 0.125 + 0.03) ~ 3.0x.
+  EXPECT_GT(q.CompressionRatio(), 2.5);
+  EXPECT_GT(q.CompressionRatio(), fp.CompressionRatio() * 1.5);
+}
+
+TEST(TcaBmeQuantTest, StorageModelTracksEncoder) {
+  Rng rng(215);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.5, rng);
+  const TcaBmeQuantMatrix enc = TcaBmeQuantMatrix::Encode(w);
+  const uint64_t model = TcaBmeQuantStorageModel(256, 256, enc.nnz());
+  EXPECT_GE(enc.StorageBytes(), model);
+  EXPECT_LT(enc.StorageBytes() - model, 8ull * 16);  // alignment padding only
+}
+
+TEST(TcaBmeQuantTest, AllZeroAndDenseEdges) {
+  HalfMatrix zero(64, 64);
+  const TcaBmeQuantMatrix qz = TcaBmeQuantMatrix::Encode(zero);
+  EXPECT_EQ(qz.nnz(), 0);
+  const HalfMatrix back = qz.Decode();
+  EXPECT_EQ(back.CountNonZeros(), 0);
+
+  Rng rng(216);
+  const HalfMatrix dense = HalfMatrix::RandomSparse(64, 64, 0.0, rng);
+  const TcaBmeQuantMatrix qd = TcaBmeQuantMatrix::Encode(dense);
+  EXPECT_EQ(qd.nnz(), 64 * 64);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,153 @@
+#include "src/format/tca_bme.h"
+
+#include <bit>
+
+#include <gtest/gtest.h>
+
+#include "src/format/storage_model.h"
+#include "src/gpusim/tensor_core.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (!(a.at(r, c) == b.at(r, c))) {
+        return false;
+      }
+    }
+  }
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+class TcaBmeRoundtripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcaBmeRoundtripTest, EncodeDecodeRoundtrips) {
+  Rng rng(71);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, GetParam(), rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  EXPECT_EQ(enc.nnz(), w.CountNonZeros());
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, TcaBmeRoundtripTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 1.0));
+
+TEST(TcaBmeTest, NonMultipleDimensionsPad) {
+  Rng rng(72);
+  const HalfMatrix w = HalfMatrix::RandomSparse(100, 75, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  EXPECT_EQ(enc.padded_rows(), 128);
+  EXPECT_EQ(enc.padded_cols(), 128);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+TEST(TcaBmeTest, AlternateGroupTileShapes) {
+  Rng rng(73);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 160, 0.6, rng);
+  for (const auto& [gr, gc] : {std::pair{16, 16}, {32, 64}, {64, 16}, {128, 128}}) {
+    TcaBmeConfig cfg;
+    cfg.gt_rows = gr;
+    cfg.gt_cols = gc;
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
+    EXPECT_TRUE(MatricesEqual(enc.Decode(), w)) << gr << "x" << gc;
+  }
+}
+
+TEST(TcaBmeTest, BitmapPopcountsSumToNnz) {
+  Rng rng(74);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  int64_t bits = 0;
+  for (uint64_t b : enc.bitmaps()) {
+    bits += std::popcount(b);
+  }
+  EXPECT_EQ(bits, enc.nnz());
+}
+
+TEST(TcaBmeTest, GtileOffsetsDelimitSegments) {
+  Rng rng(75);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 192, 0.45, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  ASSERT_EQ(static_cast<int64_t>(enc.gtile_offsets().size()), enc.num_group_tiles() + 1);
+  EXPECT_EQ(enc.gtile_offsets().front(), 0u);
+  EXPECT_EQ(enc.gtile_offsets().back(), enc.values().size());
+  for (int64_t gt = 0; gt < enc.num_group_tiles(); ++gt) {
+    // Segment length >= popcount of the GroupTile's bitmaps (padding only
+    // adds).
+    int64_t bits = 0;
+    for (int tc = 0; tc < enc.tcs_per_gt(); ++tc) {
+      for (int q = 0; q < 4; ++q) {
+        bits += std::popcount(enc.bitmaps()[enc.BitmapIndex(gt, tc, q)]);
+      }
+    }
+    const int64_t seg = enc.gtile_offsets()[gt + 1] - enc.gtile_offsets()[gt];
+    EXPECT_GE(seg, bits);
+    EXPECT_LT(seg - bits, enc.config().value_align_halves);
+    // Alignment: every segment starts on an 8-byte boundary.
+    EXPECT_EQ(enc.gtile_offsets()[gt] % enc.config().value_align_halves, 0u);
+  }
+}
+
+TEST(TcaBmeTest, StorageMatchesEq9UpToPadding) {
+  Rng rng(76);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const uint64_t model = TcaBmeStorageModel(256, 256, enc.nnz());
+  EXPECT_GE(enc.StorageBytes(), model);
+  // Padding is at most (align-1) halves per GroupTile.
+  const uint64_t max_pad =
+      2ull * (enc.config().value_align_halves - 1) * enc.num_group_tiles();
+  EXPECT_LE(enc.StorageBytes() - model, max_pad);
+}
+
+TEST(TcaBmeTest, CompressionRatioAboveOneAt30Percent) {
+  // The paper's headline storage claim: CR > 1 even at 30% sparsity.
+  Rng rng(77);
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, 0.3, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  EXPECT_GT(enc.CompressionRatio(), 1.0);
+}
+
+TEST(TcaBmeTest, CompressionRatioBeatsAlternativesAt50Percent) {
+  Rng rng(78);
+  const HalfMatrix w = HalfMatrix::RandomSparse(512, 512, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  // CR ~ 2 / (2*0.5 + 0.125) ~ 1.77.
+  EXPECT_GT(enc.CompressionRatio(), 1.6);
+  EXPECT_LT(enc.CompressionRatio(), OptimalCompressionRatio(0.5));
+}
+
+// Cross-check with the Tensor Core layout: the values of a quadrant appear
+// in exactly the order lanes consume them (bit 2i before 2i+1, increasing
+// lane), which is what makes MaskedPopCount the correct offset.
+TEST(TcaBmeTest, QuadrantValueOrderMatchesLaneBitOrder) {
+  Rng rng(79);
+  TcaBmeConfig cfg;
+  cfg.gt_rows = 16;
+  cfg.gt_cols = 16;  // one TCTile per GroupTile
+  const HalfMatrix w = HalfMatrix::RandomSparse(16, 16, 0.4, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
+  size_t cursor = 0;
+  for (int q = 0; q < 4; ++q) {
+    const uint64_t bitmap = enc.bitmaps()[enc.BitmapIndex(0, 0, q)];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int half = 0; half < 2; ++half) {
+        if ((bitmap >> (2 * lane + half)) & 1ull) {
+          const auto [qr, qc] = MmaAQuadrantCoord(lane, half);
+          const int64_t r = qr + (q % 2) * 8;
+          const int64_t c = qc + (q / 2) * 8;
+          EXPECT_EQ(enc.values()[cursor], w.at(r, c))
+              << "q=" << q << " lane=" << lane << " half=" << half;
+          ++cursor;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(cursor, static_cast<size_t>(enc.nnz()));
+}
+
+}  // namespace
+}  // namespace spinfer

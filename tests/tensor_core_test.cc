@@ -1,0 +1,145 @@
+#include "src/gpusim/tensor_core.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/numeric/matrix.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// Every element of the A/B/C operands must be owned by exactly one
+// (lane, idx) pair — the layouts partition the tiles.
+TEST(TensorCoreTest, ALayoutIsAPartition) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int idx = 0; idx < 8; ++idx) {
+      const auto rc = MmaAElementCoord(lane, idx);
+      EXPECT_GE(rc.first, 0);
+      EXPECT_LT(rc.first, 16);
+      EXPECT_GE(rc.second, 0);
+      EXPECT_LT(rc.second, 16);
+      EXPECT_TRUE(seen.insert(rc).second) << "duplicate " << rc.first << "," << rc.second;
+    }
+  }
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(TensorCoreTest, BLayoutIsAPartition) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int idx = 0; idx < 4; ++idx) {
+      const auto kn = MmaBElementCoord(lane, idx);
+      EXPECT_LT(kn.first, 16);
+      EXPECT_LT(kn.second, 8);
+      EXPECT_TRUE(seen.insert(kn).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(TensorCoreTest, CLayoutIsAPartition) {
+  std::set<std::pair<int, int>> seen;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int idx = 0; idx < 4; ++idx) {
+      const auto rc = MmaCElementCoord(lane, idx);
+      EXPECT_LT(rc.first, 16);
+      EXPECT_LT(rc.second, 8);
+      EXPECT_TRUE(seen.insert(rc).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+// The quadrant decomposition must match the full-layout coordinates: register
+// pair q of lane i covers quadrant q (column-major TL,BL,TR,BR) at the
+// quadrant-local coordinates MmaAQuadrantCoord reports.
+TEST(TensorCoreTest, QuadrantViewMatchesFullLayout) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int q = 0; q < 4; ++q) {
+      for (int half = 0; half < 2; ++half) {
+        const auto [qr, qc] = MmaAQuadrantCoord(lane, half);
+        const auto [fr, fc] = MmaAElementCoord(lane, q * 2 + half);
+        EXPECT_EQ(fr, qr + (q % 2) * 8);
+        EXPECT_EQ(fc, qc + (q / 2) * 8);
+      }
+    }
+  }
+}
+
+// Paper Fig. 8: within a quadrant, lane i owns row-major linear positions
+// 2i and 2i+1 — the property that makes bitmap bits 2i/2i+1 per lane work.
+TEST(TensorCoreTest, LaneOwnsBits2iAnd2iPlus1) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const auto [r0, c0] = MmaAQuadrantCoord(lane, 0);
+    const auto [r1, c1] = MmaAQuadrantCoord(lane, 1);
+    EXPECT_EQ(r0 * 8 + c0, 2 * lane);
+    EXPECT_EQ(r1 * 8 + c1, 2 * lane + 1);
+  }
+}
+
+TEST(TensorCoreTest, MmaMatchesReference) {
+  Rng rng(21);
+  const HalfMatrix a = HalfMatrix::Random(16, 16, rng);
+  const HalfMatrix b = HalfMatrix::Random(16, 8, rng);
+
+  MmaAFragment afrag[kWarpSize];
+  MmaBFragment bfrag[kWarpSize];
+  MmaAccumulator acc[kWarpSize] = {};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int i = 0; i < 8; ++i) {
+      const auto [r, c] = MmaAElementCoord(lane, i);
+      afrag[lane].a[i] = a.at(r, c);
+    }
+    for (int i = 0; i < 4; ++i) {
+      const auto [k, n] = MmaBElementCoord(lane, i);
+      bfrag[lane].b[i] = b.at(k, n);
+    }
+  }
+  MmaM16N8K16(afrag, bfrag, acc);
+
+  const FloatMatrix want = ReferenceGemm(a, b);
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (int i = 0; i < 4; ++i) {
+      const auto [r, c] = MmaCElementCoord(lane, i);
+      EXPECT_NEAR(acc[lane].c[i], want.at(r, c), 1e-2) << r << "," << c;
+    }
+  }
+}
+
+TEST(TensorCoreTest, MmaAccumulates) {
+  MmaAFragment afrag[kWarpSize] = {};
+  MmaBFragment bfrag[kWarpSize] = {};
+  MmaAccumulator acc[kWarpSize];
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (float& c : acc[lane].c) {
+      c = 3.5f;
+    }
+  }
+  MmaM16N8K16(afrag, bfrag, acc);  // zero matrices: acc unchanged
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    for (float c : acc[lane].c) {
+      EXPECT_FLOAT_EQ(c, 3.5f);
+    }
+  }
+}
+
+TEST(TensorCoreTest, PopCount) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(~0ull), 64);
+  EXPECT_EQ(PopCount64(0xF0F0ull), 8);
+}
+
+TEST(TensorCoreTest, MaskedPopCount) {
+  // Alg. 2: count set bits strictly below position 2*lane.
+  const uint64_t bitmap = 0b1011;  // bits 0,1,3 set
+  EXPECT_EQ(MaskedPopCount(bitmap, 0), 0);
+  EXPECT_EQ(MaskedPopCount(bitmap, 1), 2);  // bits 0,1
+  EXPECT_EQ(MaskedPopCount(bitmap, 2), 3);  // bits 0,1,3
+  EXPECT_EQ(MaskedPopCount(~0ull, 31), 62);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,69 @@
+#include "src/format/tiled_csl.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+bool MatricesEqual(const HalfMatrix& a, const HalfMatrix& b) {
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      if (!(a.at(r, c) == b.at(r, c))) {
+        return false;
+      }
+    }
+  }
+  return a.rows() == b.rows() && a.cols() == b.cols();
+}
+
+class TiledCslRoundtripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TiledCslRoundtripTest, EncodeDecodeRoundtrips) {
+  Rng rng(41);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, GetParam(), rng);
+  const TiledCslMatrix enc = TiledCslMatrix::Encode(w);
+  EXPECT_EQ(enc.nnz(), w.CountNonZeros());
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sparsities, TiledCslRoundtripTest,
+                         ::testing::Values(0.0, 0.4, 0.5, 0.6, 0.95));
+
+TEST(TiledCslTest, NonMultipleDimensionsPad) {
+  Rng rng(42);
+  const HalfMatrix w = HalfMatrix::RandomSparse(70, 90, 0.5, rng);
+  const TiledCslMatrix enc = TiledCslMatrix::Encode(w);
+  EXPECT_TRUE(MatricesEqual(enc.Decode(), w));
+  EXPECT_EQ(enc.num_tiles(), 2 * 2);  // ceil(70/64) * ceil(90/64)
+}
+
+TEST(TiledCslTest, StorageMatchesEq2) {
+  Rng rng(43);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 64, 0.5, rng);
+  const TiledCslMatrix enc = TiledCslMatrix::Encode(w);
+  // 4B * NNZ + 4B * (NT + 1).
+  EXPECT_EQ(enc.StorageBytes(), 4ull * enc.nnz() + 4ull * (enc.num_tiles() + 1));
+}
+
+TEST(TiledCslTest, EntryPackingRoundtrips) {
+  const Half v(1.5f);
+  const uint32_t packed = (static_cast<uint32_t>(v.bits()) << 16) | 1234u;
+  EXPECT_EQ(TiledCslMatrix::EntryValue(packed), v);
+  EXPECT_EQ(TiledCslMatrix::EntryLocation(packed), 1234u);
+}
+
+TEST(TiledCslTest, IndexingOverheadEqualsDataAt16Bit) {
+  // The paper's core storage observation: Tiled-CSL spends as many bytes on
+  // locations as on values (4B per nonzero vs 2B of payload), so CR < 1
+  // below 50% sparsity.
+  Rng rng(44);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.4, rng);
+  const TiledCslMatrix enc = TiledCslMatrix::Encode(w);
+  const double dense_bytes = 2.0 * 256 * 256;
+  EXPECT_GT(static_cast<double>(enc.StorageBytes()), dense_bytes);  // CR < 1
+}
+
+}  // namespace
+}  // namespace spinfer

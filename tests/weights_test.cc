@@ -1,0 +1,72 @@
+#include "src/llm/weights.h"
+
+#include <gtest/gtest.h>
+
+#include "src/format/tca_bme.h"
+#include "src/numeric/matrix.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TEST(WeightsTest, DenseBytesExact) {
+  EXPECT_EQ(WeightMatrixBytes(1024, 512, 0.0, WeightFormat::kDense),
+            2ull * 1024 * 512);
+  // Dense storage ignores sparsity.
+  EXPECT_EQ(WeightMatrixBytes(1024, 512, 0.6, WeightFormat::kDense),
+            2ull * 1024 * 512);
+}
+
+TEST(WeightsTest, TcaBmeMatchesEncoder) {
+  Rng rng(151);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.6, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const uint64_t model =
+      WeightMatrixBytes(256, 256, w.Sparsity(), WeightFormat::kTcaBme);
+  EXPECT_NEAR(static_cast<double>(model), static_cast<double>(enc.StorageBytes()),
+              static_cast<double>(enc.StorageBytes()) * 0.01);
+}
+
+TEST(WeightsTest, Opt13BModelSizes) {
+  // Paper §5.2: dense OPT-13B needs ~26 GB; SpInfer's 60%-sparse model
+  // ~14.4 GB total (weights + runtime); weights alone land near 12 GB.
+  const uint64_t dense = ModelWeightBytes(Opt13B(), 0.0, WeightFormat::kDense);
+  EXPECT_NEAR(static_cast<double>(dense), 26e9, 2e9);
+  const uint64_t tca = ModelWeightBytes(Opt13B(), 0.6, WeightFormat::kTcaBme);
+  EXPECT_NEAR(static_cast<double>(tca), 12e9, 1.5e9);
+  // Flash-LLM's Tiled-CSL at 60%: 4B per nonzero ~ 0.8 of dense.
+  const uint64_t csl = ModelWeightBytes(Opt13B(), 0.6, WeightFormat::kTiledCsl);
+  EXPECT_GT(csl, tca);
+  EXPECT_LT(csl, dense);
+}
+
+TEST(WeightsTest, TcaBmeReductionTracksSparsity) {
+  // "sparsity-aligned memory reduction": bytes shrink nearly linearly.
+  const uint64_t s40 = ModelWeightBytes(Opt13B(), 0.4, WeightFormat::kTcaBme);
+  const uint64_t s60 = ModelWeightBytes(Opt13B(), 0.6, WeightFormat::kTcaBme);
+  const uint64_t s70 = ModelWeightBytes(Opt13B(), 0.7, WeightFormat::kTcaBme);
+  EXPECT_GT(s40, s60);
+  EXPECT_GT(s60, s70);
+}
+
+TEST(WeightsTest, TiledCslExceedsDenseBelow50) {
+  // The Fig. 3 storage pathology at the model level: Tiled-CSL at 40%
+  // sparsity stores MORE than dense.
+  const uint64_t dense = ModelWeightBytes(Opt13B(), 0.0, WeightFormat::kDense);
+  const uint64_t csl40 = ModelWeightBytes(Opt13B(), 0.4, WeightFormat::kTiledCsl);
+  EXPECT_GT(csl40, dense);
+}
+
+TEST(WeightsTest, MixtralStoresAllExperts) {
+  const uint64_t bytes = ModelWeightBytes(Mixtral8x7B(), 0.0, WeightFormat::kDense);
+  EXPECT_NEAR(static_cast<double>(bytes), 2.0 * 47e9, 2.0 * 47e9 * 0.15);
+}
+
+TEST(WeightsTest, FormatNames) {
+  EXPECT_STREQ(WeightFormatName(WeightFormat::kDense), "dense");
+  EXPECT_STREQ(WeightFormatName(WeightFormat::kTcaBme), "tca-bme");
+  EXPECT_STREQ(WeightFormatName(WeightFormat::kTiledCsl), "tiled-csl");
+}
+
+}  // namespace
+}  // namespace spinfer
