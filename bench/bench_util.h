@@ -7,9 +7,23 @@
 #include "src/baselines/kernel_registry.h"
 #include "src/core/spmm.h"
 #include "src/gpusim/device_spec.h"
+#include "src/util/cli.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
+
+// Parses the flags shared by every bench binary and configures the global
+// thread pool. `--threads=N` sets the sweep/kernel execution width (default:
+// hardware concurrency). Determinism guarantee: every parallel loop in the
+// library reduces in a fixed order, so all modeled numbers and functional
+// outputs are bit-identical for any N — --threads only changes wall-clock.
+inline CliFlags BenchInit(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  flags.RestrictTo({"threads"});
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  return flags;
+}
 
 inline SpmmProblem MakeProblem(int64_t m, int64_t k, int64_t n, double sparsity) {
   SpmmProblem p;

@@ -7,6 +7,7 @@
 
 #include "src/llm/engine.h"
 #include "src/util/table.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -23,45 +24,58 @@ inline const std::vector<Framework>& E2eFrameworks() {
 inline void RunE2eSweep(const ModelConfig& model, const DeviceSpec& dev, int num_gpus,
                         const std::vector<int64_t>& batches,
                         const std::vector<int64_t>& output_lens) {
-  for (int64_t batch : batches) {
+  // Every (batch, out_len) sweep point is an independent SimulateInference
+  // call; run them all on the pool and render sequentially afterwards so the
+  // printed tables are identical for any --threads value.
+  const int64_t num_out = static_cast<int64_t>(output_lens.size());
+  const int64_t num_points = static_cast<int64_t>(batches.size()) * num_out;
+  std::vector<std::vector<std::string>> rows(static_cast<size_t>(num_points));
+  ParallelFor(0, num_points, [&](int64_t point) {
+    const int64_t batch = batches[static_cast<size_t>(point / num_out)];
+    const int64_t out = output_lens[static_cast<size_t>(point % num_out)];
+    std::vector<std::string> row = {std::to_string(out)};
+    double spinfer_ms = 0.0;
+    double spinfer_tps = 0.0;
+    double flash_ms = 0.0;
+    for (Framework f : E2eFrameworks()) {
+      EngineConfig cfg;
+      cfg.model = model;
+      cfg.framework = f;
+      cfg.device = dev;
+      cfg.num_gpus = num_gpus;
+      cfg.batch = batch;
+      cfg.input_len = 128;
+      cfg.output_len = out;
+      cfg.sparsity = 0.6;  // Wanda at 60%, the paper's setting
+      const InferenceReport r = SimulateInference(cfg);
+      if (r.oom) {
+        row.push_back("OOM");
+      } else {
+        row.push_back(FormatF(r.total_ms, 0));
+      }
+      if (f == Framework::kSpInfer && !r.oom) {
+        spinfer_ms = r.total_ms;
+        spinfer_tps = r.tokens_per_second;
+      }
+      if (f == Framework::kFlashLlm && !r.oom) {
+        flash_ms = r.total_ms;
+      }
+    }
+    row.push_back(spinfer_ms > 0 ? FormatF(spinfer_tps, 0) : "-");
+    row.push_back(spinfer_ms > 0 && flash_ms > 0
+                      ? FormatF(flash_ms / spinfer_ms, 2) + "x"
+                      : "-");
+    rows[point] = std::move(row);
+  });
+
+  for (size_t b = 0; b < batches.size(); ++b) {
     std::printf("\n--- %s, %dx %s, batch=%ld (total latency ms; tok/s for SpInfer) ---\n",
-                model.name.c_str(), num_gpus, dev.name.c_str(), static_cast<long>(batch));
+                model.name.c_str(), num_gpus, dev.name.c_str(),
+                static_cast<long>(batches[b]));
     Table t({"out_len", "FT", "DS", "Flash-LLM", "SpInfer", "SpInfer tok/s",
              "speedup vs FL"});
-    for (int64_t out : output_lens) {
-      std::vector<std::string> row = {std::to_string(out)};
-      double spinfer_ms = 0.0;
-      double spinfer_tps = 0.0;
-      double flash_ms = 0.0;
-      for (Framework f : E2eFrameworks()) {
-        EngineConfig cfg;
-        cfg.model = model;
-        cfg.framework = f;
-        cfg.device = dev;
-        cfg.num_gpus = num_gpus;
-        cfg.batch = batch;
-        cfg.input_len = 128;
-        cfg.output_len = out;
-        cfg.sparsity = 0.6;  // Wanda at 60%, the paper's setting
-        const InferenceReport r = SimulateInference(cfg);
-        if (r.oom) {
-          row.push_back("OOM");
-        } else {
-          row.push_back(FormatF(r.total_ms, 0));
-        }
-        if (f == Framework::kSpInfer && !r.oom) {
-          spinfer_ms = r.total_ms;
-          spinfer_tps = r.tokens_per_second;
-        }
-        if (f == Framework::kFlashLlm && !r.oom) {
-          flash_ms = r.total_ms;
-        }
-      }
-      row.push_back(spinfer_ms > 0 ? FormatF(spinfer_tps, 0) : "-");
-      row.push_back(spinfer_ms > 0 && flash_ms > 0
-                        ? FormatF(flash_ms / spinfer_ms, 2) + "x"
-                        : "-");
-      t.AddRow(row);
+    for (int64_t o = 0; o < num_out; ++o) {
+      t.AddRow(rows[b * static_cast<size_t>(num_out) + o]);
     }
     std::printf("%s", t.Render().c_str());
   }

@@ -2,6 +2,10 @@
 // (OPT / LLaMA2 / LLaMA3 / Qwen2 / Mixtral), batch sizes N in {8,16,32},
 // sparsities 40-70%, on RTX4090 and A6000. Speedups normalized to
 // Tensor-Core cuBLAS, exactly as the paper plots them.
+//
+// Every (model, N, sparsity) sweep point is independent; points run on the
+// global thread pool (--threads=N) and aggregate sequentially in sweep
+// order, so the printed tables are identical for any thread count.
 #include <cmath>
 #include <map>
 #include <vector>
@@ -9,57 +13,89 @@
 #include "bench/bench_util.h"
 #include "src/llm/model_config.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spinfer;
+  BenchInit(argc, argv);
   const std::vector<std::string> kernels = {"cusparse", "sputnik", "sparta",
                                             "flash_llm", "spinfer"};
   const std::vector<int64_t> batch_sizes = {8, 16, 32};
   const std::vector<int> sparsities = {40, 50, 60, 70};
 
+  // The sweep grid, flattened into independently computable points.
+  struct SweepPoint {
+    const ModelConfig* model;
+    const std::vector<GemmShape>* shapes;
+    int64_t n;
+    int pct;
+  };
+  const std::vector<ModelConfig>& models = AllModels();
+  std::vector<std::vector<GemmShape>> model_shapes;
+  model_shapes.reserve(models.size());
+  for (const ModelConfig& model : models) {
+    model_shapes.push_back(LayerGemmShapes(model));
+  }
+  std::vector<SweepPoint> points;
+  for (size_t mi = 0; mi < models.size(); ++mi) {
+    for (int64_t n : batch_sizes) {
+      for (int pct : sparsities) {
+        points.push_back({&models[mi], &model_shapes[mi], n, pct});
+      }
+    }
+  }
+
+  struct PointResult {
+    std::vector<std::string> row;
+    std::map<std::string, double> log_geomean;  // per kernel
+    bool spinfer_beats_all = true;
+  };
+
   for (const DeviceSpec& dev : {Rtx4090(), A6000()}) {
     PrintHeader("Figure 10: speedup over cuBLAS_TC on " + dev.name +
                 " (geomean over each model's layer shapes)");
-    // Aggregates for the paper's summary statistics.
+
+    std::vector<PointResult> results(points.size());
+    ParallelFor(0, static_cast<int64_t>(points.size()), [&](int64_t pi) {
+      const SweepPoint& pt = points[static_cast<size_t>(pi)];
+      PointResult& res = results[static_cast<size_t>(pi)];
+      const double s = pt.pct / 100.0;
+      res.row = {pt.model->name, std::to_string(pt.n), std::to_string(pt.pct) + "%"};
+      for (const std::string& kernel : kernels) {
+        double log_sum = 0.0;
+        for (const GemmShape& g : *pt.shapes) {
+          const SpmmProblem p = MakeProblem(g.m, g.k, pt.n, s);
+          const double cublas = ModeledTimeUs("cublas_tc", p, dev);
+          const double time = ModeledTimeUs(kernel, p, dev);
+          log_sum += std::log(cublas / time);
+          if (kernel == "spinfer" && time >= cublas) {
+            res.spinfer_beats_all = false;
+          }
+        }
+        const double geomean =
+            std::exp(log_sum / static_cast<double>(pt.shapes->size()));
+        res.row.push_back(FormatF(geomean, 2) + "x");
+        res.log_geomean[kernel] = std::log(geomean);
+      }
+    });
+
+    // Sequential aggregation in sweep order (identical for any --threads).
     std::map<std::string, double> log_speedup_sum;
     std::map<std::string, int> count;
     std::map<int, double> spinfer_log_by_sparsity;
     std::map<int, int> spinfer_wins_by_sparsity;
     std::map<int, int> cases_by_sparsity;
-
     Table t({"model", "N", "sparsity", "cusparse", "sputnik", "sparta", "flash_llm",
              "spinfer"});
-    for (const ModelConfig& model : AllModels()) {
-      const auto shapes = LayerGemmShapes(model);
-      for (int64_t n : batch_sizes) {
-        for (int pct : sparsities) {
-          const double s = pct / 100.0;
-          std::vector<std::string> row = {model.name, std::to_string(n),
-                                          std::to_string(pct) + "%"};
-          for (const std::string& kernel : kernels) {
-            double log_sum = 0.0;
-            bool spinfer_beats_all = true;
-            for (const GemmShape& g : shapes) {
-              const SpmmProblem p = MakeProblem(g.m, g.k, n, s);
-              const double cublas = ModeledTimeUs("cublas_tc", p, dev);
-              const double time = ModeledTimeUs(kernel, p, dev);
-              log_sum += std::log(cublas / time);
-              if (kernel == "spinfer" && time >= cublas) {
-                spinfer_beats_all = false;
-              }
-            }
-            const double geomean = std::exp(log_sum / static_cast<double>(shapes.size()));
-            row.push_back(FormatF(geomean, 2) + "x");
-            log_speedup_sum[kernel] += std::log(geomean);
-            count[kernel] += 1;
-            if (kernel == "spinfer") {
-              spinfer_log_by_sparsity[pct] += std::log(geomean);
-              cases_by_sparsity[pct] += 1;
-              spinfer_wins_by_sparsity[pct] += spinfer_beats_all ? 1 : 0;
-            }
-          }
-          t.AddRow(row);
-        }
+    for (size_t pi = 0; pi < points.size(); ++pi) {
+      const SweepPoint& pt = points[pi];
+      PointResult& res = results[pi];
+      for (const std::string& kernel : kernels) {
+        log_speedup_sum[kernel] += res.log_geomean[kernel];
+        count[kernel] += 1;
       }
+      spinfer_log_by_sparsity[pt.pct] += res.log_geomean["spinfer"];
+      cases_by_sparsity[pt.pct] += 1;
+      spinfer_wins_by_sparsity[pt.pct] += res.spinfer_beats_all ? 1 : 0;
+      t.AddRow(res.row);
     }
     std::printf("%s\n", t.Render().c_str());
 

@@ -5,8 +5,9 @@
 #include "bench/bench_util.h"
 #include "bench/e2e_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spinfer;
+  BenchInit(argc, argv);
   const DeviceSpec dev = Rtx4090();
   PrintHeader("Figure 13: end-to-end inference on RTX4090 (modeled; Wanda 60%)");
 

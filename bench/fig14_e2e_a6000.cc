@@ -3,8 +3,9 @@
 #include "bench/bench_util.h"
 #include "bench/e2e_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace spinfer;
+  BenchInit(argc, argv);
   const DeviceSpec dev = A6000();
   PrintHeader("Figure 14: end-to-end inference on A6000 (modeled; Wanda 60%)");
 

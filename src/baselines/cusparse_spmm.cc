@@ -2,6 +2,7 @@
 
 #include "src/format/csr.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -11,7 +12,9 @@ FloatMatrix CusparseSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const CsrMatrix csr = CsrMatrix::Encode(w);
   const int64_t n = x.cols();
   FloatMatrix out(w.rows(), n);
-  for (int64_t r = 0; r < w.rows(); ++r) {
+  // Row-parallel: rows are independent and keep their sequential
+  // accumulation order, so output bits match at any thread count.
+  ParallelFor(0, w.rows(), [&](int64_t r) {
     for (uint32_t i = csr.row_ptr()[r]; i < csr.row_ptr()[r + 1]; ++i) {
       const float v = csr.values()[i].ToFloat();
       const uint32_t col = csr.col_idx()[i];
@@ -19,7 +22,7 @@ FloatMatrix CusparseSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         out.at(r, j) += v * x.at(col, j).ToFloat();
       }
     }
-  }
+  });
   if (counters != nullptr) {
     PerfCounters c;
     c.dram_bytes_read = 6ull * csr.nnz() + 4ull * (w.rows() + 1) + 2ull * w.cols() * n;

@@ -7,6 +7,7 @@
 #include "src/format/storage_model.h"
 #include "src/gpusim/shared_memory.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -22,14 +23,16 @@ FloatMatrix FlashLlmSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t tiles_r = PadUp(m, format_.tile_rows) / format_.tile_rows;
   const int64_t tiles_c = PadUp(k, format_.tile_cols) / format_.tile_cols;
 
-  PerfCounters local;
-  local.registers_per_thread = 168;  // Tiled-CSL staging inflates live registers
   FloatMatrix out(m, n);
 
-  // Dense shared-memory tile the extraction phase scatters into.
-  std::vector<float> tile(static_cast<size_t>(format_.tile_rows) * format_.tile_cols);
-
-  for (int64_t tr = 0; tr < tiles_r; ++tr) {
+  // One task per tile row: output rows of different tile rows are disjoint,
+  // and each task keeps private counters that are merged in tile-row order
+  // below, so results are bit-identical for any thread count.
+  std::vector<PerfCounters> row_counters(static_cast<size_t>(tiles_r));
+  ParallelFor(0, tiles_r, [&](int64_t tr) {
+    PerfCounters local;
+    // Dense shared-memory tile the extraction phase scatters into.
+    std::vector<float> tile(static_cast<size_t>(format_.tile_rows) * format_.tile_cols);
     for (int64_t tc = 0; tc < tiles_c; ++tc) {
       const int64_t t = tr * tiles_c + tc;
       const uint32_t begin = enc.tile_offsets()[t];
@@ -88,6 +91,13 @@ FloatMatrix FlashLlmSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         }
       }
     }
+    row_counters[tr] = local;
+  });
+
+  PerfCounters local;
+  local.registers_per_thread = 168;  // Tiled-CSL staging inflates live registers
+  for (int64_t tr = 0; tr < tiles_r; ++tr) {
+    local += row_counters[tr];
   }
   local.flops = local.mma_instrs * 4096ull;
   local.ldsm_instrs = local.mma_instrs;

@@ -6,6 +6,7 @@
 #include "src/format/bcsr.h"
 #include "src/format/sparse_util.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -18,7 +19,9 @@ FloatMatrix SmatSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
 
-  for (int64_t br = 0; br < enc.num_block_rows(); ++br) {
+  // One task per BCSR block row: each owns a disjoint band of output rows,
+  // and the per-row accumulation order matches the sequential loop exactly.
+  ParallelFor(0, enc.num_block_rows(), [&](int64_t br) {
     for (uint32_t b = enc.block_row_ptr()[br]; b < enc.block_row_ptr()[br + 1]; ++b) {
       const int64_t bc = enc.block_cols()[b];
       const Half* block =
@@ -40,7 +43,7 @@ FloatMatrix SmatSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         }
       }
     }
-  }
+  });
 
   if (counters != nullptr) {
     PerfCounters c;

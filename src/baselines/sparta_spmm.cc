@@ -6,6 +6,7 @@
 #include "src/format/sparta_format.h"
 #include "src/format/storage_model.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -17,8 +18,13 @@ FloatMatrix SpartaSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
 
-  // Sparse-Tensor-Core pass over the 2:4 component.
-  for (int64_t r = 0; r < m; ++r) {
+  // One task per output row, running the Sparse-Tensor-Core 2:4 pass and
+  // then the CUDA-core CSR residual pass for that row. Each output element
+  // sees the exact accumulation order of the sequential two-pass loop
+  // (structured contributions first, then residual), so results are
+  // bit-identical for any thread count.
+  const CsrMatrix& residual = enc.residual();
+  ParallelFor(0, m, [&](int64_t r) {
     for (int64_t g = 0; g < enc.groups_per_row(); ++g) {
       const int64_t gi = r * enc.groups_per_row() + g;
       const uint8_t meta = enc.structured_meta()[gi];
@@ -36,10 +42,6 @@ FloatMatrix SpartaSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         }
       }
     }
-  }
-  // CUDA-core pass over the CSR residual, accumulated into the same output.
-  const CsrMatrix& residual = enc.residual();
-  for (int64_t r = 0; r < m; ++r) {
     for (uint32_t i = residual.row_ptr()[r]; i < residual.row_ptr()[r + 1]; ++i) {
       const float v = residual.values()[i].ToFloat();
       const uint32_t col = residual.col_idx()[i];
@@ -47,7 +49,7 @@ FloatMatrix SpartaSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         out.at(r, j) += v * x.at(col, j).ToFloat();
       }
     }
-  }
+  });
 
   if (counters != nullptr) {
     PerfCounters c;

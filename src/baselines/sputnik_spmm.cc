@@ -2,6 +2,7 @@
 
 #include "src/format/csr.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 namespace {
@@ -22,7 +23,9 @@ FloatMatrix SputnikSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const CsrMatrix csr = CsrMatrix::Encode(w);
   const int64_t n = x.cols();
   FloatMatrix out(w.rows(), n);
-  for (int64_t r = 0; r < w.rows(); ++r) {
+  // Row-parallel: rows are independent and keep their sequential
+  // accumulation order, so output bits match at any thread count.
+  ParallelFor(0, w.rows(), [&](int64_t r) {
     for (uint32_t i = csr.row_ptr()[r]; i < csr.row_ptr()[r + 1]; ++i) {
       const float v = csr.values()[i].ToFloat();
       const uint32_t col = csr.col_idx()[i];
@@ -30,7 +33,7 @@ FloatMatrix SputnikSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         out.at(r, j) += v * x.at(col, j).ToFloat();
       }
     }
-  }
+  });
   if (counters != nullptr) {
     PerfCounters c;
     CountCsrWork(w.rows(), w.cols(), n, csr.nnz(), &c);

@@ -9,6 +9,7 @@
 #include "src/gpusim/shared_memory.h"
 #include "src/gpusim/tensor_core.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 namespace {
@@ -55,122 +56,150 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
   const int64_t n = x.cols();
   const int64_t n8 = PadUp(std::max<int64_t>(n, 1), 8) / 8;  // mma n-tiles
 
+  // Ragged-shape guard: the GroupTile grid is derived from the *padded*
+  // dimensions, so a matrix whose M or K is not a GroupTile multiple still
+  // covers every row/column (trailing tiles are zero-padded at encode time).
+  // These invariants are what keeps that true; if an encoded matrix ever
+  // violated them, whole row/column bands would silently drop out.
   const int64_t grid_r = enc.gt_grid_rows();
   const int64_t grid_c = enc.gt_grid_cols();
+  SPINFER_CHECK_MSG(grid_r * config_.format.gt_rows >= m,
+                    "GroupTile row grid does not cover M (ragged M mis-encoded)");
+  SPINFER_CHECK_MSG(grid_c * config_.format.gt_cols >= k,
+                    "GroupTile column grid does not cover K (ragged K mis-encoded)");
   const int tc_rows = enc.tc_rows_per_gt();
   const int tc_cols = enc.tc_cols_per_gt();
   const int split = config_.split_k > 0 ? config_.split_k : 1;
   SPINFER_CHECK_MSG(split <= grid_c, "split_k exceeds K GroupTile columns");
   const int64_t gts_per_split = CeilDiv(grid_c, split);
 
-  PerfCounters local;
-  local.registers_per_thread = config_.smbd ? 104 : 178;
-
   FloatMatrix out(m, n);
 
-  // Per-block accumulators: one MmaAccumulator warp fragment per
-  // (TCTile row within the GroupTile, n8 tile).
-  std::vector<MmaAccumulator> acc(static_cast<size_t>(tc_rows) * n8 * kWarpSize);
-  auto acc_at = [&](int tcr, int64_t nt) {
-    return &acc[(static_cast<size_t>(tcr) * n8 + nt) * kWarpSize];
-  };
+  // The grid loop mirrors the CUDA launch: one task per (block_m, p)
+  // thread-block tile, run on the global pool. Each task fills a private
+  // accumulator block and a private PerfCounters; the epilogue below then
+  // reduces both sequentially in (block_m, p) order, so the FP32 summation
+  // order — and therefore every output bit and counter — is identical for
+  // any thread count, including the original single-threaded loop.
+  const size_t acc_elems = static_cast<size_t>(tc_rows) * n8 * kWarpSize;
+  const int64_t num_blocks = grid_r * split;
+  std::vector<std::vector<MmaAccumulator>> partials(static_cast<size_t>(num_blocks));
+  std::vector<PerfCounters> block_counters(static_cast<size_t>(num_blocks));
 
-  for (int64_t block_m = 0; block_m < grid_r; ++block_m) {
-    for (int p = 0; p < split; ++p) {
-      const int64_t gc_begin = p * gts_per_split;
-      const int64_t gc_end = std::min<int64_t>(grid_c, gc_begin + gts_per_split);
-      if (gc_begin >= gc_end) {
-        continue;
+  ParallelFor(0, num_blocks, [&](int64_t task) {
+    const int64_t block_m = task / split;
+    const int p = static_cast<int>(task % split);
+    const int64_t gc_begin = p * gts_per_split;
+    const int64_t gc_end = std::min<int64_t>(grid_c, gc_begin + gts_per_split);
+    if (gc_begin >= gc_end) {
+      return;  // empty K partition (split does not divide grid_c)
+    }
+    PerfCounters local;
+    std::vector<MmaAccumulator> acc(acc_elems);
+    auto acc_at = [&](int tcr, int64_t nt) {
+      return &acc[(static_cast<size_t>(tcr) * n8 + nt) * kWarpSize];
+    };
+
+    for (int64_t gc = gc_begin; gc < gc_end; ++gc) {
+      const int64_t gt = block_m * grid_c + gc;
+
+      // --- Step 1: GTile loading (LDGSTS global->shared). -----------------
+      const uint64_t seg_halves = enc.gtile_offsets()[gt + 1] - enc.gtile_offsets()[gt];
+      const uint64_t w_tile_bytes =
+          2ull * seg_halves + 8ull * static_cast<uint64_t>(enc.tcs_per_gt()) * 4;
+      local.dram_bytes_read += w_tile_bytes + 8;  // +2 offset words (LDG)
+      local.smem_bytes_written += w_tile_bytes;
+      local.ldgsts_instrs += CeilDiv(w_tile_bytes, kLdgstsWarpBytes);
+      local.ldg_instrs += 1;
+
+      // --- Step 3: XTile loading. ----------------------------------------
+      const uint64_t x_tile_bytes =
+          static_cast<uint64_t>(config_.format.gt_cols) * static_cast<uint64_t>(n) * 2;
+      if (block_m == 0) {
+        // Subsequent block rows re-read the XTile through L2; only the
+        // first touch reaches DRAM (X is far smaller than L2 at decode-
+        // phase N).
+        local.dram_bytes_read += x_tile_bytes;
       }
-      std::fill(acc.begin(), acc.end(), MmaAccumulator{});
+      local.smem_bytes_written += x_tile_bytes;
+      local.ldgsts_instrs += CeilDiv(x_tile_bytes, kLdgstsWarpBytes);
 
-      for (int64_t gc = gc_begin; gc < gc_end; ++gc) {
-        const int64_t gt = block_m * grid_c + gc;
+      // --- Steps 2/4/5: SMBD decode, X fragment loads, Tensor Core. ------
+      size_t cursor = enc.gtile_offsets()[gt];
+      for (int tcc = 0; tcc < tc_cols; ++tcc) {
+        const int64_t k0 = gc * config_.format.gt_cols +
+                           static_cast<int64_t>(tcc) * kTcTileDim;
+        // X fragment loads for this 16-deep K slab: each of the tc_rows
+        // warps LDSMs its B operands (one ldmatrix.x4 covers two n8 tiles).
+        local.ldsm_instrs +=
+            static_cast<uint64_t>(tc_rows) * CeilDiv(static_cast<uint64_t>(n8), 2);
+        local.smem_bytes_read += static_cast<uint64_t>(tc_rows) *
+                                 static_cast<uint64_t>(n8) * 8 * kTcTileDim * 2;
 
-        // --- Step 1: GTile loading (LDGSTS global->shared). -----------------
-        const uint64_t seg_halves = enc.gtile_offsets()[gt + 1] - enc.gtile_offsets()[gt];
-        const uint64_t w_tile_bytes =
-            2ull * seg_halves + 8ull * static_cast<uint64_t>(enc.tcs_per_gt()) * 4;
-        local.dram_bytes_read += w_tile_bytes + 8;  // +2 offset words (LDG)
-        local.smem_bytes_written += w_tile_bytes;
-        local.ldgsts_instrs += CeilDiv(w_tile_bytes, kLdgstsWarpBytes);
-        local.ldg_instrs += 1;
+        for (int tcr = 0; tcr < tc_rows; ++tcr) {
+          // SMBD: quadrant bitmaps and value-run base pointers, advanced
+          // online with PopCount (no stored offsets).
+          const int tc = tcc * tc_rows + tcr;
+          uint64_t bitmaps[4];
+          const Half* quadrant_values[4];
+          for (int q = 0; q < 4; ++q) {
+            bitmaps[q] = enc.bitmaps()[enc.BitmapIndex(gt, tc, q)];
+            quadrant_values[q] = enc.values().data() + cursor;
+            cursor += static_cast<size_t>(PopCount64(bitmaps[q]));
+          }
+          MmaAFragment a_frag[kWarpSize];
+          SmbdDecodeTcTile(bitmaps, quadrant_values, a_frag, &local);
+          local.smem_bytes_read += 4 * 8;  // the four 64-bit bitmaps
 
-        // --- Step 3: XTile loading. ----------------------------------------
-        const uint64_t x_tile_bytes =
-            static_cast<uint64_t>(config_.format.gt_cols) * static_cast<uint64_t>(n) * 2;
-        if (block_m == 0) {
-          // Subsequent block rows re-read the XTile through L2; only the
-          // first touch reaches DRAM (X is far smaller than L2 at decode-
-          // phase N).
-          local.dram_bytes_read += x_tile_bytes;
-        }
-        local.smem_bytes_written += x_tile_bytes;
-        local.ldgsts_instrs += CeilDiv(x_tile_bytes, kLdgstsWarpBytes);
-
-        // --- Steps 2/4/5: SMBD decode, X fragment loads, Tensor Core. ------
-        size_t cursor = enc.gtile_offsets()[gt];
-        for (int tcc = 0; tcc < tc_cols; ++tcc) {
-          const int64_t k0 = gc * config_.format.gt_cols +
-                             static_cast<int64_t>(tcc) * kTcTileDim;
-          // X fragment loads for this 16-deep K slab: each of the tc_rows
-          // warps LDSMs its B operands (one ldmatrix.x4 covers two n8 tiles).
-          local.ldsm_instrs +=
-              static_cast<uint64_t>(tc_rows) * CeilDiv(static_cast<uint64_t>(n8), 2);
-          local.smem_bytes_read += static_cast<uint64_t>(tc_rows) *
-                                   static_cast<uint64_t>(n8) * 8 * kTcTileDim * 2;
-
-          for (int tcr = 0; tcr < tc_rows; ++tcr) {
-            // SMBD: quadrant bitmaps and value-run base pointers, advanced
-            // online with PopCount (no stored offsets).
-            const int tc = tcc * tc_rows + tcr;
-            uint64_t bitmaps[4];
-            const Half* quadrant_values[4];
-            for (int q = 0; q < 4; ++q) {
-              bitmaps[q] = enc.bitmaps()[enc.BitmapIndex(gt, tc, q)];
-              quadrant_values[q] = enc.values().data() + cursor;
-              cursor += static_cast<size_t>(PopCount64(bitmaps[q]));
-            }
-            MmaAFragment a_frag[kWarpSize];
-            SmbdDecodeTcTile(bitmaps, quadrant_values, a_frag, &local);
-            local.smem_bytes_read += 4 * 8;  // the four 64-bit bitmaps
-
-            for (int64_t nt = 0; nt < n8; ++nt) {
-              MmaBFragment b_frag[kWarpSize];
-              for (int lane = 0; lane < kWarpSize; ++lane) {
-                for (int i = 0; i < 4; ++i) {
-                  const auto [kk, nn] = MmaBElementCoord(lane, i);
-                  const int64_t kr = k0 + kk;
-                  const int64_t nc = nt * 8 + nn;
-                  b_frag[lane].b[i] = (kr < k && nc < n) ? x.at(kr, nc) : Half(0.0f);
-                }
+          for (int64_t nt = 0; nt < n8; ++nt) {
+            MmaBFragment b_frag[kWarpSize];
+            for (int lane = 0; lane < kWarpSize; ++lane) {
+              for (int i = 0; i < 4; ++i) {
+                const auto [kk, nn] = MmaBElementCoord(lane, i);
+                const int64_t kr = k0 + kk;
+                const int64_t nc = nt * 8 + nn;
+                b_frag[lane].b[i] = (kr < k && nc < n) ? x.at(kr, nc) : Half(0.0f);
               }
-              MmaM16N8K16(a_frag, b_frag, acc_at(tcr, nt));
-              local.mma_instrs += 1;
-              local.flops += 2ull * 16 * 16 * 8;
             }
+            MmaM16N8K16(a_frag, b_frag, acc_at(tcr, nt));
+            local.mma_instrs += 1;
+            local.flops += 2ull * 16 * 16 * 8;
           }
         }
-        // Consistency: the cursor must land within this GroupTile's padded
-        // segment.
-        SPINFER_CHECK(cursor <= enc.gtile_offsets()[gt + 1]);
       }
+      // Consistency: the cursor must land within this GroupTile's padded
+      // segment.
+      SPINFER_CHECK(cursor <= enc.gtile_offsets()[gt + 1]);
+    }
 
-      // Epilogue: store this block's partials. The functional simulation
-      // adds directly into the output in (block_m, p) order, which is the
-      // same FP32 summation order the reduction workspace would produce.
-      for (int tcr = 0; tcr < tc_rows; ++tcr) {
-        for (int64_t nt = 0; nt < n8; ++nt) {
-          const MmaAccumulator* a = acc_at(tcr, nt);
-          for (int lane = 0; lane < kWarpSize; ++lane) {
-            for (int i = 0; i < 4; ++i) {
-              const auto [r, c] = MmaCElementCoord(lane, i);
-              const int64_t rr = block_m * config_.format.gt_rows +
-                                 static_cast<int64_t>(tcr) * kTcTileDim + r;
-              const int64_t cc = nt * 8 + c;
-              if (rr < m && cc < n) {
-                out.at(rr, cc) += a[lane].c[i];
-              }
+    block_counters[task] = local;
+    partials[task] = std::move(acc);
+  });
+
+  // Epilogue: apply every block's partials in (block_m, p) order — the same
+  // FP32 summation order the CUDA split-K reduction workspace would produce,
+  // and the order the sequential grid loop used before parallelization.
+  PerfCounters local;
+  local.registers_per_thread = config_.smbd ? 104 : 178;
+  for (int64_t task = 0; task < num_blocks; ++task) {
+    local += block_counters[task];
+    const std::vector<MmaAccumulator>& acc = partials[task];
+    if (acc.empty()) {
+      continue;  // empty K partition produced no work
+    }
+    const int64_t block_m = task / split;
+    for (int tcr = 0; tcr < tc_rows; ++tcr) {
+      for (int64_t nt = 0; nt < n8; ++nt) {
+        const MmaAccumulator* a =
+            &acc[(static_cast<size_t>(tcr) * n8 + nt) * kWarpSize];
+        for (int lane = 0; lane < kWarpSize; ++lane) {
+          for (int i = 0; i < 4; ++i) {
+            const auto [r, c] = MmaCElementCoord(lane, i);
+            const int64_t rr = block_m * config_.format.gt_rows +
+                               static_cast<int64_t>(tcr) * kTcTileDim + r;
+            const int64_t cc = nt * 8 + c;
+            if (rr < m && cc < n) {
+              out.at(rr, cc) += a[lane].c[i];
             }
           }
         }

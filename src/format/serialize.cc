@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "src/util/check.h"
 #include "src/util/crc32.h"
@@ -67,6 +68,37 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Reads one named scalar field, reporting which field ran off the end of the
+// buffer (and where) instead of a bare failure.
+template <typename T>
+bool ReadField(Reader& r, T* out, const char* field, std::string* error) {
+  if (r.Read(out)) {
+    return true;
+  }
+  if (error != nullptr) {
+    *error = std::string("truncated container: field '") + field + "' needs " +
+             std::to_string(sizeof(T)) + " bytes at offset " + std::to_string(r.pos()) +
+             " but only " + std::to_string(r.remaining()) + " remain";
+  }
+  return false;
+}
+
+template <typename T>
+bool ReadArrayField(Reader& r, std::vector<T>* out, uint64_t count, const char* field,
+                    std::string* error) {
+  if (r.ReadArray(out, count)) {
+    return true;
+  }
+  if (error != nullptr) {
+    *error = std::string("truncated container: array '") + field + "' declares " +
+             std::to_string(count) + " elements (" +
+             std::to_string(count * sizeof(T)) + " bytes) at offset " +
+             std::to_string(r.pos()) + " but only " + std::to_string(r.remaining()) +
+             " bytes remain";
+  }
+  return false;
+}
+
 void AppendMatrixBody(std::vector<uint8_t>& out, const TcaBmeMatrix& m) {
   Append(out, kMatrixMagic);
   Append(out, kVersion);
@@ -84,19 +116,30 @@ void AppendMatrixBody(std::vector<uint8_t>& out, const TcaBmeMatrix& m) {
 }
 
 std::optional<TcaBmeMatrix> ReadMatrixBody(Reader& r, std::string* error) {
-  auto fail = [&](const char* msg) -> std::optional<TcaBmeMatrix> {
+  uint32_t magic = 0;
+  if (!ReadField(r, &magic, "matrix magic", error)) {
+    return std::nullopt;
+  }
+  if (magic != kMatrixMagic) {
     if (error != nullptr) {
-      *error = msg;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "bad matrix magic 0x%08x (expected 0x%08x 'SPBM')", magic,
+                    kMatrixMagic);
+      *error = buf;
     }
     return std::nullopt;
-  };
-  uint32_t magic = 0;
-  uint32_t version = 0;
-  if (!r.Read(&magic) || magic != kMatrixMagic) {
-    return fail("bad matrix magic");
   }
-  if (!r.Read(&version) || version != kVersion) {
-    return fail("unsupported matrix version");
+  uint32_t version = 0;
+  if (!ReadField(r, &version, "matrix version", error)) {
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    if (error != nullptr) {
+      *error = "unsupported matrix version " + std::to_string(version) +
+               " (this build reads version " + std::to_string(kVersion) + ")";
+    }
+    return std::nullopt;
   }
   int64_t rows = 0;
   int64_t cols = 0;
@@ -106,17 +149,22 @@ std::optional<TcaBmeMatrix> ReadMatrixBody(Reader& r, std::string* error) {
   uint64_t n_offsets = 0;
   uint64_t n_bitmaps = 0;
   uint64_t n_values = 0;
-  if (!r.Read(&rows) || !r.Read(&cols) || !r.Read(&gt_rows) || !r.Read(&gt_cols) ||
-      !r.Read(&align) || !r.Read(&n_offsets) || !r.Read(&n_bitmaps) ||
-      !r.Read(&n_values)) {
-    return fail("truncated matrix header");
+  if (!ReadField(r, &rows, "rows", error) || !ReadField(r, &cols, "cols", error) ||
+      !ReadField(r, &gt_rows, "gt_rows", error) ||
+      !ReadField(r, &gt_cols, "gt_cols", error) ||
+      !ReadField(r, &align, "value_align_halves", error) ||
+      !ReadField(r, &n_offsets, "gtile_offsets count", error) ||
+      !ReadField(r, &n_bitmaps, "bitmaps count", error) ||
+      !ReadField(r, &n_values, "values count", error)) {
+    return std::nullopt;
   }
   std::vector<uint32_t> offsets;
   std::vector<uint64_t> bitmaps;
   std::vector<Half> values;
-  if (!r.ReadArray(&offsets, n_offsets) || !r.ReadArray(&bitmaps, n_bitmaps) ||
-      !r.ReadArray(&values, n_values)) {
-    return fail("truncated matrix payload");
+  if (!ReadArrayField(r, &offsets, n_offsets, "gtile_offsets", error) ||
+      !ReadArrayField(r, &bitmaps, n_bitmaps, "bitmaps", error) ||
+      !ReadArrayField(r, &values, n_values, "values", error)) {
+    return std::nullopt;
   }
   TcaBmeConfig cfg;
   cfg.gt_rows = gt_rows;
@@ -276,31 +324,48 @@ std::optional<WeightBundle> WeightBundle::Deserialize(const std::vector<uint8_t>
   uint32_t magic = 0;
   uint32_t version = 0;
   uint64_t count = 0;
-  if (!r.Read(&magic) || magic != kBundleMagic || !r.Read(&version) ||
-      version != kVersion || !r.Read(&count)) {
+  if (!ReadField(r, &magic, "bundle magic", error)) {
+    return std::nullopt;
+  }
+  if (magic != kBundleMagic) {
     if (error != nullptr) {
-      *error = "bad bundle header";
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "bad bundle magic 0x%08x (expected 0x%08x 'SPWB')", magic,
+                    kBundleMagic);
+      *error = buf;
     }
+    return std::nullopt;
+  }
+  if (!ReadField(r, &version, "bundle version", error)) {
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    if (error != nullptr) {
+      *error = "unsupported bundle version " + std::to_string(version) +
+               " (this build reads version " + std::to_string(kVersion) + ")";
+    }
+    return std::nullopt;
+  }
+  if (!ReadField(r, &count, "layer count", error)) {
     return std::nullopt;
   }
   WeightBundle bundle;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    if (!r.Read(&name_len) || name_len > r.remaining()) {
-      if (error != nullptr) {
-        *error = "truncated layer name";
-      }
+    if (!ReadField(r, &name_len, "layer name length", error)) {
       return std::nullopt;
     }
     std::vector<char> name_buf;
-    if (!r.ReadArray(&name_buf, name_len)) {
-      if (error != nullptr) {
-        *error = "truncated layer name";
-      }
+    if (!ReadArrayField(r, &name_buf, name_len, "layer name", error)) {
       return std::nullopt;
     }
     auto m = ReadMatrixBody(r, error);
     if (!m) {
+      if (error != nullptr) {
+        *error = "layer " + std::to_string(i) + " ('" +
+                 std::string(name_buf.begin(), name_buf.end()) + "'): " + *error;
+      }
       return std::nullopt;
     }
     bundle.Add(std::string(name_buf.begin(), name_buf.end()), std::move(*m));

@@ -1,9 +1,11 @@
 #include "src/format/tca_bme.h"
 
 #include <bit>
+#include <utility>
 
 #include "src/format/sparse_util.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 namespace {
@@ -39,11 +41,23 @@ TcaBmeMatrix TcaBmeMatrix::Encode(const HalfMatrix& w, const TcaBmeConfig& cfg) 
   const int tc_rows = m.tc_rows_per_gt();
   const int tc_cols = m.tc_cols_per_gt();
 
-  m.gtile_offsets_.reserve(static_cast<size_t>(grid_r * grid_c) + 1);
-  m.gtile_offsets_.push_back(0);
-  m.bitmaps_.reserve(static_cast<size_t>(grid_r * grid_c) * m.tcs_per_gt() * 4);
+  // Phase 1 (parallel): each GroupTile row builds its bitmap and value
+  // segments into private buffers. Every tile's encoding is a pure function
+  // of the input, and each segment is padded to the alignment boundary
+  // locally, so the per-row buffers are independent of thread count.
+  struct RowSegments {
+    std::vector<uint64_t> bitmaps;
+    std::vector<Half> values;
+    int64_t nnz = 0;
+  };
+  std::vector<RowSegments> row_segs(static_cast<size_t>(grid_r));
+  std::vector<std::vector<uint32_t>> row_seg_sizes(static_cast<size_t>(grid_r));
 
-  for (int64_t gr = 0; gr < grid_r; ++gr) {
+  ParallelFor(0, grid_r, [&](int64_t gr) {
+    RowSegments& seg = row_segs[gr];
+    std::vector<uint32_t>& sizes = row_seg_sizes[gr];
+    seg.bitmaps.reserve(static_cast<size_t>(grid_c) * m.tcs_per_gt() * 4);
+    sizes.reserve(static_cast<size_t>(grid_c));
     for (int64_t gc = 0; gc < grid_c; ++gc) {
       const int64_t base_r = gr * cfg.gt_rows;
       const int64_t base_c = gc * cfg.gt_cols;
@@ -62,22 +76,41 @@ TcaBmeMatrix TcaBmeMatrix::Encode(const HalfMatrix& w, const TcaBmeConfig& cfg) 
                 const Half v = PaddedAt(w, bt_r + r, bt_c + c);
                 if (!v.IsZero()) {
                   bitmap |= 1ull << (r * kBitmapTileDim + c);
-                  m.values_.push_back(v);
-                  ++m.nnz_;
+                  seg.values.push_back(v);
+                  ++seg.nnz;
                 }
               }
             }
-            m.bitmaps_.push_back(bitmap);
+            seg.bitmaps.push_back(bitmap);
           }
         }
       }
       // Pad this GroupTile's Values segment so the next segment starts on an
-      // LDGSTS.128-compatible boundary.
-      while (m.values_.size() % static_cast<size_t>(cfg.value_align_halves) != 0) {
-        m.values_.push_back(Half(0.0f));
+      // LDGSTS.128-compatible boundary. Because every segment length is a
+      // multiple of the alignment, local padding equals the sequential
+      // encoder's padding against the absolute cursor.
+      while (seg.values.size() % static_cast<size_t>(cfg.value_align_halves) != 0) {
+        seg.values.push_back(Half(0.0f));
       }
-      m.gtile_offsets_.push_back(static_cast<uint32_t>(m.values_.size()));
+      sizes.push_back(static_cast<uint32_t>(seg.values.size()));
     }
+  });
+
+  // Phase 2 (sequential): concatenate the per-row buffers in GroupTile-row
+  // order, reproducing the exact arrays the sequential encoder emits.
+  m.gtile_offsets_.reserve(static_cast<size_t>(grid_r * grid_c) + 1);
+  m.gtile_offsets_.push_back(0);
+  m.bitmaps_.reserve(static_cast<size_t>(grid_r * grid_c) * m.tcs_per_gt() * 4);
+  for (int64_t gr = 0; gr < grid_r; ++gr) {
+    RowSegments& seg = row_segs[gr];
+    const uint32_t base = static_cast<uint32_t>(m.values_.size());
+    for (const uint32_t end_within_row : row_seg_sizes[gr]) {
+      m.gtile_offsets_.push_back(base + end_within_row);
+    }
+    m.bitmaps_.insert(m.bitmaps_.end(), seg.bitmaps.begin(), seg.bitmaps.end());
+    m.values_.insert(m.values_.end(), seg.values.begin(), seg.values.end());
+    m.nnz_ += seg.nnz;
+    seg = RowSegments{};  // release the staging memory eagerly
   }
   return m;
 }

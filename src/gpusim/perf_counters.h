@@ -41,6 +41,10 @@ struct PerfCounters {
 
   PerfCounters& operator+=(const PerfCounters& o);
 
+  // Field-wise equality; used by determinism tests to assert counter totals
+  // are identical regardless of execution width.
+  bool operator==(const PerfCounters& o) const = default;
+
   std::string ToString() const;
 };
 

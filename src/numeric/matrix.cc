@@ -1,6 +1,7 @@
 #include "src/numeric/matrix.h"
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -70,7 +71,9 @@ FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {
   const int64_t k = w.cols();
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
-  for (int64_t i = 0; i < m; ++i) {
+  // Row-parallel: each output row keeps its sequential accumulation order,
+  // so the reference result is bit-identical for any thread count.
+  ParallelFor(0, m, [&](int64_t i) {
     for (int64_t kk = 0; kk < k; ++kk) {
       const float wv = w.at(i, kk).ToFloat();
       if (wv == 0.0f) {
@@ -80,7 +83,7 @@ FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {
         out.at(i, j) += wv * x.at(kk, j).ToFloat();
       }
     }
-  }
+  });
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "src/pruning/linalg.h"
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -53,18 +54,20 @@ HalfMatrix SparseGptPruner::Prune(const HalfMatrix& w, double sparsity) const {
 
   const int64_t keep = k - static_cast<int64_t>(std::llround(sparsity * static_cast<double>(k)));
   HalfMatrix out = w;
-  std::vector<double> row(static_cast<size_t>(k));
-  std::vector<std::pair<double, int64_t>> scored(static_cast<size_t>(k));
-  std::vector<bool> pruned(static_cast<size_t>(k));
 
-  for (int64_t r = 0; r < w.rows(); ++r) {
+  // The shared Hessian inverse is read-only from here on; each row's OBS
+  // column sweep is independent, so rows run in parallel with per-row
+  // scratch buffers.
+  ParallelFor(0, w.rows(), [&](int64_t r) {
+    std::vector<double> row(static_cast<size_t>(k));
+    std::vector<std::pair<double, int64_t>> scored(static_cast<size_t>(k));
+    std::vector<bool> pruned(static_cast<size_t>(k));
     for (int64_t c = 0; c < k; ++c) {
       row[c] = w.at(r, c).ToFloat();
       // SparseGPT saliency: error incurred by removing w_c under OBS.
       scored[c] = {row[c] * row[c] / hinv.at(c, c), c};
     }
     std::sort(scored.begin(), scored.end());
-    std::fill(pruned.begin(), pruned.end(), false);
     for (int64_t i = 0; i < k - keep; ++i) {
       pruned[scored[i].second] = true;
     }
@@ -94,7 +97,7 @@ HalfMatrix SparseGptPruner::Prune(const HalfMatrix& w, double sparsity) const {
         out.at(r, c) = v;
       }
     }
-  }
+  });
   return out;
 }
 

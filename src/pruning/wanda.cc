@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
@@ -18,8 +19,9 @@ HalfMatrix WandaPruner::Prune(const HalfMatrix& w, double sparsity) const {
   HalfMatrix out = w;
   const int64_t k = w.cols();
   const int64_t keep = k - static_cast<int64_t>(std::llround(sparsity * static_cast<double>(k)));
-  std::vector<std::pair<float, int64_t>> scored(static_cast<size_t>(k));
-  for (int64_t r = 0; r < w.rows(); ++r) {
+  // Rows are scored independently; row-parallel with per-row scratch.
+  ParallelFor(0, w.rows(), [&](int64_t r) {
+    std::vector<std::pair<float, int64_t>> scored(static_cast<size_t>(k));
     for (int64_t c = 0; c < k; ++c) {
       scored[c] = {std::fabs(w.at(r, c).ToFloat()) * feature_norms_[c], c};
     }
@@ -32,7 +34,7 @@ HalfMatrix WandaPruner::Prune(const HalfMatrix& w, double sparsity) const {
     for (int64_t i = keep; i < k; ++i) {
       out.at(r, scored[i].second) = Half(0.0f);
     }
-  }
+  });
   return out;
 }
 

@@ -22,6 +22,19 @@ CliFlags::CliFlags(int argc, char** argv) {
   }
 }
 
+void CliFlags::RestrictTo(std::initializer_list<const char*> allowed) const {
+  for (const auto& [name, value] : flags_) {
+    bool known = false;
+    for (const char* a : allowed) {
+      if (name == a) {
+        known = true;
+        break;
+      }
+    }
+    SPINFER_CHECK_MSG(known, "unknown flag --" << name);
+  }
+}
+
 std::string CliFlags::GetString(const std::string& name, const std::string& def) const {
   const auto it = flags_.find(name);
   return it == flags_.end() ? def : it->second;

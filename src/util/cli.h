@@ -1,10 +1,12 @@
 // Minimal command-line flag parsing shared by examples and benches.
 //
-// Supports `--name=value` and `--name value` forms. Unknown flags are
-// reported and abort, so typos in bench invocations fail loudly.
+// Supports `--name=value` and `--name value` forms. Callers that know their
+// full flag set pass it to RestrictTo so typos fail loudly instead of
+// silently running with defaults.
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -22,6 +24,9 @@ class CliFlags {
   bool GetBool(const std::string& name, bool def) const;
 
   bool Has(const std::string& name) const { return flags_.count(name) > 0; }
+
+  // Aborts with the offending name if any parsed flag is not in `allowed`.
+  void RestrictTo(std::initializer_list<const char*> allowed) const;
 
  private:
   std::map<std::string, std::string> flags_;

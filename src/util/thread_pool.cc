@@ -1,0 +1,234 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+
+// Per-worker task deque. A plain mutex per queue keeps the stealing protocol
+// obviously correct (and ThreadSanitizer-clean); tasks are coarse enough —
+// ParallelFor chunks, whole bench sweep points — that lock traffic is noise.
+struct ThreadPool::Queue {
+  std::mutex mutex;
+  std::deque<std::function<void()>> tasks;
+};
+
+namespace {
+
+int ResolveThreads(int num_threads) {
+  if (num_threads > 0) {
+    return num_threads;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Worker index of the current thread within its pool, or -1 off-pool. Used
+// to route Submit to the submitting worker's own queue (LIFO locality) and
+// to pick a distinct steal-victim starting point per worker.
+thread_local int tls_worker_index = -1;
+thread_local const ThreadPool* tls_worker_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(ResolveThreads(num_threads)) {
+  // The caller participates in ParallelFor, so a width-N pool spawns N-1
+  // dedicated workers; width 1 means fully inline execution.
+  const int spawned = num_threads_ - 1;
+  queues_.reserve(spawned);
+  for (int i = 0; i < spawned; ++i) {
+    queues_.push_back(new Queue());
+  }
+  workers_.reserve(spawned);
+  for (int i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_.store(true, std::memory_order_relaxed);
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+  for (Queue* q : queues_) {
+    delete q;
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (queues_.empty()) {
+    task();  // width-1 pool: run inline
+    return;
+  }
+  size_t target;
+  if (tls_worker_pool == this && tls_worker_index >= 0) {
+    target = static_cast<size_t>(tls_worker_index);
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryGetTask(int worker_index, std::function<void()>* task) {
+  // Own queue first, newest task (back): best cache locality.
+  {
+    Queue* own = queues_[worker_index];
+    std::lock_guard<std::mutex> lock(own->mutex);
+    if (!own->tasks.empty()) {
+      *task = std::move(own->tasks.back());
+      own->tasks.pop_back();
+      return true;
+    }
+  }
+  // Steal the oldest task (front) from another worker, scanning from a
+  // per-worker start so thieves spread across victims.
+  const size_t n = queues_.size();
+  for (size_t d = 1; d < n; ++d) {
+    Queue* victim = queues_[(static_cast<size_t>(worker_index) + d) % n];
+    std::lock_guard<std::mutex> lock(victim->mutex);
+    if (!victim->tasks.empty()) {
+      *task = std::move(victim->tasks.front());
+      victim->tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(int worker_index) {
+  tls_worker_index = worker_index;
+  tls_worker_pool = this;
+  std::function<void()> task;
+  while (true) {
+    if (TryGetTask(worker_index, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    // Re-check for work published between the failed scan and the lock;
+    // Submit holds no lock ordering against the queues, so sleep only after
+    // a locked re-scan fails.
+    lock.unlock();
+    if (TryGetTask(worker_index, &task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    lock.lock();
+    if (stopping_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    wake_cv_.wait_for(lock, std::chrono::milliseconds(2));
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end,
+                             const std::function<void(int64_t)>& fn, int64_t grain) {
+  const int64_t total = end - begin;
+  if (total <= 0) {
+    return;
+  }
+  if (num_threads_ == 1 || total == 1) {
+    for (int64_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  if (grain <= 0) {
+    // ~8 chunks per execution-width thread: fine enough to balance ragged
+    // per-index cost, coarse enough that the shared cursor stays cold.
+    grain = std::max<int64_t>(1, total / (static_cast<int64_t>(num_threads_) * 8));
+  }
+
+  // Shared loop state. Heap-allocated and reference-counted so helper tasks
+  // that lose the race for the last chunk can still touch it safely after
+  // the caller has returned.
+  struct LoopState {
+    std::atomic<int64_t> cursor;
+    int64_t end = 0;
+    int64_t grain = 0;
+    const std::function<void(int64_t)>* fn = nullptr;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    int64_t done = 0;  // indices completed, guarded by done_mutex
+    int64_t total = 0;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->cursor.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->fn = &fn;
+  state->total = total;
+
+  auto run_chunks = [](const std::shared_ptr<LoopState>& s) {
+    int64_t chunk_begin;
+    while ((chunk_begin = s->cursor.fetch_add(s->grain, std::memory_order_relaxed)) <
+           s->end) {
+      const int64_t chunk_end = std::min(s->end, chunk_begin + s->grain);
+      for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+        (*s->fn)(i);
+      }
+      std::lock_guard<std::mutex> lock(s->done_mutex);
+      s->done += chunk_end - chunk_begin;
+      if (s->done == s->total) {
+        s->done_cv.notify_all();
+      }
+    }
+  };
+
+  // One helper task per worker; each loops until the cursor is exhausted.
+  // Helpers that start after the range is drained exit immediately.
+  const int64_t max_helpers =
+      std::min<int64_t>(num_threads_ - 1, (total + grain - 1) / grain);
+  for (int64_t h = 0; h < max_helpers; ++h) {
+    Submit([state, run_chunks] { run_chunks(state); });
+  }
+  // The caller works too, then blocks until in-flight chunks finish.
+  run_chunks(state);
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done_cv.wait(lock, [&] { return state->done == state->total; });
+}
+
+namespace {
+
+std::mutex g_global_pool_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  if (g_global_pool == nullptr) {
+    g_global_pool = std::make_unique<ThreadPool>(0);
+  }
+  return *g_global_pool;
+}
+
+void ThreadPool::SetGlobalThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_pool_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t grain) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain);
+}
+
+}  // namespace spinfer

@@ -1,0 +1,91 @@
+// Work-stealing thread pool and the ParallelFor primitive behind every
+// parallel loop in the repository (functional kernels, the TCA-BME encoder,
+// pruning scorers, bench sweeps).
+//
+// Determinism contract: ParallelFor runs the body exactly once per index, in
+// an unspecified order on unspecified threads. Callers keep results
+// bit-identical for any thread count by (a) writing only to disjoint,
+// index-addressed state inside the body and (b) performing any
+// order-sensitive reduction (FP32 sums, PerfCounters merges) sequentially
+// afterwards, in a fixed index order. Every parallel loop in src/ follows
+// this pattern, and tests/parallel_determinism_test.cc enforces it.
+//
+// Scheduling: each worker owns a deque; submitted tasks go to the owner's
+// queue when called from a worker (LIFO for locality) or round-robin
+// otherwise, and idle workers steal from the opposite end of other queues
+// (FIFO, classic Blumofe–Leiserson work stealing). ParallelFor additionally
+// load-balances by carving the index range into chunks claimed from a shared
+// atomic cursor, so a straggler index cannot serialize the loop. The calling
+// thread participates, which makes nested ParallelFor calls deadlock-free
+// (the inner loop always progresses on its caller even when all workers are
+// busy).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spinfer {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. 0 picks std::thread::hardware_concurrency.
+  // A pool of 1 runs everything inline on the submitting thread.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution width: worker threads, counting the caller that
+  // participates in ParallelFor. Always >= 1.
+  int num_threads() const { return num_threads_; }
+
+  // Fire-and-forget task submission (ParallelFor is built on top of this).
+  // Tasks must not throw; the library's error path is SPINFER_CHECK/abort.
+  void Submit(std::function<void()> task);
+
+  // Runs fn(i) exactly once for every i in [begin, end), distributing chunks
+  // over the pool and the calling thread; returns when all indices are done.
+  // `grain` is the minimum number of consecutive indices per chunk (0 picks
+  // a balanced default of ~8 chunks per thread).
+  void ParallelFor(int64_t begin, int64_t end,
+                   const std::function<void(int64_t)>& fn, int64_t grain = 0);
+
+  // The process-wide pool used by the free ParallelFor below. Created
+  // lazily with hardware_concurrency workers.
+  static ThreadPool& Global();
+
+  // Rebuilds the global pool with `num_threads` workers (0 = hardware
+  // concurrency). Benches wire --threads here; tests use it to replay the
+  // same work at 1/2/8 threads. Must not be called while parallel work is
+  // in flight.
+  static void SetGlobalThreads(int num_threads);
+
+ private:
+  struct Queue;
+
+  void WorkerLoop(int worker_index);
+  // Pops a task from the worker's own queue (back) or steals one (front of a
+  // victim queue). Returns false when no task is available anywhere.
+  bool TryGetTask(int worker_index, std::function<void()>* task);
+
+  int num_threads_ = 1;
+  std::vector<Queue*> queues_;       // one per worker thread
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::atomic<uint64_t> next_queue_{0};  // round-robin cursor for Submit
+  std::atomic<bool> stopping_{false};
+};
+
+// ParallelFor over the global pool; the workhorse entry point.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int64_t grain = 0);
+
+}  // namespace spinfer

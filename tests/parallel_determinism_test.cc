@@ -1,0 +1,242 @@
+// Determinism of every parallel loop in the library: the same inputs must
+// produce bit-identical outputs and identical PerfCounters no matter how many
+// threads the global pool runs (--threads in the benches). This is the
+// enforcement half of the ParallelFor determinism contract documented in
+// src/util/thread_pool.h.
+#include "src/util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "src/baselines/kernel_registry.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/format/tca_bme.h"
+#include "src/pruning/magnitude.h"
+#include "src/pruning/sparsegpt.h"
+#include "src/pruning/wanda.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+const std::vector<int>& ThreadWidths() {
+  static const std::vector<int> kWidths = {1, 2, 8};
+  return kWidths;
+}
+
+bool BitIdentical(const FloatMatrix& a, const FloatMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), sizeof(float) * static_cast<size_t>(a.size())) ==
+             0;
+}
+
+bool BitIdentical(const HalfMatrix& a, const HalfMatrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), sizeof(Half) * static_cast<size_t>(a.size())) ==
+             0;
+}
+
+// --- ThreadPool / ParallelFor unit behaviour -------------------------------
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr int64_t kCount = 10000;
+  std::vector<int> hits(kCount, 0);  // disjoint writes, safe without atomics
+  pool.ParallelFor(0, kCount, [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; });
+  for (int64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonRanges) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, [&](int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  pool.ParallelFor(7, 8, [&](int64_t i) {
+    EXPECT_EQ(i, 7);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool pool(4);
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 64;
+  std::vector<int> hits(kOuter * kInner, 0);
+  pool.ParallelFor(0, kOuter, [&](int64_t o) {
+    pool.ParallelFor(0, kInner,
+                     [&](int64_t i) { hits[static_cast<size_t>(o * kInner + i)] += 1; });
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 32, [&](int64_t) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPoolTest, LargeGrainStillCoversRange) {
+  ThreadPool pool(4);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(0, 100, [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; },
+                   /*grain=*/1000);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1);
+  }
+}
+
+// --- Functional kernels ----------------------------------------------------
+
+// Runs `name` on the same (w, x) at every thread width and requires the
+// output matrix and counters to match the width-1 run exactly.
+void ExpectKernelDeterministic(const std::string& name, const HalfMatrix& w,
+                               const HalfMatrix& x) {
+  FloatMatrix base_out;
+  PerfCounters base_counters;
+  for (int threads : ThreadWidths()) {
+    ThreadPool::SetGlobalThreads(threads);
+    PerfCounters counters;
+    const FloatMatrix out = MakeKernel(name)->Run(w, x, &counters);
+    if (threads == ThreadWidths().front()) {
+      base_out = out;
+      base_counters = counters;
+      continue;
+    }
+    EXPECT_TRUE(BitIdentical(out, base_out)) << name << " at " << threads << " threads";
+    EXPECT_TRUE(counters == base_counters)
+        << name << " counters at " << threads << " threads:\n got "
+        << counters.ToString() << "\nwant " << base_counters.ToString();
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ParallelDeterminismTest, BaselineKernels) {
+  Rng rng(2024);
+  const HalfMatrix w = HalfMatrix::RandomSparse(192, 256, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(256, 24, rng, 0.5f);
+  for (const char* name : {"flash_llm", "smat", "sparta", "sputnik", "cusparse"}) {
+    ExpectKernelDeterministic(name, w, x);
+  }
+}
+
+TEST(ParallelDeterminismTest, SpInferKernelIncludingSplitK) {
+  Rng rng(2025);
+  const HalfMatrix w = HalfMatrix::RandomSparse(192, 384, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(384, 16, rng, 0.5f);
+  for (int split_k : {1, 3}) {
+    SpInferKernelConfig cfg;
+    cfg.split_k = split_k;
+    const SpInferSpmmKernel kernel(cfg);
+    FloatMatrix base_out;
+    PerfCounters base_counters;
+    for (int threads : ThreadWidths()) {
+      ThreadPool::SetGlobalThreads(threads);
+      PerfCounters counters;
+      const FloatMatrix out = kernel.Run(w, x, &counters);
+      if (threads == ThreadWidths().front()) {
+        base_out = out;
+        base_counters = counters;
+        continue;
+      }
+      EXPECT_TRUE(BitIdentical(out, base_out))
+          << "split_k=" << split_k << " at " << threads << " threads";
+      EXPECT_TRUE(counters == base_counters)
+          << "split_k=" << split_k << " counters at " << threads << " threads:\n got "
+          << counters.ToString() << "\nwant " << base_counters.ToString();
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ParallelDeterminismTest, ReferenceGemm) {
+  Rng rng(2026);
+  const HalfMatrix w = HalfMatrix::RandomSparse(150, 130, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(130, 9, rng, 0.5f);
+  FloatMatrix base;
+  for (int threads : ThreadWidths()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const FloatMatrix out = ReferenceGemm(w, x);
+    if (threads == ThreadWidths().front()) {
+      base = out;
+      continue;
+    }
+    EXPECT_TRUE(BitIdentical(out, base)) << threads << " threads";
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// --- TCA-BME encoder -------------------------------------------------------
+
+TEST(ParallelDeterminismTest, EncoderArraysIdentical) {
+  Rng rng(2027);
+  // Ragged shape on purpose: padding rows/cols exercise the per-row
+  // alignment bookkeeping in the two-phase encoder.
+  const HalfMatrix w = HalfMatrix::RandomSparse(200, 170, 0.65, rng);
+  ThreadPool::SetGlobalThreads(1);
+  const TcaBmeMatrix base = TcaBmeMatrix::Encode(w);
+  for (int threads : ThreadWidths()) {
+    ThreadPool::SetGlobalThreads(threads);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+    EXPECT_EQ(enc.nnz(), base.nnz()) << threads << " threads";
+    EXPECT_EQ(enc.gtile_offsets(), base.gtile_offsets()) << threads << " threads";
+    EXPECT_EQ(enc.bitmaps(), base.bitmaps()) << threads << " threads";
+    ASSERT_EQ(enc.values().size(), base.values().size()) << threads << " threads";
+    for (size_t i = 0; i < enc.values().size(); ++i) {
+      ASSERT_EQ(enc.values()[i].bits(), base.values()[i].bits())
+          << "value " << i << " at " << threads << " threads";
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+// --- Pruners ---------------------------------------------------------------
+
+TEST(ParallelDeterminismTest, PrunersIdentical) {
+  Rng rng(2028);
+  const int64_t rows = 96;
+  const int64_t cols = 64;
+  const HalfMatrix w = HalfMatrix::Random(rows, cols, rng, 1.0f);
+
+  std::vector<float> norms(static_cast<size_t>(cols));
+  for (size_t i = 0; i < norms.size(); ++i) {
+    norms[i] = 0.5f + 0.01f * static_cast<float>(i);
+  }
+  const int64_t samples = 32;
+  std::vector<float> calib(static_cast<size_t>(samples * cols));
+  Rng crng(7);
+  for (float& v : calib) {
+    v = static_cast<float>(crng.Gaussian());
+  }
+
+  const MagnitudePruner magnitude;
+  const WandaPruner wanda(norms);
+  const SparseGptPruner sparsegpt(calib, samples, cols, 0.01);
+  const Pruner* pruners[] = {&magnitude, &wanda, &sparsegpt};
+  const char* names[] = {"magnitude", "wanda", "sparsegpt"};
+
+  for (size_t pi = 0; pi < 3; ++pi) {
+    HalfMatrix base;
+    for (int threads : ThreadWidths()) {
+      ThreadPool::SetGlobalThreads(threads);
+      const HalfMatrix pruned = pruners[pi]->Prune(w, 0.6);
+      if (threads == ThreadWidths().front()) {
+        base = pruned;
+        continue;
+      }
+      EXPECT_TRUE(BitIdentical(pruned, base))
+          << names[pi] << " at " << threads << " threads";
+    }
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+
+}  // namespace
+}  // namespace spinfer

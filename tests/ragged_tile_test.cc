@@ -1,0 +1,133 @@
+// Regression coverage for ragged shapes: M or K not a multiple of the
+// GroupTile geometry must pad, never drop rows or columns, across the
+// Run/RunEncoded/Estimate paths — and a weight matrix encoded with a
+// geometry that cannot cover the padded shape must trip the kernel's grid
+// guard instead of silently computing a partial product.
+#include "src/core/spinfer_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/numeric/compare.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+struct RaggedCase {
+  int64_t m;
+  int64_t k;
+  int64_t n;
+  int split_k;
+};
+
+class RaggedTileTest : public ::testing::TestWithParam<RaggedCase> {};
+
+TEST_P(RaggedTileTest, RunMatchesReferenceOnEveryRow) {
+  const RaggedCase& tc = GetParam();
+  Rng rng(500 + static_cast<uint64_t>(tc.m + tc.k * 2 + tc.n * 3 + tc.split_k));
+  const HalfMatrix w = HalfMatrix::RandomSparse(tc.m, tc.k, 0.55, rng);
+  const HalfMatrix x = HalfMatrix::Random(tc.k, tc.n, rng, 0.5f);
+
+  SpInferKernelConfig cfg;
+  cfg.split_k = tc.split_k;
+  const SpInferSpmmKernel kernel(cfg);
+  const FloatMatrix got = kernel.Run(w, x, nullptr);
+  const FloatMatrix want = ReferenceGemm(w, x);
+  ASSERT_EQ(got.rows(), tc.m);
+  ASSERT_EQ(got.cols(), tc.n);
+  const CompareResult cmp = CompareMatrices(got, want, 2e-3, 5e-2);
+  EXPECT_TRUE(cmp.ok) << cmp.ToString();
+  // The final (ragged) row must carry real values, not padding zeros.
+  double last_row_ref = 0.0;
+  for (int64_t c = 0; c < tc.n; ++c) {
+    last_row_ref += std::fabs(want.at(tc.m - 1, c));
+  }
+  if (last_row_ref > 0.0) {
+    double last_row_got = 0.0;
+    for (int64_t c = 0; c < tc.n; ++c) {
+      last_row_got += std::fabs(got.at(tc.m - 1, c));
+    }
+    EXPECT_GT(last_row_got, 0.0) << "ragged final row dropped";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RaggedTileTest,
+    ::testing::Values(RaggedCase{65, 64, 16, 1},     // M one past a tile
+                      RaggedCase{64, 65, 16, 1},     // K one past a tile
+                      RaggedCase{63, 63, 16, 1},     // both one short
+                      RaggedCase{100, 100, 16, 1},   // mid-tile both
+                      RaggedCase{100, 200, 8, 2},    // ragged + split-K
+                      RaggedCase{130, 190, 7, 3},    // everything ragged
+                      RaggedCase{1, 1, 1, 1}));      // degenerate minimum
+
+TEST(RaggedTileTest, EncodedPathAgreesWithDirectRun) {
+  Rng rng(510);
+  const HalfMatrix w = HalfMatrix::RandomSparse(90, 150, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(150, 12, rng, 0.5f);
+  const SpInferSpmmKernel kernel;
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  PerfCounters c1;
+  PerfCounters c2;
+  const FloatMatrix direct = kernel.Run(w, x, &c1);
+  const FloatMatrix encoded = kernel.RunEncoded(enc, x, &c2);
+  ASSERT_EQ(direct.rows(), encoded.rows());
+  ASSERT_EQ(direct.cols(), encoded.cols());
+  for (int64_t r = 0; r < direct.rows(); ++r) {
+    for (int64_t c = 0; c < direct.cols(); ++c) {
+      ASSERT_EQ(direct.at(r, c), encoded.at(r, c)) << r << "," << c;
+    }
+  }
+  EXPECT_TRUE(c1 == c2);
+}
+
+TEST(RaggedTileTest, EstimateAgreesWithFunctionalCountsOnRaggedShape) {
+  Rng rng(511);
+  const int64_t m = 100;
+  const int64_t k = 170;
+  const int64_t n = 12;
+  const HalfMatrix w = HalfMatrix::RandomSparse(m, k, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(k, n, rng, 0.5f);
+  SpInferKernelConfig cfg;
+  cfg.split_k = 2;
+  const SpInferSpmmKernel kernel(cfg);
+  PerfCounters run;
+  kernel.Run(w, x, &run);
+  SpmmProblem p;
+  p.m = m;
+  p.k = k;
+  p.n = n;
+  p.sparsity = 0.5;
+  p.nnz = w.CountNonZeros();
+  const KernelEstimate est = kernel.Estimate(p, Rtx4090());
+  // The estimator must use the same padded grid as the functional kernel:
+  // exact agreement on the instruction mix, even off tile boundaries.
+  EXPECT_EQ(est.counters.mma_instrs, run.mma_instrs);
+  EXPECT_EQ(est.counters.flops, run.flops);
+  EXPECT_EQ(est.counters.popc_ops, run.popc_ops);
+  EXPECT_EQ(est.counters.lds_instrs, run.lds_instrs);
+  EXPECT_EQ(est.counters.ldsm_instrs, run.ldsm_instrs);
+  EXPECT_EQ(est.counters.ldg_instrs, run.ldg_instrs);
+  EXPECT_EQ(est.counters.dram_bytes_written, run.dram_bytes_written);
+}
+
+TEST(RaggedTileDeathTest, MismatchedEncodingTripsGridGuard) {
+  // Encode with 64x64 GroupTiles, then run with a kernel configured for a
+  // finer 16x16 geometry: the encoded grid cannot be reinterpreted, and the
+  // kernel must refuse instead of reading tiles at the wrong stride.
+  Rng rng(512);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(128, 8, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);  // default 64x64 tiles
+
+  SpInferKernelConfig fine;
+  fine.format.gt_rows = 16;
+  fine.format.gt_cols = 16;
+  const SpInferSpmmKernel kernel(fine);
+  EXPECT_DEATH(kernel.RunEncoded(enc, x, nullptr), "");
+}
+
+}  // namespace
+}  // namespace spinfer

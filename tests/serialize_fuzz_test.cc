@@ -1,0 +1,169 @@
+// Deterministic fuzzing of the TCBM/bundle deserializers: every corruption —
+// truncation at any prefix length, bit flips anywhere in the container,
+// patched version/magic fields — must be rejected with a non-empty diagnostic
+// and never crash or return a matrix. Complements serialize_test.cc, which
+// covers the happy paths.
+#include "src/format/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/util/crc32.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+TcaBmeMatrix MakeEncoded(int64_t rows, int64_t cols, double sparsity, uint64_t seed) {
+  Rng rng(seed);
+  return TcaBmeMatrix::Encode(HalfMatrix::RandomSparse(rows, cols, sparsity, rng));
+}
+
+// Re-stamps the trailing CRC so header patches survive the CRC gate and
+// reach the field validation under test.
+void FixCrc(std::vector<uint8_t>* bytes) {
+  const size_t payload = bytes->size() - sizeof(uint32_t);
+  const uint32_t crc = Crc32(bytes->data(), payload);
+  std::memcpy(bytes->data() + payload, &crc, sizeof(crc));
+}
+
+TEST(SerializeFuzzTest, RoundTripBitIdentical) {
+  const TcaBmeMatrix m = MakeEncoded(130, 100, 0.6, 41);
+  const std::vector<uint8_t> bytes = SerializeTcaBme(m);
+  std::string error;
+  const auto back = DeserializeTcaBme(bytes, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->rows(), m.rows());
+  EXPECT_EQ(back->cols(), m.cols());
+  EXPECT_EQ(back->nnz(), m.nnz());
+  EXPECT_EQ(back->gtile_offsets(), m.gtile_offsets());
+  EXPECT_EQ(back->bitmaps(), m.bitmaps());
+  ASSERT_EQ(back->values().size(), m.values().size());
+  for (size_t i = 0; i < m.values().size(); ++i) {
+    ASSERT_EQ(back->values()[i].bits(), m.values()[i].bits()) << "value " << i;
+  }
+  // Serialization itself is canonical: same matrix, same bytes.
+  EXPECT_EQ(SerializeTcaBme(*back), bytes);
+}
+
+TEST(SerializeFuzzTest, EveryTruncationRejected) {
+  const std::vector<uint8_t> bytes = SerializeTcaBme(MakeEncoded(64, 64, 0.5, 42));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    std::string error;
+    const auto m = DeserializeTcaBme(prefix, &error);
+    EXPECT_FALSE(m.has_value()) << "accepted a " << len << "-byte prefix";
+    EXPECT_FALSE(error.empty()) << "no diagnostic for a " << len << "-byte prefix";
+  }
+}
+
+TEST(SerializeFuzzTest, EveryBitFlipRejectedOrEquivalent) {
+  // Any single-bit flip breaks the CRC, so deserialization must fail — and
+  // must fail cleanly even though the flipped field may encode an absurd
+  // array length or geometry.
+  const std::vector<uint8_t> bytes = SerializeTcaBme(MakeEncoded(64, 64, 0.5, 43));
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; bit += 3) {  // every 3rd bit keeps runtime low
+      std::vector<uint8_t> corrupt = bytes;
+      corrupt[byte] ^= static_cast<uint8_t>(1u << bit);
+      std::string error;
+      const auto m = DeserializeTcaBme(corrupt, &error);
+      EXPECT_FALSE(m.has_value()) << "byte " << byte << " bit " << bit;
+      EXPECT_FALSE(error.empty()) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, WrongVersionNamesBothVersions) {
+  std::vector<uint8_t> bytes = SerializeTcaBme(MakeEncoded(64, 64, 0.5, 44));
+  // Version is the u32 after the magic; patch it and re-stamp the CRC so the
+  // version check itself is what fires.
+  const uint32_t bogus = 7;
+  std::memcpy(bytes.data() + sizeof(uint32_t), &bogus, sizeof(bogus));
+  FixCrc(&bytes);
+  std::string error;
+  EXPECT_FALSE(DeserializeTcaBme(bytes, &error).has_value());
+  EXPECT_NE(error.find("version 7"), std::string::npos) << error;
+  EXPECT_NE(error.find("version 1"), std::string::npos) << error;
+}
+
+TEST(SerializeFuzzTest, WrongMagicNamesExpected) {
+  std::vector<uint8_t> bytes = SerializeTcaBme(MakeEncoded(64, 64, 0.5, 45));
+  const uint32_t bogus = 0xdeadbeefu;
+  std::memcpy(bytes.data(), &bogus, sizeof(bogus));
+  FixCrc(&bytes);
+  std::string error;
+  EXPECT_FALSE(DeserializeTcaBme(bytes, &error).has_value());
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+  EXPECT_NE(error.find("SPBM"), std::string::npos) << error;
+}
+
+TEST(SerializeFuzzTest, CrcMismatchDiagnosed) {
+  std::vector<uint8_t> bytes = SerializeTcaBme(MakeEncoded(64, 64, 0.5, 46));
+  bytes.back() ^= 0xff;  // corrupt the stored CRC itself
+  std::string error;
+  EXPECT_FALSE(DeserializeTcaBme(bytes, &error).has_value());
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST(SerializeFuzzTest, BundleRoundTripAndCorruptions) {
+  WeightBundle bundle;
+  bundle.Add("layers.0.fc1", MakeEncoded(64, 128, 0.5, 47));
+  bundle.Add("layers.0.fc2", MakeEncoded(128, 64, 0.7, 48));
+  const std::vector<uint8_t> bytes = bundle.Serialize();
+
+  std::string error;
+  const auto back = WeightBundle::Deserialize(bytes, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->size(), 2u);
+  ASSERT_NE(back->Find("layers.0.fc1"), nullptr);
+  EXPECT_EQ(back->Find("layers.0.fc1")->nnz(), bundle.Find("layers.0.fc1")->nnz());
+
+  // Truncations: sample every 7th prefix to bound runtime on the larger blob.
+  for (size_t len = 0; len < bytes.size(); len += 7) {
+    const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    std::string e;
+    EXPECT_FALSE(WeightBundle::Deserialize(prefix, &e).has_value()) << len;
+    EXPECT_FALSE(e.empty()) << len;
+  }
+
+  // Wrong bundle version, CRC re-stamped.
+  std::vector<uint8_t> patched = bytes;
+  const uint32_t bogus = 9;
+  std::memcpy(patched.data() + sizeof(uint32_t), &bogus, sizeof(bogus));
+  FixCrc(&patched);
+  std::string e1;
+  EXPECT_FALSE(WeightBundle::Deserialize(patched, &e1).has_value());
+  EXPECT_NE(e1.find("bundle version 9"), std::string::npos) << e1;
+
+  // Matrix magic inside layer 0 corrupted: the error must name the layer.
+  // Header: magic(4) + version(4) + count(8) + name_len(8) = 24, then the
+  // first name, then the embedded matrix magic.
+  const size_t name_len = std::string("layers.0.fc1").size();
+  std::vector<uint8_t> layer_bad = bytes;
+  const uint32_t junk = 0x0bad0badu;
+  std::memcpy(layer_bad.data() + 24 + name_len, &junk, sizeof(junk));
+  FixCrc(&layer_bad);
+  std::string e2;
+  EXPECT_FALSE(WeightBundle::Deserialize(layer_bad, &e2).has_value());
+  EXPECT_NE(e2.find("layers.0.fc1"), std::string::npos) << e2;
+  EXPECT_NE(e2.find("magic"), std::string::npos) << e2;
+}
+
+TEST(SerializeFuzzTest, EmptyAndTinyBuffers) {
+  for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{4}}) {
+    const std::vector<uint8_t> buf(len, 0xab);
+    std::string e1;
+    EXPECT_FALSE(DeserializeTcaBme(buf, &e1).has_value());
+    EXPECT_FALSE(e1.empty());
+    std::string e2;
+    EXPECT_FALSE(WeightBundle::Deserialize(buf, &e2).has_value());
+    EXPECT_FALSE(e2.empty());
+  }
+}
+
+}  // namespace
+}  // namespace spinfer

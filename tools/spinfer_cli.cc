@@ -7,7 +7,7 @@
 //       Optionally prune, then encode to a TCA-BME container.
 //   spinfer_cli inspect --in w.tcbm
 //       Print geometry, nnz, compression ratio, and per-GroupTile stats.
-//   spinfer_cli time    --in w.tcbm [--n 16] [--device rtx4090]
+//   spinfer_cli time    --in w.tcbm [--n 16] [--device rtx4090] [--split-k 0]
 //       Modeled GPU kernel time vs dense cuBLAS for this matrix.
 //   spinfer_cli cuda    --out kernel.cu [--gt-rows 64] [--gt-cols 64]
 //                       [--split-k 0]
@@ -53,11 +53,45 @@ bool ReadRawF16(const std::string& path, int64_t rows, int64_t cols, HalfMatrix*
   return ok;
 }
 
+// Flag validation shared by the subcommands. Bad values are rejected up
+// front with the offending flag named, before any file I/O happens.
+bool ValidatePositive(const char* flag, int64_t v) {
+  if (v >= 1) {
+    return true;
+  }
+  std::printf("error: --%s must be >= 1 (got %ld)\n", flag, static_cast<long>(v));
+  return false;
+}
+
+bool ValidateSparsity(double s) {
+  if (s >= 0.0 && s < 1.0) {
+    return true;
+  }
+  std::printf("error: --sparsity must be in [0, 1) (got %g); 1.0 would leave no "
+              "nonzeros to encode\n",
+              s);
+  return false;
+}
+
+bool ValidateSplitK(int64_t split_k) {
+  if (split_k >= 0) {
+    return true;
+  }
+  std::printf("error: --split-k must be >= 0 (got %ld); 0 selects the per-shape "
+              "heuristic\n",
+              static_cast<long>(split_k));
+  return false;
+}
+
 int CmdGen(const CliFlags& flags) {
   const int64_t rows = flags.GetInt("rows", 1024);
   const int64_t cols = flags.GetInt("cols", 1024);
   const double sparsity = flags.GetDouble("sparsity", 0.0);
   const std::string out = flags.GetString("out", "w.f16");
+  if (!ValidatePositive("rows", rows) || !ValidatePositive("cols", cols) ||
+      !ValidateSparsity(sparsity)) {
+    return 1;
+  }
   Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1)));
   const HalfMatrix w = HalfMatrix::RandomSparse(rows, cols, sparsity, rng);
   if (!WriteRawF16(out, w)) {
@@ -88,6 +122,9 @@ int CmdEncode(const CliFlags& flags) {
   const std::string prune = flags.GetString("prune", "");
   if (!prune.empty()) {
     const double sparsity = flags.GetDouble("sparsity", 0.5);
+    if (!ValidateSparsity(sparsity)) {
+      return 1;
+    }
     if (prune == "magnitude") {
       w = MagnitudePruner().Prune(w, sparsity);
     } else if (prune == "random") {
@@ -146,6 +183,11 @@ int CmdInspect(const CliFlags& flags) {
 
 int CmdTime(const CliFlags& flags) {
   const std::string in = flags.GetString("in", "");
+  const int64_t n = flags.GetInt("n", 16);
+  const int64_t split_k = flags.GetInt("split-k", 0);
+  if (!ValidatePositive("n", n) || !ValidateSplitK(split_k)) {
+    return 1;
+  }
   std::string error;
   const auto enc = LoadTcaBme(in, &error);
   if (!enc) {
@@ -153,7 +195,6 @@ int CmdTime(const CliFlags& flags) {
     return 1;
   }
   const DeviceSpec dev = DeviceByName(flags.GetString("device", "rtx4090"));
-  const int64_t n = flags.GetInt("n", 16);
   SpmmProblem p;
   p.m = enc->rows();
   p.k = enc->cols();
@@ -163,7 +204,7 @@ int CmdTime(const CliFlags& flags) {
                          static_cast<double>(enc->rows() * enc->cols());
   SpInferKernelConfig cfg;
   cfg.format = enc->config();
-  cfg.split_k = 0;
+  cfg.split_k = static_cast<int>(split_k);
   const KernelEstimate spinfer_est = SpInferSpmmKernel(cfg).Estimate(p, dev);
   const KernelEstimate cublas_est = CublasGemmKernel().Estimate(p, dev);
   std::printf("modeled on %s at N=%ld:\n", dev.name.c_str(), static_cast<long>(n));
@@ -177,9 +218,16 @@ int CmdTime(const CliFlags& flags) {
 
 int CmdCuda(const CliFlags& flags) {
   SpInferKernelConfig cfg;
-  cfg.format.gt_rows = static_cast<int>(flags.GetInt("gt-rows", 64));
-  cfg.format.gt_cols = static_cast<int>(flags.GetInt("gt-cols", 64));
-  cfg.split_k = static_cast<int>(flags.GetInt("split-k", 0));
+  const int64_t gt_rows = flags.GetInt("gt-rows", 64);
+  const int64_t gt_cols = flags.GetInt("gt-cols", 64);
+  const int64_t split_k = flags.GetInt("split-k", 0);
+  if (!ValidatePositive("gt-rows", gt_rows) || !ValidatePositive("gt-cols", gt_cols) ||
+      !ValidateSplitK(split_k)) {
+    return 1;
+  }
+  cfg.format.gt_rows = static_cast<int>(gt_rows);
+  cfg.format.gt_cols = static_cast<int>(gt_cols);
+  cfg.split_k = static_cast<int>(split_k);
   const std::string out = flags.GetString("out", "spinfer_kernel.cu");
   const std::string src = GenerateSpInferCudaKernel(cfg);
   std::FILE* f = std::fopen(out.c_str(), "w");
@@ -202,18 +250,23 @@ int Run(int argc, char** argv) {
   const std::string cmd = argv[1];
   const CliFlags flags(argc - 1, argv + 1);
   if (cmd == "gen") {
+    flags.RestrictTo({"rows", "cols", "sparsity", "seed", "out"});
     return CmdGen(flags);
   }
   if (cmd == "encode") {
+    flags.RestrictTo({"in", "out", "rows", "cols", "prune", "sparsity"});
     return CmdEncode(flags);
   }
   if (cmd == "inspect") {
+    flags.RestrictTo({"in"});
     return CmdInspect(flags);
   }
   if (cmd == "time") {
+    flags.RestrictTo({"in", "n", "device", "split-k"});
     return CmdTime(flags);
   }
   if (cmd == "cuda") {
+    flags.RestrictTo({"out", "gt-rows", "gt-cols", "split-k"});
     return CmdCuda(flags);
   }
   std::printf("unknown command '%s' (gen|encode|inspect|time|cuda)\n", cmd.c_str());
