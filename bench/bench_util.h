@@ -1,12 +1,16 @@
 // Shared helpers for the figure/table bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "src/baselines/kernel_registry.h"
 #include "src/core/spmm.h"
 #include "src/gpusim/device_spec.h"
+#include "src/util/check.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
 #include "src/util/thread_pool.h"
@@ -44,6 +48,56 @@ inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+// --- Wall-clock perf-smoke helpers (bench/perf_regression.cc) ---------------
+
+// One timed bench point: best-of-`repetitions` wall time at `threads` width.
+struct BenchRecord {
+  std::string name;
+  double wall_ms = 0.0;
+  int repetitions = 0;
+  int threads = 0;
+};
+
+// Runs `fn` once untimed (warm-up) and then `reps` timed repetitions,
+// returning the minimum wall time in milliseconds. Minimum — not mean — so a
+// background hiccup on a shared runner cannot masquerade as a regression.
+inline double MinWallMs(int reps, const std::function<void()>& fn) {
+  SPINFER_CHECK(reps >= 1);
+  fn();  // warm-up: first-touch page faults, lazy statics
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+// Writes the records as a JSON object keyed by bench name, e.g.
+//   {"spinfer_functional": {"wall_ms": 12.3, "repetitions": 5, "threads": 1}}
+// The flat name->metrics shape is the contract future PRs diff against; add
+// keys freely, never repurpose existing ones.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  SPINFER_CHECK_MSG(f != nullptr, "cannot open bench output file");
+  std::fprintf(f, "{\n");
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  \"%s\": {\"wall_ms\": %.6f, \"repetitions\": %d, "
+                 "\"threads\": %d}%s\n",
+                 r.name.c_str(), r.wall_ms, r.repetitions, r.threads,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  SPINFER_CHECK_MSG(std::fclose(f) == 0, "cannot write bench output file");
 }
 
 }  // namespace spinfer

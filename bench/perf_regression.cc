@@ -1,0 +1,145 @@
+// Perf-smoke regression harness.
+//
+// Times the functional simulator's hot paths — ReferenceGemm, the SpInfer
+// functional kernel, the TCA-BME encoder, and SMBD decode — on fixed shapes
+// and writes the results to BENCH.json (name -> wall_ms / repetitions /
+// threads). The shapes and seeds are frozen so successive PRs can diff the
+// numbers directly; EXPERIMENTS.md records the trajectory.
+//
+// Usage: perf_regression [--threads=N] [--reps=R] [--out=BENCH.json]
+//
+// This is a smoke harness, not a statistics engine: each point reports the
+// best of `reps` repetitions (default 5). Treat >1.3x movement on the same
+// machine as signal, anything less as noise.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/smbd.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/format/tca_bme.h"
+#include "src/numeric/matrix.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// Fixed bench shapes. Chosen to run in O(100ms) per repetition pre-fast-path
+// on one core so the smoke stays cheap enough for CI.
+constexpr int64_t kGemmM = 256, kGemmK = 256, kGemmN = 64;
+constexpr int64_t kSpmmM = 512, kSpmmK = 512, kSpmmN = 64;
+constexpr double kSpmmSparsity = 0.6;
+constexpr int64_t kEncodeM = 1024, kEncodeK = 1024;
+constexpr double kEncodeSparsity = 0.6;
+constexpr int kDecodeTiles = 4096;  // 16x16 TCTiles per decode repetition
+
+// Folds a FloatMatrix into one float so results feed a volatile sink; keeps
+// the optimizer from deleting timed work and doubles as a cross-run checksum.
+float Checksum(const FloatMatrix& m) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    s += m.data()[i];
+  }
+  return s;
+}
+
+volatile float g_sink = 0.0f;
+
+int Main(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  flags.RestrictTo({"threads", "reps", "out"});
+  ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 1)));
+  const int reps = static_cast<int>(flags.GetInt("reps", 5));
+  const std::string out_path = flags.GetString("out", "BENCH.json");
+  const int threads = ThreadPool::Global().num_threads();
+
+  PrintHeader("Perf-smoke regression (fixed shapes, wall clock)");
+  std::printf("threads=%d reps=%d out=%s\n", threads, reps, out_path.c_str());
+
+  std::vector<BenchRecord> records;
+  auto bench = [&](const std::string& name, const std::function<void()>& fn) {
+    BenchRecord r;
+    r.name = name;
+    r.wall_ms = MinWallMs(reps, fn);
+    r.repetitions = reps;
+    r.threads = threads;
+    records.push_back(r);
+    std::printf("%-28s %10.3f ms\n", name.c_str(), r.wall_ms);
+  };
+
+  // --- ReferenceGemm: dense FP16 oracle. -----------------------------------
+  {
+    Rng rng(1001);
+    const HalfMatrix w = HalfMatrix::Random(kGemmM, kGemmK, rng);
+    const HalfMatrix x = HalfMatrix::Random(kGemmK, kGemmN, rng);
+    bench("reference_gemm", [&] { g_sink = Checksum(ReferenceGemm(w, x)); });
+  }
+
+  // --- SpInfer functional kernel (encode once, run per rep). ---------------
+  {
+    Rng rng(1002);
+    const HalfMatrix w =
+        HalfMatrix::RandomSparse(kSpmmM, kSpmmK, kSpmmSparsity, rng);
+    const HalfMatrix x = HalfMatrix::Random(kSpmmK, kSpmmN, rng);
+    const SpInferSpmmKernel kernel;
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, kernel.config().format);
+    bench("spinfer_functional", [&] {
+      PerfCounters c;
+      g_sink = Checksum(kernel.RunEncoded(enc, x, &c));
+    });
+  }
+
+  // --- TCA-BME encoder. ----------------------------------------------------
+  {
+    Rng rng(1003);
+    const HalfMatrix w =
+        HalfMatrix::RandomSparse(kEncodeM, kEncodeK, kEncodeSparsity, rng);
+    bench("tca_bme_encode", [&] {
+      const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+      g_sink = static_cast<float>(enc.nnz());
+    });
+  }
+
+  // --- SMBD decode: many independent TCTiles at ~60% density. --------------
+  {
+    Rng rng(1004);
+    std::vector<uint64_t> bitmaps(static_cast<size_t>(kDecodeTiles) * 4);
+    std::vector<Half> values;
+    std::vector<size_t> run_starts(bitmaps.size());
+    for (size_t i = 0; i < bitmaps.size(); ++i) {
+      // AND of two draws ~ 25% density padded up with a third OR draw to land
+      // near the bench's 60% target overall.
+      uint64_t bm = (rng.Next() & rng.Next()) | (rng.Next() & rng.Next());
+      bitmaps[i] = bm;
+      run_starts[i] = values.size();
+      for (int b = 0; b < 64; ++b) {
+        if ((bm >> b) & 1ull) {
+          values.push_back(Half(static_cast<float>(b + 1)));
+        }
+      }
+    }
+    bench("smbd_decode", [&] {
+      float acc = 0.0f;
+      for (int t = 0; t < kDecodeTiles; ++t) {
+        const uint64_t* bm = &bitmaps[static_cast<size_t>(t) * 4];
+        const Half* ptrs[4];
+        for (int q = 0; q < 4; ++q) {
+          ptrs[q] = values.data() + run_starts[static_cast<size_t>(t) * 4 + q];
+        }
+        MmaAFragment frag[kWarpSize];
+        SmbdDecodeTcTile(bm, ptrs, frag, nullptr);
+        acc += frag[t % kWarpSize].a[t % 8].ToFloat();
+      }
+      g_sink = acc;
+    });
+  }
+
+  WriteBenchJson(out_path, records);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace spinfer
+
+int main(int argc, char** argv) { return spinfer::Main(argc, argv); }

@@ -12,14 +12,19 @@ FloatMatrix CusparseSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const CsrMatrix csr = CsrMatrix::Encode(w);
   const int64_t n = x.cols();
   FloatMatrix out(w.rows(), n);
+  // X converted once up front: each X row is re-read by every nonzero in its
+  // column, so per-use conversion would repeat the same work nnz/k times.
+  const FloatMatrix xf = ToFloatMatrix(x);
   // Row-parallel: rows are independent and keep their sequential
   // accumulation order, so output bits match at any thread count.
   ParallelFor(0, w.rows(), [&](int64_t r) {
     for (uint32_t i = csr.row_ptr()[r]; i < csr.row_ptr()[r + 1]; ++i) {
       const float v = csr.values()[i].ToFloat();
       const uint32_t col = csr.col_idx()[i];
+      const float* xrow = xf.data() + col * n;
+      float* orow = &out.at(r, 0);
       for (int64_t j = 0; j < n; ++j) {
-        out.at(r, j) += v * x.at(col, j).ToFloat();
+        orow[j] += v * xrow[j];
       }
     }
   });

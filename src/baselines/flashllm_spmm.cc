@@ -24,6 +24,8 @@ FloatMatrix FlashLlmSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t tiles_c = PadUp(k, format_.tile_cols) / format_.tile_cols;
 
   FloatMatrix out(m, n);
+  // X converted once up front; see ToFloatMatrix — exact, so bit-identical.
+  const FloatMatrix xf = ToFloatMatrix(x);
 
   // One task per tile row: output rows of different tile rows are disjoint,
   // and each task keeps private counters that are merged in tile-row order
@@ -85,8 +87,10 @@ FloatMatrix FlashLlmSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
           if (wv == 0.0f || col >= k) {
             continue;
           }
+          const float* xrow = xf.data() + col * n;
+          float* orow = &out.at(row, 0);
           for (int64_t j = 0; j < n; ++j) {
-            out.at(row, j) += wv * x.at(col, j).ToFloat();
+            orow[j] += wv * xrow[j];
           }
         }
       }

@@ -18,6 +18,8 @@ FloatMatrix SmatSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t k = w.cols();
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
+  // X converted once up front; see ToFloatMatrix — exact, so bit-identical.
+  const FloatMatrix xf = ToFloatMatrix(x);
 
   // One task per BCSR block row: each owns a disjoint band of output rows,
   // and the per-row accumulation order matches the sequential loop exactly.
@@ -37,8 +39,10 @@ FloatMatrix SmatSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
           if (v == 0.0f || col >= k) {
             continue;
           }
+          const float* xrow = xf.data() + col * n;
+          float* orow = &out.at(row, 0);
           for (int64_t j = 0; j < n; ++j) {
-            out.at(row, j) += v * x.at(col, j).ToFloat();
+            orow[j] += v * xrow[j];
           }
         }
       }

@@ -17,6 +17,8 @@ FloatMatrix SpartaSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
   const int64_t m = w.rows();
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
+  // X converted once up front; see ToFloatMatrix — exact, so bit-identical.
+  const FloatMatrix xf = ToFloatMatrix(x);
 
   // One task per output row, running the Sparse-Tensor-Core 2:4 pass and
   // then the CUDA-core CSR residual pass for that row. Each output element
@@ -37,16 +39,20 @@ FloatMatrix SpartaSpmmKernel::Run(const HalfMatrix& w, const HalfMatrix& x,
         if (col >= w.cols()) {
           continue;
         }
+        const float* xrow = xf.data() + col * n;
+        float* orow = &out.at(r, 0);
         for (int64_t j = 0; j < n; ++j) {
-          out.at(r, j) += v * x.at(col, j).ToFloat();
+          orow[j] += v * xrow[j];
         }
       }
     }
     for (uint32_t i = residual.row_ptr()[r]; i < residual.row_ptr()[r + 1]; ++i) {
       const float v = residual.values()[i].ToFloat();
       const uint32_t col = residual.col_idx()[i];
+      const float* xrow = xf.data() + col * n;
+      float* orow = &out.at(r, 0);
       for (int64_t j = 0; j < n; ++j) {
-        out.at(r, j) += v * x.at(col, j).ToFloat();
+        orow[j] += v * xrow[j];
       }
     }
   });

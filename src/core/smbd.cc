@@ -37,24 +37,34 @@ void SmbdDecodeLane(uint64_t bitmap, int lane, const Half* values, Half out[2],
 
 void SmbdDecodeTcTile(const uint64_t bitmaps[4], const Half* const quadrant_values[4],
                       MmaAFragment frag[kWarpSize], PerfCounters* counters) {
+  // Fast path: one pass over the 32 lanes per quadrant with an incremental
+  // prefix popcount. Lane i's Phase-I offset is the number of set bits below
+  // bit 2i — exactly the running count after lanes 0..i-1 consumed their
+  // bits — so the 32 independent MaskedPopCount rescans of the per-lane
+  // reference (SmbdDecodeLane, kept for tests) collapse into one
+  // accumulator. Outputs and load counts are identical by construction;
+  // tests/smbd_equivalence_test.cc checks it over random densities.
+  constexpr Half kZero{};  // bits 0x0000, same as Half(0.0f)
   for (int q = 0; q < 4; ++q) {
-    uint64_t lane_loads_total = 0;
+    const uint64_t bitmap = bitmaps[q];
+    const Half* values = quadrant_values[q];
+    uint32_t prefix = 0;  // popcount of bits below 2*lane
     for (int lane = 0; lane < kWarpSize; ++lane) {
-      Half out[2];
-      int loads = 0;
-      SmbdDecodeLane(bitmaps[q], lane, quadrant_values[q], out, &loads);
-      frag[lane].a[q * 2 + 0] = out[0];
-      frag[lane].a[q * 2 + 1] = out[1];
-      lane_loads_total += static_cast<uint64_t>(loads);
+      const uint32_t pair = (bitmap >> (2 * lane)) & 3u;
+      const uint32_t bit0 = pair & 1u;
+      frag[lane].a[q * 2 + 0] = (pair & 1u) ? values[prefix] : kZero;
+      frag[lane].a[q * 2 + 1] = (pair & 2u) ? values[prefix + bit0] : kZero;
+      prefix += bit0 + (pair >> 1);
     }
     if (counters != nullptr) {
       // Per quadrant: one warp-wide MaskedPopCount (Phase I; Phase II reuses
       // it), one full PopCount to advance the running base offset, and a
-      // handful of mask/select/add warp instructions.
+      // handful of mask/select/add warp instructions. `prefix` has ended as
+      // the quadrant's total set-bit count = total value loads.
       counters->popc_ops += 2;
       counters->alu_ops += 8;
       counters->lds_instrs += 2;  // two phases of (predicated) LDS
-      counters->smem_bytes_read += lane_loads_total * sizeof(Half);
+      counters->smem_bytes_read += static_cast<uint64_t>(prefix) * sizeof(Half);
     }
   }
 }

@@ -81,9 +81,16 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
   // reduces both sequentially in (block_m, p) order, so the FP32 summation
   // order — and therefore every output bit and counter — is identical for
   // any thread count, including the original single-threaded loop.
-  const size_t acc_elems = static_cast<size_t>(tc_rows) * n8 * kWarpSize;
+  //
+  // Accumulators live as plain row-major 16x8 float tiles (one per
+  // (tcr, nt)), not per-lane MmaAccumulator fragments: the per-MMA
+  // gather/scatter of the fragment API is a pure relayout, so keeping the
+  // tile form throughout changes no arithmetic — only the epilogue's
+  // indexing.
+  constexpr int kTileElems = kTcTileDim * 8;  // one 16x8 accumulator tile
+  const size_t acc_elems = static_cast<size_t>(tc_rows) * n8 * kTileElems;
   const int64_t num_blocks = grid_r * split;
-  std::vector<std::vector<MmaAccumulator>> partials(static_cast<size_t>(num_blocks));
+  std::vector<std::vector<float>> partials(static_cast<size_t>(num_blocks));
   std::vector<PerfCounters> block_counters(static_cast<size_t>(num_blocks));
 
   ParallelFor(0, num_blocks, [&](int64_t task) {
@@ -95,9 +102,11 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
       return;  // empty K partition (split does not divide grid_c)
     }
     PerfCounters local;
-    std::vector<MmaAccumulator> acc(acc_elems);
-    auto acc_at = [&](int tcr, int64_t nt) {
-      return &acc[(static_cast<size_t>(tcr) * n8 + nt) * kWarpSize];
+    std::vector<float> acc(acc_elems, 0.0f);
+    std::vector<MmaBOperand> b_ops(static_cast<size_t>(n8));
+    auto acc_tile = [&](int tcr, int64_t nt) {
+      return reinterpret_cast<float(*)[8]>(
+          &acc[(static_cast<size_t>(tcr) * n8 + nt) * kTileElems]);
     };
 
     for (int64_t gc = gc_begin; gc < gc_end; ++gc) {
@@ -136,6 +145,23 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
         local.smem_bytes_read += static_cast<uint64_t>(tc_rows) *
                                  static_cast<uint64_t>(n8) * 8 * kTcTileDim * 2;
 
+        // Build this 16-deep K slab's B operands once: they depend only on
+        // (k0, nt), so all tc_rows warp rows reuse them. Each X element is
+        // bounds-checked and converted exactly once per slab instead of once
+        // per (tcr, mma) — the same values the per-MMA fragment gather
+        // produced.
+        for (int64_t nt = 0; nt < n8; ++nt) {
+          MmaBOperand& bop = b_ops[static_cast<size_t>(nt)];
+          for (int nn = 0; nn < 8; ++nn) {
+            const int64_t nc = nt * 8 + nn;
+            float* col = bop.bt[nn];
+            for (int kk = 0; kk < kTcTileDim; ++kk) {
+              const int64_t kr = k0 + kk;
+              col[kk] = (kr < k && nc < n) ? x.at(kr, nc).ToFloat() : 0.0f;
+            }
+          }
+        }
+
         for (int tcr = 0; tcr < tc_rows; ++tcr) {
           // SMBD: quadrant bitmaps and value-run base pointers, advanced
           // online with PopCount (no stored offsets).
@@ -151,17 +177,14 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
           SmbdDecodeTcTile(bitmaps, quadrant_values, a_frag, &local);
           local.smem_bytes_read += 4 * 8;  // the four 64-bit bitmaps
 
+          // Gather/convert the decoded A operand once; it is reused across
+          // every n-tile below.
+          MmaAOperand a_op;
+          GatherMmaA(a_frag, &a_op);
+
           for (int64_t nt = 0; nt < n8; ++nt) {
-            MmaBFragment b_frag[kWarpSize];
-            for (int lane = 0; lane < kWarpSize; ++lane) {
-              for (int i = 0; i < 4; ++i) {
-                const auto [kk, nn] = MmaBElementCoord(lane, i);
-                const int64_t kr = k0 + kk;
-                const int64_t nc = nt * 8 + nn;
-                b_frag[lane].b[i] = (kr < k && nc < n) ? x.at(kr, nc) : Half(0.0f);
-              }
-            }
-            MmaM16N8K16(a_frag, b_frag, acc_at(tcr, nt));
+            MmaM16N8K16Tile(a_op, b_ops[static_cast<size_t>(nt)],
+                            acc_tile(tcr, nt));
             local.mma_instrs += 1;
             local.flops += 2ull * 16 * 16 * 8;
           }
@@ -183,23 +206,24 @@ FloatMatrix SpInferSpmmKernel::RunEncoded(const TcaBmeMatrix& enc, const HalfMat
   local.registers_per_thread = config_.smbd ? 104 : 178;
   for (int64_t task = 0; task < num_blocks; ++task) {
     local += block_counters[task];
-    const std::vector<MmaAccumulator>& acc = partials[task];
+    const std::vector<float>& acc = partials[task];
     if (acc.empty()) {
       continue;  // empty K partition produced no work
     }
     const int64_t block_m = task / split;
     for (int tcr = 0; tcr < tc_rows; ++tcr) {
       for (int64_t nt = 0; nt < n8; ++nt) {
-        const MmaAccumulator* a =
-            &acc[(static_cast<size_t>(tcr) * n8 + nt) * kWarpSize];
-        for (int lane = 0; lane < kWarpSize; ++lane) {
-          for (int i = 0; i < 4; ++i) {
-            const auto [r, c] = MmaCElementCoord(lane, i);
-            const int64_t rr = block_m * config_.format.gt_rows +
-                               static_cast<int64_t>(tcr) * kTcTileDim + r;
+        const float* tile = &acc[(static_cast<size_t>(tcr) * n8 + nt) * kTileElems];
+        for (int r = 0; r < kTcTileDim; ++r) {
+          const int64_t rr = block_m * config_.format.gt_rows +
+                             static_cast<int64_t>(tcr) * kTcTileDim + r;
+          if (rr >= m) {
+            break;
+          }
+          for (int c = 0; c < 8; ++c) {
             const int64_t cc = nt * 8 + c;
-            if (rr < m && cc < n) {
-              out.at(rr, cc) += a[lane].c[i];
+            if (cc < n) {
+              out.at(rr, cc) += tile[r * 8 + c];
             }
           }
         }

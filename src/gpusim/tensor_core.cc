@@ -9,16 +9,13 @@ namespace spinfer {
 std::pair<int, int> MmaAElementCoord(int lane, int idx) {
   SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
   SPINFER_CHECK(idx >= 0 && idx < 8);
-  const int group = lane / 4;      // 0..7
-  const int pair = (lane % 4) * 2;  // 0,2,4,6
-  // PTX m16n8k16 .f16 A layout:
+  // PTX m16n8k16 .f16 A layout (see mma_detail::BuildACoords):
   //   a0 = A[g][p]    a1 = A[g][p+1]     (rows 0-7,  cols 0-7:  Ra0)
   //   a2 = A[g+8][p]  a3 = A[g+8][p+1]   (rows 8-15, cols 0-7:  Ra1)
   //   a4 = A[g][p+8]  a5 = A[g][p+9]     (rows 0-7,  cols 8-15: Ra2)
   //   a6 = A[g+8][p+8] a7 = A[g+8][p+9]  (rows 8-15, cols 8-15: Ra3)
-  const int row = group + ((idx == 2 || idx == 3 || idx == 6 || idx == 7) ? 8 : 0);
-  const int col = pair + (idx & 1) + (idx >= 4 ? 8 : 0);
-  return {row, col};
+  const mma_detail::Coord c = mma_detail::kMmaACoords[lane][idx];
+  return {c.row, c.col};
 }
 
 std::pair<int, int> MmaBElementCoord(int lane, int idx) {
@@ -26,10 +23,8 @@ std::pair<int, int> MmaBElementCoord(int lane, int idx) {
   SPINFER_CHECK(idx >= 0 && idx < 4);
   // PTX m16n8k16 .f16 B layout (col-major operand, 16(k) x 8(n)):
   //   b0 = B[p][g]  b1 = B[p+1][g]  b2 = B[p+8][g]  b3 = B[p+9][g]
-  const int group = lane / 4;
-  const int pair = (lane % 4) * 2;
-  const int k = pair + (idx & 1) + (idx >= 2 ? 8 : 0);
-  return {k, group};
+  const mma_detail::Coord c = mma_detail::kMmaBCoords[lane][idx];
+  return {c.row, c.col};
 }
 
 std::pair<int, int> MmaCElementCoord(int lane, int idx) {
@@ -37,11 +32,8 @@ std::pair<int, int> MmaCElementCoord(int lane, int idx) {
   SPINFER_CHECK(idx >= 0 && idx < 4);
   // PTX m16n8k16 .f32 C/D layout (16(m) x 8(n)):
   //   c0 = C[g][p]  c1 = C[g][p+1]  c2 = C[g+8][p]  c3 = C[g+8][p+1]
-  const int group = lane / 4;
-  const int pair = (lane % 4) * 2;
-  const int row = group + (idx >= 2 ? 8 : 0);
-  const int col = pair + (idx & 1);
-  return {row, col};
+  const mma_detail::Coord c = mma_detail::kMmaCCoords[lane][idx];
+  return {c.row, c.col};
 }
 
 std::pair<int, int> MmaAQuadrantCoord(int lane, int half) {
@@ -50,42 +42,57 @@ std::pair<int, int> MmaAQuadrantCoord(int lane, int half) {
   return {lane / 4, (lane % 4) * 2 + half};
 }
 
+void GatherMmaA(const MmaAFragment a[kWarpSize], MmaAOperand* out) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const auto& coords = mma_detail::kMmaACoords[lane];
+    for (int i = 0; i < 8; ++i) {
+      out->a[coords[i].row][coords[i].col] = a[lane].a[i].ToFloat();
+    }
+  }
+}
+
+void GatherMmaB(const MmaBFragment b[kWarpSize], MmaBOperand* out) {
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const auto& coords = mma_detail::kMmaBCoords[lane];
+    for (int i = 0; i < 4; ++i) {
+      out->bt[coords[i].col][coords[i].row] = b[lane].b[i].ToFloat();
+    }
+  }
+}
+
+void MmaM16N8K16Tile(const MmaAOperand& a, const MmaBOperand& b, float c[16][8]) {
+  for (int r = 0; r < 16; ++r) {
+    const float* arow = a.a[r];
+    for (int n = 0; n < 8; ++n) {
+      const float* bcol = b.bt[n];
+      float sum = c[r][n];
+      for (int k = 0; k < 16; ++k) {
+        sum += arow[k] * bcol[k];
+      }
+      c[r][n] = sum;
+    }
+  }
+}
+
 void MmaM16N8K16(const MmaAFragment a[kWarpSize], const MmaBFragment b[kWarpSize],
                  MmaAccumulator acc[kWarpSize]) {
-  // Gather the full operands from the distributed fragments.
-  float full_a[16][16];
-  float full_b[16][8];
+  MmaAOperand full_a;
+  MmaBOperand full_b;
+  GatherMmaA(a, &full_a);
+  GatherMmaB(b, &full_b);
+  // Gather C, run the FMA core, scatter D back to the per-lane accumulators.
   float full_c[16][8];
   for (int lane = 0; lane < kWarpSize; ++lane) {
-    for (int i = 0; i < 8; ++i) {
-      const auto [r, c] = MmaAElementCoord(lane, i);
-      full_a[r][c] = a[lane].a[i].ToFloat();
-    }
+    const auto& coords = mma_detail::kMmaCCoords[lane];
     for (int i = 0; i < 4; ++i) {
-      const auto [k, n] = MmaBElementCoord(lane, i);
-      full_b[k][n] = b[lane].b[i].ToFloat();
-    }
-    for (int i = 0; i < 4; ++i) {
-      const auto [r, c] = MmaCElementCoord(lane, i);
-      full_c[r][c] = acc[lane].c[i];
+      full_c[coords[i].row][coords[i].col] = acc[lane].c[i];
     }
   }
-  // D = A*B + C with FP32 accumulation.
-  float full_d[16][8];
-  for (int r = 0; r < 16; ++r) {
-    for (int c = 0; c < 8; ++c) {
-      float sum = full_c[r][c];
-      for (int k = 0; k < 16; ++k) {
-        sum += full_a[r][k] * full_b[k][c];
-      }
-      full_d[r][c] = sum;
-    }
-  }
-  // Scatter back to the per-lane accumulators.
+  MmaM16N8K16Tile(full_a, full_b, full_c);
   for (int lane = 0; lane < kWarpSize; ++lane) {
+    const auto& coords = mma_detail::kMmaCCoords[lane];
     for (int i = 0; i < 4; ++i) {
-      const auto [r, c] = MmaCElementCoord(lane, i);
-      acc[lane].c[i] = full_d[r][c];
+      acc[lane].c[i] = full_c[coords[i].row][coords[i].col];
     }
   }
 }
@@ -94,9 +101,10 @@ int PopCount64(uint64_t x) { return std::popcount(x); }
 
 int MaskedPopCount(uint64_t bitmap, int lane) {
   SPINFER_CHECK(lane >= 0 && lane < kWarpSize);
-  const int offset = lane * 2;
-  const uint64_t mask = (offset == 64) ? ~0ull : ((1ull << offset) - 1ull);
-  return std::popcount(bitmap & mask);
+  // lane < 32 means the shift is at most 62, so no 64-bit-shift special case.
+  static_assert(2 * (kWarpSize - 1) < 64,
+                "lane bit offset must stay below the bitmap width");
+  return std::popcount(bitmap & ((1ull << (2 * lane)) - 1ull));
 }
 
 }  // namespace spinfer

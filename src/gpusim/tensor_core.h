@@ -8,8 +8,19 @@
 // elements at (row i/4, columns 2·(i mod 4) and 2·(i mod 4)+1). Linearized
 // row-major inside the quadrant those are positions 2i and 2i+1, which is why
 // the 64-bit BitmapTile lets lane i test bits 2i and 2i+1 (paper Fig. 8).
+//
+// Fast path: the layout formulas are pure functions of (lane, idx), so the
+// lane→coordinate maps are precomputed once at compile time
+// (mma_detail::kMmaACoords / kMmaBCoords / kMmaCCoords) and the hot
+// emulation path works on gathered *operands* — plain row-major float tiles
+// converted from the fragments exactly once (MmaAOperand / MmaBOperand /
+// MmaM16N8K16Tile). The fragment-level MmaM16N8K16 wrapper and the checked
+// MmaXElementCoord functions keep the original API; outputs are bit-identical
+// because gathering is a pure relayout and the FP32 summation order of the
+// FMA core is unchanged.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <utility>
 
@@ -31,6 +42,65 @@ struct MmaAccumulator {
   float c[4] = {};
 };
 
+namespace mma_detail {
+
+// A (row, col) pair small enough that a whole lane map stays in one or two
+// cache lines.
+struct Coord {
+  uint8_t row = 0;
+  uint8_t col = 0;
+};
+
+// The three maps below are generated from the same formulas the checked
+// MmaXElementCoord functions implement; tensor_core_test asserts the two
+// agree for every (lane, idx).
+constexpr std::array<std::array<Coord, 8>, kWarpSize> BuildACoords() {
+  std::array<std::array<Coord, 8>, kWarpSize> m{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const int group = lane / 4;
+    const int pair = (lane % 4) * 2;
+    for (int idx = 0; idx < 8; ++idx) {
+      const int row = group + ((idx == 2 || idx == 3 || idx == 6 || idx == 7) ? 8 : 0);
+      const int col = pair + (idx & 1) + (idx >= 4 ? 8 : 0);
+      m[lane][idx] = {static_cast<uint8_t>(row), static_cast<uint8_t>(col)};
+    }
+  }
+  return m;
+}
+
+constexpr std::array<std::array<Coord, 4>, kWarpSize> BuildBCoords() {
+  std::array<std::array<Coord, 4>, kWarpSize> m{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const int group = lane / 4;
+    const int pair = (lane % 4) * 2;
+    for (int idx = 0; idx < 4; ++idx) {
+      const int k = pair + (idx & 1) + (idx >= 2 ? 8 : 0);
+      m[lane][idx] = {static_cast<uint8_t>(k), static_cast<uint8_t>(group)};
+    }
+  }
+  return m;
+}
+
+constexpr std::array<std::array<Coord, 4>, kWarpSize> BuildCCoords() {
+  std::array<std::array<Coord, 4>, kWarpSize> m{};
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    const int group = lane / 4;
+    const int pair = (lane % 4) * 2;
+    for (int idx = 0; idx < 4; ++idx) {
+      const int row = group + (idx >= 2 ? 8 : 0);
+      const int col = pair + (idx & 1);
+      m[lane][idx] = {static_cast<uint8_t>(row), static_cast<uint8_t>(col)};
+    }
+  }
+  return m;
+}
+
+inline constexpr auto kMmaACoords = BuildACoords();  // [lane][idx] -> (row, col)
+inline constexpr auto kMmaBCoords = BuildBCoords();  // [lane][idx] -> (k, n)
+inline constexpr auto kMmaCCoords = BuildCCoords();  // [lane][idx] -> (row, col)
+
+}  // namespace mma_detail
+
 // Coordinate of A-fragment element `idx` (0..7) of `lane` within the 16×16
 // A tile (row-major (row, col)).
 std::pair<int, int> MmaAElementCoord(int lane, int idx);
@@ -49,10 +119,30 @@ std::pair<int, int> MmaCElementCoord(int lane, int idx);
 // row-major linear positions 2·lane and 2·lane+1.
 std::pair<int, int> MmaAQuadrantCoord(int lane, int half);  // half in {0,1}
 
+// Gathered (un-distributed) MMA operands: the fragment contents converted to
+// float exactly once and laid out as plain tiles. Callers that reuse an
+// operand across several mma issues (the SpInfer kernel reuses A across all
+// n-tiles and B across all warp rows) gather once and call the Tile form.
+struct MmaAOperand {
+  float a[16][16] = {};  // row-major 16(m) x 16(k)
+};
+struct MmaBOperand {
+  // n-major so the FMA inner loop walks k contiguously for both operands.
+  float bt[8][16] = {};  // [n][k]
+};
+
+void GatherMmaA(const MmaAFragment a[kWarpSize], MmaAOperand* out);
+void GatherMmaB(const MmaBFragment b[kWarpSize], MmaBOperand* out);
+
+// The FMA core: c(16x8, row-major) += A(16x16) × B(16x8), FP32 accumulation,
+// k ascending per output element — the exact summation order the fragment
+// API has always used, so results are bit-identical.
+void MmaM16N8K16Tile(const MmaAOperand& a, const MmaBOperand& b, float c[16][8]);
+
 // Executes one warp-synchronous mma.m16n8k16: for every lane,
 // D = A(16x16) × B(16x8) + C(16x8), FP16 inputs, FP32 accumulation.
 // `a`, `b`, `acc` are arrays of kWarpSize per-lane fragments; acc is updated
-// in place.
+// in place. (Convenience wrapper over Gather + MmaM16N8K16Tile.)
 void MmaM16N8K16(const MmaAFragment a[kWarpSize], const MmaBFragment b[kWarpSize],
                  MmaAccumulator acc[kWarpSize]);
 

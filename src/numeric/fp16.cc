@@ -1,101 +1,23 @@
 #include "src/numeric/fp16.h"
 
-#include <cstring>
-
 namespace spinfer {
+namespace fp16_detail {
 namespace {
 
-// Rounds the low `shift` bits of `m` away (round-to-nearest-even) and returns
-// m >> shift (+1 if rounded up). Requires 1 <= shift <= 31.
-uint32_t ShiftRightRne(uint32_t m, int shift) {
-  const uint32_t kept = m >> shift;
-  const uint32_t half = 1u << (shift - 1);
-  const uint32_t rem = m & ((half << 1) - 1u);
-  if (rem > half || (rem == half && (kept & 1u))) {
-    return kept + 1;
+constexpr std::array<float, 65536> BuildHalfToFloatLut() {
+  std::array<float, 65536> lut{};
+  for (uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    lut[bits] = HalfToFloatBits(static_cast<uint16_t>(bits));
   }
-  return kept;
+  return lut;
 }
 
 }  // namespace
 
-uint16_t Half::FromFloat(float f) {
-  uint32_t x;
-  std::memcpy(&x, &f, sizeof(x));
+// Constant-initialized (the initializer is a constant expression), so the
+// table is ready before any static constructor runs — no init-order hazard
+// for code that converts halves during startup.
+alignas(64) const std::array<float, 65536> kHalfToFloatLut = BuildHalfToFloatLut();
 
-  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
-  const uint32_t biased_exp = (x >> 23) & 0xffu;
-  const uint32_t mant = x & 0x7fffffu;
-
-  if (biased_exp == 0xff) {
-    // Inf or NaN; quiet any NaN.
-    return mant != 0 ? static_cast<uint16_t>(sign | 0x7e00u)
-                     : static_cast<uint16_t>(sign | 0x7c00u);
-  }
-  if (biased_exp == 0) {
-    // Float subnormal: magnitude < 2^-126, far below half's smallest
-    // subnormal (2^-24); rounds to zero.
-    return sign;
-  }
-
-  const int e = static_cast<int>(biased_exp) - 127;  // unbiased exponent
-  if (e >= 16) {
-    return static_cast<uint16_t>(sign | 0x7c00u);  // overflow -> inf
-  }
-  if (e >= -14) {
-    // Normal half candidate. Rounding may carry into the exponent (including
-    // into infinity at e == 15), which the bit layout handles naturally.
-    // ShiftRightRne is applied to the full 24-bit significand (implicit bit
-    // included), so its result lies in [2^10, 2^11]; subtracting 2^10 leaves
-    // the mantissa field, and a rounding carry to exactly 2^11 propagates
-    // into the exponent via the addition — the correct RNE carry behaviour.
-    uint32_t val = (static_cast<uint32_t>(e + 15) << 10) +
-                   ShiftRightRne(mant | 0x800000u, 13) - (1u << 10);
-    if (val >= 0x7c00u) {
-      val = 0x7c00u;
-    }
-    return static_cast<uint16_t>(sign | val);
-  }
-  // Subnormal half: result = round(1.mant * 2^e / 2^-24) in units of 2^-24.
-  // The total right shift of the 24-bit significand is 13 + (-14 - e).
-  const int shift = 13 + (-14 - e);
-  if (shift > 31) {
-    return sign;  // far underflow
-  }
-  const uint32_t significand = mant | 0x800000u;
-  const uint32_t val = ShiftRightRne(significand, shift);
-  // val can reach 0x400 (rounds up to the smallest normal); layout handles it.
-  return static_cast<uint16_t>(sign | val);
-}
-
-float Half::ToFloatImpl(uint16_t h) {
-  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
-  const uint32_t exp = (h >> 10) & 0x1fu;
-  const uint32_t mant = h & 0x3ffu;
-
-  uint32_t out;
-  if (exp == 0) {
-    if (mant == 0) {
-      out = sign;  // +/- zero
-    } else {
-      // Subnormal: normalize into float's representation.
-      int e = 0;
-      uint32_t m = mant;
-      while ((m & 0x400u) == 0) {
-        m <<= 1;
-        ++e;
-      }
-      m &= 0x3ffu;
-      out = sign | (static_cast<uint32_t>(113 - e) << 23) | (m << 13);
-    }
-  } else if (exp == 31) {
-    out = sign | 0x7f800000u | (mant << 13);  // inf / nan
-  } else {
-    out = sign | ((exp + 112) << 23) | (mant << 13);
-  }
-  float f;
-  std::memcpy(&f, &out, sizeof(f));
-  return f;
-}
-
+}  // namespace fp16_detail
 }  // namespace spinfer

@@ -5,11 +5,124 @@
 // no hardware half type we can rely on portably, so Half stores the 16-bit
 // pattern and converts to/from float with round-to-nearest-even — the same
 // semantics as CUDA's __half.
+//
+// Fast path: half→float is the hottest conversion in the functional
+// simulator (every gathered MMA operand passes through it), so ToFloat() is
+// a single load from a 65,536-entry lookup table. The table is built at
+// compile time from the bit-twiddled reference conversion below, which stays
+// available (fp16_detail::HalfToFloatBits) as the oracle the exhaustive
+// equivalence test in tests/fp16_test.cc compares against. float→half is the
+// same RNE bit algorithm as before, inlined here so hot encoders avoid the
+// call.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 
 namespace spinfer {
+namespace fp16_detail {
+
+// Rounds the low `shift` bits of `m` away (round-to-nearest-even) and returns
+// m >> shift (+1 if rounded up). Requires 1 <= shift <= 31.
+constexpr uint32_t ShiftRightRne(uint32_t m, int shift) {
+  const uint32_t kept = m >> shift;
+  const uint32_t half = 1u << (shift - 1);
+  const uint32_t rem = m & ((half << 1) - 1u);
+  if (rem > half || (rem == half && (kept & 1u))) {
+    return kept + 1;
+  }
+  return kept;
+}
+
+// Reference bit-twiddled half→float conversion (exact for every encoding,
+// NaN payloads included). The lookup table is generated from this function;
+// it is not the runtime hot path.
+constexpr float HalfToFloatBits(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1fu;
+  const uint32_t mant = h & 0x3ffu;
+
+  uint32_t out = 0;
+  if (exp == 0) {
+    if (mant == 0) {
+      out = sign;  // +/- zero
+    } else {
+      // Subnormal: normalize into float's representation.
+      int e = 0;
+      uint32_t m = mant;
+      while ((m & 0x400u) == 0) {
+        m <<= 1;
+        ++e;
+      }
+      m &= 0x3ffu;
+      out = sign | (static_cast<uint32_t>(113 - e) << 23) | (m << 13);
+    }
+  } else if (exp == 31) {
+    out = sign | 0x7f800000u | (mant << 13);  // inf / nan
+  } else {
+    out = sign | ((exp + 112) << 23) | (mant << 13);
+  }
+  return std::bit_cast<float>(out);
+}
+
+// float→half with round-to-nearest-even; overflow maps to +/-inf, float
+// subnormals (< 2^-126, far below half's 2^-24 ulp) flush to zero, NaNs are
+// quieted.
+constexpr uint16_t FloatToHalfBits(float f) {
+  const uint32_t x = std::bit_cast<uint32_t>(f);
+
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  const uint32_t biased_exp = (x >> 23) & 0xffu;
+  const uint32_t mant = x & 0x7fffffu;
+
+  if (biased_exp == 0xff) {
+    // Inf or NaN; quiet any NaN.
+    return mant != 0 ? static_cast<uint16_t>(sign | 0x7e00u)
+                     : static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (biased_exp == 0) {
+    // Float subnormal: magnitude < 2^-126, far below half's smallest
+    // subnormal (2^-24); rounds to zero.
+    return sign;
+  }
+
+  const int e = static_cast<int>(biased_exp) - 127;  // unbiased exponent
+  if (e >= 16) {
+    return static_cast<uint16_t>(sign | 0x7c00u);  // overflow -> inf
+  }
+  if (e >= -14) {
+    // Normal half candidate. Rounding may carry into the exponent (including
+    // into infinity at e == 15), which the bit layout handles naturally.
+    // ShiftRightRne is applied to the full 24-bit significand (implicit bit
+    // included), so its result lies in [2^10, 2^11]; subtracting 2^10 leaves
+    // the mantissa field, and a rounding carry to exactly 2^11 propagates
+    // into the exponent via the addition — the correct RNE carry behaviour.
+    uint32_t val = (static_cast<uint32_t>(e + 15) << 10) +
+                   ShiftRightRne(mant | 0x800000u, 13) - (1u << 10);
+    if (val >= 0x7c00u) {
+      val = 0x7c00u;
+    }
+    return static_cast<uint16_t>(sign | val);
+  }
+  // Subnormal half: result = round(1.mant * 2^e / 2^-24) in units of 2^-24.
+  // The total right shift of the 24-bit significand is 13 + (-14 - e).
+  const int shift = 13 + (-14 - e);
+  if (shift > 31) {
+    return sign;  // far underflow
+  }
+  const uint32_t significand = mant | 0x800000u;
+  const uint32_t val = ShiftRightRne(significand, shift);
+  // val can reach 0x400 (rounds up to the smallest normal); layout handles it.
+  return static_cast<uint16_t>(sign | val);
+}
+
+// 65,536-entry half→float table, constant-initialized in fp16.cc from
+// HalfToFloatBits over every encoding. 256 KiB of rodata; the working set of
+// a decode loop touches only the encodings its values actually use.
+extern const std::array<float, 65536> kHalfToFloatLut;
+
+}  // namespace fp16_detail
 
 // A 16-bit IEEE binary16 value. POD; exactly 2 bytes, safe to memcpy into the
 // packed Values arrays of the sparse formats.
@@ -18,25 +131,29 @@ class Half {
   Half() = default;
 
   // Converts from float with round-to-nearest-even; overflow maps to +/-inf.
-  explicit Half(float f) : bits_(FromFloat(f)) {}
+  explicit constexpr Half(float f) : bits_(fp16_detail::FloatToHalfBits(f)) {}
 
   // Reinterprets a raw bit pattern.
-  static Half FromBits(uint16_t bits) {
+  static constexpr Half FromBits(uint16_t bits) {
     Half h;
     h.bits_ = bits;
     return h;
   }
 
-  float ToFloat() const { return ToFloatImpl(bits_); }
-  uint16_t bits() const { return bits_; }
+  // Table-driven: one indexed load, bit-identical to the reference
+  // conversion for all 65,536 encodings (tests/fp16_test.cc proves it).
+  float ToFloat() const { return fp16_detail::kHalfToFloatLut[bits_]; }
+  constexpr uint16_t bits() const { return bits_; }
 
-  bool IsZero() const { return (bits_ & 0x7fff) == 0; }
-  bool IsNan() const { return (bits_ & 0x7c00) == 0x7c00 && (bits_ & 0x03ff) != 0; }
-  bool IsInf() const { return (bits_ & 0x7fff) == 0x7c00; }
+  constexpr bool IsZero() const { return (bits_ & 0x7fff) == 0; }
+  constexpr bool IsNan() const {
+    return (bits_ & 0x7c00) == 0x7c00 && (bits_ & 0x03ff) != 0;
+  }
+  constexpr bool IsInf() const { return (bits_ & 0x7fff) == 0x7c00; }
 
   // Equality is bitwise except that +0 == -0 (matching float semantics for the
   // common sparse-format roundtrip checks); NaN != NaN.
-  friend bool operator==(Half a, Half b) {
+  friend constexpr bool operator==(Half a, Half b) {
     if (a.IsNan() || b.IsNan()) {
       return false;
     }
@@ -45,12 +162,9 @@ class Half {
     }
     return a.bits_ == b.bits_;
   }
-  friend bool operator!=(Half a, Half b) { return !(a == b); }
+  friend constexpr bool operator!=(Half a, Half b) { return !(a == b); }
 
  private:
-  static uint16_t FromFloat(float f);
-  static float ToFloatImpl(uint16_t h);
-
   uint16_t bits_ = 0;
 };
 

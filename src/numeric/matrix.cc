@@ -65,12 +65,24 @@ void FloatMatrix::Fill(float v) {
   }
 }
 
+FloatMatrix ToFloatMatrix(const HalfMatrix& m) {
+  FloatMatrix out(m.rows(), m.cols());
+  for (int64_t i = 0; i < m.size(); ++i) {
+    out.data()[i] = m.data()[i].ToFloat();
+  }
+  return out;
+}
+
 FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {
   SPINFER_CHECK_EQ(w.cols(), x.rows());
   const int64_t m = w.rows();
   const int64_t k = w.cols();
   const int64_t n = x.cols();
   FloatMatrix out(m, n);
+  // Convert X to float once up front: every output row walks the whole of X,
+  // so converting per use would redo the same conversion M times. The
+  // conversion is exact, so results are unchanged.
+  const FloatMatrix xf = ToFloatMatrix(x);
   // Row-parallel: each output row keeps its sequential accumulation order,
   // so the reference result is bit-identical for any thread count.
   ParallelFor(0, m, [&](int64_t i) {
@@ -79,8 +91,10 @@ FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {
       if (wv == 0.0f) {
         continue;  // sparse-friendly; result identical because 0*x contributes 0
       }
+      const float* xrow = xf.data() + kk * n;
+      float* orow = &out.at(i, 0);
       for (int64_t j = 0; j < n; ++j) {
-        out.at(i, j) += wv * x.at(kk, j).ToFloat();
+        orow[j] += wv * xrow[j];
       }
     }
   });

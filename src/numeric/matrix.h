@@ -75,6 +75,12 @@ class FloatMatrix {
   std::vector<float> data_;
 };
 
+// Exact elementwise half→float conversion of a whole matrix. Hot kernels
+// pre-convert their activation operand once instead of converting each
+// element at every use; results are unchanged because the conversion is
+// deterministic and exact.
+FloatMatrix ToFloatMatrix(const HalfMatrix& m);
+
 // Reference dense GEMM: O = W(MxK) * X(KxN), FP16 inputs, FP32 accumulation,
 // plain triple loop. This is the correctness oracle for every kernel.
 FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x);

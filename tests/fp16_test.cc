@@ -1,7 +1,9 @@
 #include "src/numeric/fp16.h"
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -114,6 +116,100 @@ TEST(Fp16Test, ConversionErrorBounded) {
 TEST(Fp16Test, FloatSubnormalsFlushToZero) {
   EXPECT_TRUE(Half(std::ldexp(1.0f, -127)).IsZero());
   EXPECT_TRUE(Half(-std::ldexp(1.0f, -130)).IsZero());
+}
+
+// The fast-path contract: the lookup table behind ToFloat() must agree with
+// the bit-twiddled reference conversion on every one of the 65,536 encodings,
+// bit for bit (NaN payloads included — hence the bit_cast comparison rather
+// than float ==).
+TEST(Fp16Test, LutMatchesReferenceConversionExhaustively) {
+  for (uint32_t b = 0; b <= 0xffffu; ++b) {
+    const uint16_t bits = static_cast<uint16_t>(b);
+    const float via_lut = Half::FromBits(bits).ToFloat();
+    const float via_ref = fp16_detail::HalfToFloatBits(bits);
+    ASSERT_EQ(std::bit_cast<uint32_t>(via_lut), std::bit_cast<uint32_t>(via_ref))
+        << "half bits 0x" << std::hex << b;
+  }
+}
+
+// Every half encoding must survive a half -> float -> half round trip with
+// its exact bit pattern (infinities and NaN payloads included, except that
+// signaling NaNs are quieted — bit 9 of the mantissa gets set).
+TEST(Fp16Test, ExhaustiveRoundTripThroughFloat) {
+  for (uint32_t b = 0; b <= 0xffffu; ++b) {
+    const uint16_t bits = static_cast<uint16_t>(b);
+    const Half h = Half::FromBits(bits);
+    const uint16_t back = Half(h.ToFloat()).bits();
+    if (h.IsNan()) {
+      const uint16_t quieted = static_cast<uint16_t>(bits | 0x0200u);
+      ASSERT_TRUE(back == quieted || back == static_cast<uint16_t>((bits & 0x8000u) | 0x7e00u))
+          << "nan bits 0x" << std::hex << b;
+    } else {
+      ASSERT_EQ(back, bits) << "half bits 0x" << std::hex << b;
+    }
+  }
+}
+
+// Brute-force nearest-half oracle for finite floats: scans every finite half
+// of the input's sign and picks the closest in double arithmetic, breaking
+// exact ties toward the even encoding (adjacent representable halves have
+// adjacent bit patterns, so "even significand" == "even bit pattern").
+uint16_t NearestHalfBruteForce(float f) {
+  const uint16_t sign = std::signbit(f) ? 0x8000u : 0x0000u;
+  if (std::isnan(f)) {
+    return static_cast<uint16_t>(sign | 0x7e00u);
+  }
+  const double target = std::fabs(static_cast<double>(f));
+  // RNE overflow: 65520 is exactly halfway between 65504 (max finite, odd
+  // significand) and 2^16 (even); the tie goes to the even value, which
+  // overflows to infinity. Everything >= 65520 therefore maps to inf.
+  if (std::isinf(f) || target >= 65520.0) {
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  uint16_t best = 0;
+  double best_err = std::fabs(static_cast<double>(fp16_detail::HalfToFloatBits(0)) - target);
+  for (uint32_t mag = 1; mag <= 0x7bffu; ++mag) {
+    const double v = static_cast<double>(fp16_detail::HalfToFloatBits(static_cast<uint16_t>(mag)));
+    const double err = std::fabs(v - target);
+    if (err < best_err || (err == best_err && (mag & 1u) == 0)) {
+      best = static_cast<uint16_t>(mag);
+      best_err = err;
+    }
+  }
+  return static_cast<uint16_t>(sign | best);
+}
+
+TEST(Fp16Test, FromFloatMatchesBruteForceNearest) {
+  Rng rng(11);
+  std::vector<float> samples;
+  // Normal-range magnitudes, both signs, spanning the full half range.
+  for (int i = 0; i < 120; ++i) {
+    samples.push_back(static_cast<float>(rng.Uniform(-70000.0, 70000.0)));
+  }
+  // Small magnitudes around and below the subnormal boundary (2^-14).
+  for (int i = 0; i < 80; ++i) {
+    const int e = static_cast<int>(rng.Below(14)) + 14;  // 2^-14 .. 2^-27
+    samples.push_back(std::ldexp(static_cast<float>(rng.Uniform(1.0, 2.0)), -e));
+    samples.push_back(-samples.back());
+  }
+  // Exact halfway ties between adjacent finite halves: the midpoint needs 12
+  // significand bits, which a float represents exactly.
+  for (int i = 0; i < 80; ++i) {
+    const uint16_t lo = static_cast<uint16_t>(rng.Below(0x7bff));
+    const double mid = (static_cast<double>(fp16_detail::HalfToFloatBits(lo)) +
+                        static_cast<double>(fp16_detail::HalfToFloatBits(static_cast<uint16_t>(lo + 1)))) /
+                       2.0;
+    samples.push_back(static_cast<float>(mid));
+    samples.push_back(-samples.back());
+  }
+  // Boundary cases by hand.
+  samples.push_back(65519.996f);
+  samples.push_back(65520.0f);
+  samples.push_back(-65520.0f);
+  samples.push_back(std::ldexp(1.0f, -25));  // tie at half the smallest subnormal
+  for (const float f : samples) {
+    ASSERT_EQ(Half(f).bits(), NearestHalfBruteForce(f)) << "f=" << f;
+  }
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "src/gpusim/tensor_core.h"
 
+#include <bit>
+#include <cstdint>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -122,6 +124,98 @@ TEST(TensorCoreTest, MmaAccumulates) {
   for (int lane = 0; lane < kWarpSize; ++lane) {
     for (float c : acc[lane].c) {
       EXPECT_FLOAT_EQ(c, 3.5f);
+    }
+  }
+}
+
+// The fast path gathers each fragment into a dense operand once and runs the
+// FMA loop on plain arrays. It must be bit-identical — not merely close — to
+// the original per-element formulation that re-derived every coordinate and
+// re-converted every half inside the r/n/k loop, because golden outputs and
+// the determinism tests depend on exact FP32 summation order.
+TEST(TensorCoreTest, OperandFastPathBitIdenticalToPerElementMma) {
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    MmaAFragment afrag[kWarpSize];
+    MmaBFragment bfrag[kWarpSize];
+    MmaAccumulator init[kWarpSize];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (Half& h : afrag[lane].a) {
+        h = Half(static_cast<float>(rng.Gaussian()));
+      }
+      for (Half& h : bfrag[lane].b) {
+        h = Half(static_cast<float>(rng.Gaussian()));
+      }
+      for (float& c : init[lane].c) {
+        c = static_cast<float>(rng.Gaussian());
+      }
+    }
+
+    // Reference: the pre-fast-path algorithm, written out verbatim — gather
+    // the whole tile per element via the coord functions, accumulate in
+    // ascending k starting from C.
+    float a_tile[16][16];
+    float b_tile[16][8];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int i = 0; i < 8; ++i) {
+        const auto [r, c] = MmaAElementCoord(lane, i);
+        a_tile[r][c] = afrag[lane].a[i].ToFloat();
+      }
+      for (int i = 0; i < 4; ++i) {
+        const auto [k, n] = MmaBElementCoord(lane, i);
+        b_tile[k][n] = bfrag[lane].b[i].ToFloat();
+      }
+    }
+    MmaAccumulator want[kWarpSize];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      want[lane] = init[lane];
+    }
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int i = 0; i < 4; ++i) {
+        const auto [r, n] = MmaCElementCoord(lane, i);
+        float sum = want[lane].c[i];
+        for (int k = 0; k < 16; ++k) {
+          sum += a_tile[r][k] * b_tile[k][n];
+        }
+        want[lane].c[i] = sum;
+      }
+    }
+
+    MmaAccumulator got[kWarpSize];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      got[lane] = init[lane];
+    }
+    MmaM16N8K16(afrag, bfrag, got);
+
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int i = 0; i < 4; ++i) {
+        // Bitwise equality: EXPECT_EQ on float would accept -0 == +0 drift.
+        ASSERT_EQ(std::bit_cast<uint32_t>(got[lane].c[i]),
+                  std::bit_cast<uint32_t>(want[lane].c[i]))
+            << "trial=" << trial << " lane=" << lane << " i=" << i;
+      }
+    }
+
+    // The operand-level API used by the kernel inner loop must agree too.
+    MmaAOperand a_op;
+    MmaBOperand b_op;
+    GatherMmaA(afrag, &a_op);
+    GatherMmaB(bfrag, &b_op);
+    float c_tile[16][8];
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int i = 0; i < 4; ++i) {
+        const auto [r, n] = MmaCElementCoord(lane, i);
+        c_tile[r][n] = init[lane].c[i];
+      }
+    }
+    MmaM16N8K16Tile(a_op, b_op, c_tile);
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      for (int i = 0; i < 4; ++i) {
+        const auto [r, n] = MmaCElementCoord(lane, i);
+        ASSERT_EQ(std::bit_cast<uint32_t>(c_tile[r][n]),
+                  std::bit_cast<uint32_t>(want[lane].c[i]))
+            << "trial=" << trial << " lane=" << lane << " i=" << i;
+      }
     }
   }
 }
