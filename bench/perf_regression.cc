@@ -1,10 +1,13 @@
 // Perf-smoke regression harness.
 //
-// Times the functional simulator's hot paths — ReferenceGemm, the SpInfer
-// functional kernel, the TCA-BME encoder, and SMBD decode — on fixed shapes
-// and writes the results to BENCH.json (name -> wall_ms / repetitions /
+// Times the repository's hot paths — the functional simulator (ReferenceGemm,
+// the SpInfer functional kernel, the TCA-BME encoder, SMBD decode) and the
+// production CPU backend (CpuSpmmInto at decode/prefill widths with thread
+// sweep points, plus a tiny-transformer decode step) — on fixed shapes and
+// writes the results to BENCH.json (name -> wall_ms / repetitions /
 // threads). The shapes and seeds are frozen so successive PRs can diff the
-// numbers directly; EXPERIMENTS.md records the trajectory.
+// numbers directly (tools/bench_delta.py renders the diff against
+// bench/BENCH_baseline.json); EXPERIMENTS.md records the trajectory.
 //
 // Usage: perf_regression [--threads=N] [--reps=R] [--out=BENCH.json]
 //
@@ -15,10 +18,13 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/core/cpu_backend.h"
 #include "src/core/smbd.h"
 #include "src/core/spinfer_kernel.h"
 #include "src/format/tca_bme.h"
+#include "src/llm/tiny_transformer.h"
 #include "src/numeric/matrix.h"
+#include "src/pruning/magnitude.h"
 #include "src/util/random.h"
 
 namespace spinfer {
@@ -32,6 +38,11 @@ constexpr double kSpmmSparsity = 0.6;
 constexpr int64_t kEncodeM = 1024, kEncodeK = 1024;
 constexpr double kEncodeSparsity = 0.6;
 constexpr int kDecodeTiles = 4096;  // 16x16 TCTiles per decode repetition
+// Production CPU backend shape: an OPT-13B-class layer at the paper's 60%
+// operating point, timed at decode (n=8) and small-prefill (n=64) widths.
+constexpr int64_t kCpuSpmmM = 4096, kCpuSpmmK = 4096;
+constexpr double kCpuSpmmSparsity = 0.6;
+constexpr int64_t kTtDecodeCtx = 32;  // tokens per tiny-transformer decode step
 
 // Folds a FloatMatrix into one float so results feed a volatile sink; keeps
 // the optimizer from deleting timed work and doubles as a cross-run checksum.
@@ -57,14 +68,18 @@ int Main(int argc, char** argv) {
   std::printf("threads=%d reps=%d out=%s\n", threads, reps, out_path.c_str());
 
   std::vector<BenchRecord> records;
-  auto bench = [&](const std::string& name, const std::function<void()>& fn) {
+  auto bench_at = [&](const std::string& name, int at_threads,
+                      const std::function<void()>& fn) {
     BenchRecord r;
     r.name = name;
     r.wall_ms = MinWallMs(reps, fn);
     r.repetitions = reps;
-    r.threads = threads;
+    r.threads = at_threads;
     records.push_back(r);
     std::printf("%-28s %10.3f ms\n", name.c_str(), r.wall_ms);
+  };
+  auto bench = [&](const std::string& name, const std::function<void()>& fn) {
+    bench_at(name, threads, fn);
   };
 
   // --- ReferenceGemm: dense FP16 oracle. -----------------------------------
@@ -131,6 +146,49 @@ int Main(int argc, char** argv) {
         acc += frag[t % kWarpSize].a[t % 8].ToFloat();
       }
       g_sink = acc;
+    });
+  }
+
+  // --- Production CPU SpMM backend (encode once, reuse workspace). ---------
+  {
+    Rng rng(1005);
+    const HalfMatrix w =
+        HalfMatrix::RandomSparse(kCpuSpmmM, kCpuSpmmK, kCpuSpmmSparsity, rng);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+    const HalfMatrix x8 = HalfMatrix::Random(kCpuSpmmK, 8, rng);
+    const HalfMatrix x64 = HalfMatrix::Random(kCpuSpmmK, 64, rng);
+    SpmmWorkspace ws;
+    FloatMatrix out;
+    bench("cpu_spmm_n8", [&] {
+      CpuSpmmInto(enc, x8, &ws, &out);
+      g_sink = out.data()[0];
+    });
+    bench("cpu_spmm_n64", [&] {
+      CpuSpmmInto(enc, x64, &ws, &out);
+      g_sink = out.data()[0];
+    });
+    // Thread-sweep points on the n=64 shape: same bits at any width (the
+    // backend's determinism contract), only the wall clock moves.
+    for (const int t : {2, 4}) {
+      ThreadPool::SetGlobalThreads(t);
+      bench_at("cpu_spmm_n64_t" + std::to_string(t), t, [&] {
+        CpuSpmmInto(enc, x64, &ws, &out);
+        g_sink = out.data()[0];
+      });
+    }
+    ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 1)));
+  }
+
+  // --- Tiny-transformer decode step on the sparse serving path. ------------
+  {
+    TinyTransformer model(TinyConfig{}, 1006);
+    model.PruneWeights(MagnitudePruner(), 0.6);
+    std::vector<int32_t> tokens(static_cast<size_t>(kTtDecodeCtx));
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      tokens[i] = static_cast<int32_t>((i * 7 + 3) % model.config().vocab);
+    }
+    bench("tiny_transformer_decode_step", [&] {
+      g_sink = Checksum(model.Forward(tokens, MatmulBackend::kTcaBmeCpu));
     });
   }
 

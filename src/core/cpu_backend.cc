@@ -1,62 +1,189 @@
+// Portable half of the v2 backend: the driver (workspace, N-blocking,
+// GroupTile-row parallelism, dispatch) plus the auto-vectorizing row update.
+//
+// Compiled with -ffp-contract=off (see src/core/CMakeLists.txt): the row
+// update must round every multiply and every add separately so its results
+// are bit-identical to the AVX2 unit, which uses explicit mul/add intrinsics.
 #include "src/core/cpu_backend.h"
 
-#include <bit>
+#include <algorithm>
 
+#include "src/core/cpu_backend_inner.h"
 #include "src/util/check.h"
+#include "src/util/cpu_features.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 
-void CpuSpmmAccumulate(const TcaBmeMatrix& w, const HalfMatrix& x, FloatMatrix* out) {
+namespace {
+
+using cpu_backend_detail::ProcessGroupTile;
+using cpu_backend_detail::RowTerm;
+
+// Portable register-tiled row update. The fixed-size inner loops (8 floats =
+// one or two vector registers on any target) auto-vectorize at -O2/-O3; the
+// t-loop keeps the accumulators live across the row's nonzeros.
+struct PortableRowFma {
+  void Row8(float* orow, uint64_t rowmask, const float* vals,
+            const float* xcol0, int64_t n) const {
+    float acc[8];
+    for (int u = 0; u < 8; ++u) {
+      acc[u] = orow[u];
+    }
+    int t = 0;
+    while (rowmask != 0) {
+      const int cc = std::countr_zero(rowmask);
+      rowmask &= rowmask - 1;
+      const float v = vals[t++];
+      const float* xr = xcol0 + cc * n;
+      for (int u = 0; u < 8; ++u) {
+        acc[u] += v * xr[u];
+      }
+    }
+    for (int u = 0; u < 8; ++u) {
+      orow[u] = acc[u];
+    }
+  }
+
+  void operator()(float* orow, const RowTerm* terms, int count, int64_t nb) const {
+    int64_t j = 0;
+    for (; j + 8 <= nb; j += 8) {
+      float acc[8];
+      for (int u = 0; u < 8; ++u) {
+        acc[u] = orow[j + u];
+      }
+      for (int t = 0; t < count; ++t) {
+        const float v = terms[t].v;
+        const float* xr = terms[t].xrow + j;
+        for (int u = 0; u < 8; ++u) {
+          acc[u] += v * xr[u];
+        }
+      }
+      for (int u = 0; u < 8; ++u) {
+        orow[j + u] = acc[u];
+      }
+    }
+    for (; j < nb; ++j) {
+      float acc = orow[j];
+      for (int t = 0; t < count; ++t) {
+        acc += terms[t].v * terms[t].xrow[j];
+      }
+      orow[j] = acc;
+    }
+  }
+};
+
+// LUT-based batch conversion for the portable variant; exact, so it matches
+// the AVX2 unit's vcvtph2ps bit for bit.
+struct PortableConvert {
+  void operator()(const Half* src, float* dst, size_t count) const {
+    for (size_t i = 0; i < count; ++i) {
+      dst[i] = src[i].ToFloat();
+    }
+  }
+};
+
+void ProcessGroupTilePortable(const TcaBmeMatrix& w, int64_t gt, const float* xf,
+                              int64_t n, int64_t j0, int64_t nb, float* out) {
+  ProcessGroupTile(w, gt, xf, n, j0, nb, out, PortableRowFma{}, PortableConvert{});
+}
+
+using GroupTileFn = void (*)(const TcaBmeMatrix&, int64_t, const float*, int64_t,
+                             int64_t, int64_t, float*);
+
+GroupTileFn KernelFor(CpuSpmmVariant v) {
+  return v == CpuSpmmVariant::kAvx2 ? &cpu_backend_detail::ProcessGroupTileAvx2
+                                    : &ProcessGroupTilePortable;
+}
+
+// Shared accumulate core: converts X once, then sweeps N blocks x GroupTile
+// columns inside a row-parallel loop. Each ParallelFor index owns the output
+// rows of one GroupTile grid row, so writes are disjoint and the per-element
+// accumulation order (N-block, then GroupTile column, then storage bit
+// order) is fixed regardless of thread count.
+void AccumulateImpl(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
+                    FloatMatrix* out, CpuSpmmVariant variant) {
   SPINFER_CHECK_EQ(w.cols(), x.rows());
   SPINFER_CHECK_EQ(out->rows(), w.rows());
   SPINFER_CHECK_EQ(out->cols(), x.cols());
   const int64_t n = x.cols();
-  const int64_t m = w.rows();
-  const int64_t k = w.cols();
-  const int tc_rows = w.tc_rows_per_gt();
-  const int tc_cols = w.tc_cols_per_gt();
-  const TcaBmeConfig& cfg = w.config();
+  if (n == 0 || w.rows() == 0) {
+    return;
+  }
+  ws->x_panel.Reserve(static_cast<size_t>(x.size()));
+  float* xf = ws->x_panel.data();
+  ToFloatInto(x, xf);
 
-  for (int64_t gt = 0; gt < w.num_group_tiles(); ++gt) {
-    const int64_t base_r = (gt / w.gt_grid_cols()) * cfg.gt_rows;
-    const int64_t base_c = (gt % w.gt_grid_cols()) * cfg.gt_cols;
-    size_t cursor = w.gtile_offsets()[gt];
-    // Nested traversal mirrors the storage order exactly, so `cursor` walks
-    // the Values run without any index lookups.
-    for (int tcc = 0; tcc < tc_cols; ++tcc) {
-      for (int tcr = 0; tcr < tc_rows; ++tcr) {
-        const int tc = tcc * tc_rows + tcr;
-        for (int q = 0; q < 4; ++q) {
-          uint64_t bitmap = w.bitmaps()[w.BitmapIndex(gt, tc, q)];
-          const int64_t bt_r = base_r + static_cast<int64_t>(tcr) * kTcTileDim +
-                               (q % 2) * kBitmapTileDim;
-          const int64_t bt_c = base_c + static_cast<int64_t>(tcc) * kTcTileDim +
-                               (q / 2) * kBitmapTileDim;
-          while (bitmap != 0) {
-            const int bit = std::countr_zero(bitmap);
-            bitmap &= bitmap - 1;
-            const float v = w.values()[cursor++].ToFloat();
-            const int64_t r = bt_r + bit / kBitmapTileDim;
-            const int64_t c = bt_c + bit % kBitmapTileDim;
-            if (r >= m || c >= k) {
-              continue;  // padding region holds no nonzeros by construction
-            }
-            float* out_row = out->data() + r * n;
-            const Half* x_row = x.data() + c * n;
-            for (int64_t j = 0; j < n; ++j) {
-              out_row[j] += v * x_row[j].ToFloat();
-            }
-          }
-        }
+  const GroupTileFn kernel = KernelFor(variant);
+  const int64_t grid_rows = w.gt_grid_rows();
+  const int64_t grid_cols = w.gt_grid_cols();
+  float* out_data = out->data();
+  ParallelFor(0, grid_rows, [&](int64_t gtr) {
+    for (int64_t j0 = 0; j0 < n; j0 += kCpuSpmmNBlock) {
+      const int64_t nb = std::min(kCpuSpmmNBlock, n - j0);
+      for (int64_t gtc = 0; gtc < grid_cols; ++gtc) {
+        kernel(w, gtr * grid_cols + gtc, xf, n, j0, nb, out_data);
       }
     }
+  });
+}
+
+}  // namespace
+
+const char* CpuSpmmVariantName(CpuSpmmVariant v) {
+  return v == CpuSpmmVariant::kAvx2 ? "avx2" : "portable";
+}
+
+bool CpuSpmmVariantAvailable(CpuSpmmVariant v) {
+  if (v == CpuSpmmVariant::kPortable) {
+    return true;
   }
+  const CpuFeatures& f = GetCpuFeatures();
+  return cpu_backend_detail::CpuSpmmAvx2Compiled() && f.avx2 && f.fma && f.f16c;
+}
+
+CpuSpmmVariant ActiveCpuSpmmVariant() {
+  static const CpuSpmmVariant active = [] {
+    if (ActiveSimdLevel() == SimdLevel::kAvx2 &&
+        CpuSpmmVariantAvailable(CpuSpmmVariant::kAvx2)) {
+      return CpuSpmmVariant::kAvx2;
+    }
+    return CpuSpmmVariant::kPortable;
+  }();
+  return active;
+}
+
+void CpuSpmmAccumulateIntoVariant(const TcaBmeMatrix& w, const HalfMatrix& x,
+                                  SpmmWorkspace* ws, FloatMatrix* out,
+                                  CpuSpmmVariant v) {
+  SPINFER_CHECK_MSG(CpuSpmmVariantAvailable(v),
+                    "requested CPU SpMM variant is unavailable on this machine");
+  AccumulateImpl(w, x, ws, out, v);
+}
+
+void CpuSpmmAccumulateInto(const TcaBmeMatrix& w, const HalfMatrix& x,
+                           SpmmWorkspace* ws, FloatMatrix* out) {
+  AccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
+}
+
+void CpuSpmmInto(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
+                 FloatMatrix* out) {
+  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  out->Reshape(w.rows(), x.cols());
+  out->Fill(0.0f);
+  AccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 
 FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x) {
-  FloatMatrix out(w.rows(), x.cols());
-  CpuSpmmAccumulate(w, x, &out);
+  FloatMatrix out;
+  SpmmWorkspace ws;
+  CpuSpmmInto(w, x, &ws, &out);
   return out;
+}
+
+void CpuSpmmAccumulate(const TcaBmeMatrix& w, const HalfMatrix& x, FloatMatrix* out) {
+  SpmmWorkspace ws;
+  CpuSpmmAccumulateInto(w, x, &ws, out);
 }
 
 }  // namespace spinfer

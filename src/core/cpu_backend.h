@@ -1,25 +1,96 @@
-// Bitmap-direct CPU SpMM backend.
+// Bitmap-direct CPU SpMM backend (v2: blocked, SIMD-dispatched, parallel).
 //
 // The warp-level functional simulator (SpInferSpmmKernel::Run) exists to
 // validate the GPU algorithm bit-for-bit; it is deliberately literal and
 // slow. This backend is the *production CPU path* for TCA-BME models: it
 // walks each BitmapTile's 64-bit mask with count-trailing-zeros, consumes
 // the compressed Values run sequentially (the same order SMBD implies), and
-// FMAs whole X rows — no fragment emulation. The tiny-transformer example
-// and the CPU-deployment story run on this.
+// FMAs whole X-row blocks — no fragment emulation. The tiny-transformer
+// example and the CPU-deployment story run on this.
+//
+// v2 execution scheme:
+//   * The FP16 activation panel is converted to FP32 once per call into a
+//     reusable workspace (exact conversion, so results are unchanged).
+//   * Output columns are processed in blocks of kCpuSpmmNBlock; within a
+//     block, each interior BitmapTile row becomes one register-tiled update
+//     (accumulators stay in registers across up to 8 nonzeros).
+//   * The innermost row update is SIMD-dispatched at runtime: an AVX2 unit
+//     (compiled separately with -mavx2 -mfma) when the CPU supports it, a
+//     portable auto-vectorized loop otherwise. Both are compiled with FP
+//     contraction off and accumulate per element in the same order, so the
+//     two paths are bit-identical — dispatch changes speed, never results.
+//   * GroupTile rows are distributed over the global ThreadPool; each task
+//     owns a disjoint output-row range, so any thread count produces
+//     bit-identical output.
+// Determinism: for a fixed input, output bits do not depend on thread count
+// or on which SIMD variant ran. tests/cpu_backend_test.cc enforces both.
 #pragma once
 
 #include "src/format/tca_bme.h"
 #include "src/gpusim/perf_counters.h"
 #include "src/numeric/matrix.h"
+#include "src/util/aligned_buffer.h"
 
 namespace spinfer {
 
-// O(M x N) = W * X with FP32 accumulation. Results match the reference GEMM
-// within FP32 reassociation tolerance.
-FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x);
+// Output-column span one pass over the compressed Values stream covers.
+// Decode-time N (<= 128) takes a single pass; larger N is blocked so the
+// output tile a GroupTile row touches stays cache-resident. Within a pass
+// the row updates block by 32 floats (four AVX2 accumulators); the portable
+// loop blocks the same way so both variants share one traversal.
+inline constexpr int64_t kCpuSpmmNBlock = 128;
 
-// Same, accumulating into `out` (+=), for callers that fuse bias/residual.
+// Reusable scratch for the SpMM call: the FP32 X panel (half->float is
+// exact, so converting the panel once per call changes no result bits).
+// Grown monotonically, never shrunk — a serving loop that has seen its
+// largest shapes performs zero heap allocations in this path afterwards.
+// Weight values are converted per BitmapTile into a stack-resident staging
+// array inside the kernel and need no heap scratch. Not thread-safe to share
+// across concurrent calls; give each serving thread its own.
+struct SpmmWorkspace {
+  AlignedBuffer<float> x_panel;   // K x N fp32 activation panel
+
+  int64_t grow_count() const { return x_panel.grow_count(); }
+  uint64_t capacity_bytes() const { return x_panel.capacity() * sizeof(float); }
+};
+
+// out = W * X, reshaping `out` to (w.rows(), x.cols()). All scratch comes
+// from `ws`; after `out` and `ws` have seen the call's shapes once, repeat
+// calls are allocation-free.
+void CpuSpmmInto(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
+                 FloatMatrix* out);
+
+// out += W * X (out must already have shape (w.rows(), x.cols())), for
+// callers that fuse bias/residual into the output before the matmul.
+void CpuSpmmAccumulateInto(const TcaBmeMatrix& w, const HalfMatrix& x,
+                           SpmmWorkspace* ws, FloatMatrix* out);
+
+// Legacy conveniences; thin wrappers over the workspace API that pay one
+// workspace allocation per call. Results are identical.
+FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x);
 void CpuSpmmAccumulate(const TcaBmeMatrix& w, const HalfMatrix& x, FloatMatrix* out);
+
+// --- SIMD dispatch introspection (tests, benches, diagnostics) -------------
+
+enum class CpuSpmmVariant {
+  kPortable,  // auto-vectorized C++; always available
+  kAvx2,      // hand-written AVX2; requires compile-time and runtime support
+};
+
+const char* CpuSpmmVariantName(CpuSpmmVariant v);
+
+// Whether `v` can run on this build + this machine.
+bool CpuSpmmVariantAvailable(CpuSpmmVariant v);
+
+// The variant CpuSpmm* dispatches to (feature detection + SPINFER_SIMD
+// override, cached at first use).
+CpuSpmmVariant ActiveCpuSpmmVariant();
+
+// Accumulate-form entry with the variant pinned; CHECK-fails if `v` is
+// unavailable. This is how the bit-identity tests drive both paths on one
+// machine.
+void CpuSpmmAccumulateIntoVariant(const TcaBmeMatrix& w, const HalfMatrix& x,
+                                  SpmmWorkspace* ws, FloatMatrix* out,
+                                  CpuSpmmVariant v);
 
 }  // namespace spinfer

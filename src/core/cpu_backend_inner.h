@@ -1,0 +1,175 @@
+// Internal: the GroupTile traversal shared by every CPU SpMM SIMD variant.
+//
+// Each variant (portable auto-vectorized, AVX2) supplies only the innermost
+// row update and the half->float batch conversion; the bitmap walk,
+// Values-cursor arithmetic, and ragged-edge handling live here exactly once.
+// That is what makes the bit-identity contract between variants cheap to
+// keep: a variant cannot disagree about *which* products to form, only about
+// how to schedule identical per-element mul-then-add chains — and those are
+// lane-independent, so any vector width produces the same bits.
+//
+// Do not include outside src/core/cpu_backend*.cc and tests.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "src/format/tca_bme.h"
+
+namespace spinfer {
+namespace cpu_backend_detail {
+
+// One nonzero's contribution to a row update: scalar weight value plus the
+// (already j0-offset) X panel row it multiplies.
+struct RowTerm {
+  float v;
+  const float* xrow;
+};
+
+// RowFma contract: fma(orow, terms, count, nb) performs, for every
+// j in [0, nb) and t in [0, count) in ascending t order:
+//     orow[j] = orow[j] + terms[t].v * terms[t].xrow[j]
+// with one rounding for the multiply and one for the add (no fusion — the
+// variant TUs are compiled with -ffp-contract=off). Per-element results are
+// then identical for every vector width, which is the dispatch invariant the
+// tests enforce.
+//
+// Row8 contract: the decode-width (nb == 8) specialization. row8(orow,
+// rowmask, vals, xcol0, n) walks rowmask's set bits in ascending order; the
+// t-th set bit cc contributes vals[t] * (xcol0 + cc*n)[j] for j in [0, 8),
+// with the same mul-then-add rounding as above. Same products, same order as
+// the terms path — only the staging through RowTerm is skipped.
+//
+// ConvertFn contract: convert(src, dst, count) writes dst[i] =
+// float(src[i]) for i in [0, count). Half->float widening is exact, so the
+// LUT and F16C implementations produce identical bits; the choice never
+// affects results, only speed.
+
+// Ragged-edge BitmapTile: rows/cols may fall outside the logical matrix, so
+// every element is guarded. Scalar on purpose — edges are rare, and sharing
+// this exact code across variants removes any chance of edge divergence.
+// `tile_vals` holds the tile's already-converted values in bit order.
+//
+// `static`, not `inline`: the including TUs are compiled with different ISA
+// flags, and a COMDAT-merged copy could hand AVX-encoded code to the
+// portable path. Internal linkage keeps each TU's codegen to itself.
+static inline void EdgeBitmapTile(uint64_t bitmap, const float* tile_vals,
+                                  int64_t bt_r, int64_t bt_c, int64_t m, int64_t k,
+                                  const float* xf, int64_t n, int64_t j0,
+                                  int64_t nb, float* out) {
+  int t = 0;
+  while (bitmap != 0) {
+    const int bit = std::countr_zero(bitmap);
+    bitmap &= bitmap - 1;
+    const float v = tile_vals[t++];
+    const int64_t r = bt_r + bit / kBitmapTileDim;
+    const int64_t c = bt_c + bit % kBitmapTileDim;
+    if (r >= m || c >= k) {
+      continue;  // padding region: the stored value is never referenced
+    }
+    float* orow = out + r * n + j0;
+    const float* xrow = xf + c * n + j0;
+    for (int64_t j = 0; j < nb; ++j) {
+      orow[j] += v * xrow[j];
+    }
+  }
+}
+
+// Applies one GroupTile's nonzeros to the output columns [j0, j0+nb), reading
+// activations from the fp32 panel `xf` (row-major K x N). Each BitmapTile's
+// compressed Values run is converted half->float in one batch into an
+// L1-resident staging array (at most 64 floats), so the hot row updates read
+// floats and the conversion vectorizes. The caller owns N-blocking and
+// row-parallelism; this walks TCTiles in storage order so the Values cursor
+// advances without index lookups, and hands every interior BitmapTile row to
+// `row_fma` as one register-tiled update.
+template <typename RowFma, typename ConvertFn>
+static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
+                             int64_t n, int64_t j0, int64_t nb, float* out,
+                             const RowFma& row_fma, const ConvertFn& convert) {
+  const Half* hvalues = w.values().data();
+  const int64_t m = w.rows();
+  const int64_t k = w.cols();
+  const TcaBmeConfig& cfg = w.config();
+  const int tc_rows = w.tc_rows_per_gt();
+  const int tc_cols = w.tc_cols_per_gt();
+  const int64_t base_r = (gt / w.gt_grid_cols()) * cfg.gt_rows;
+  const int64_t base_c = (gt % w.gt_grid_cols()) * cfg.gt_cols;
+  size_t cursor = w.gtile_offsets()[gt];
+  for (int tcc = 0; tcc < tc_cols; ++tcc) {
+    for (int tcr = 0; tcr < tc_rows; ++tcr) {
+      const int tc = tcc * tc_rows + tcr;
+      for (int q = 0; q < 4; ++q) {
+        const uint64_t bitmap = w.bitmaps()[w.BitmapIndex(gt, tc, q)];
+        if (bitmap == 0) {
+          continue;
+        }
+        const int pc = std::popcount(bitmap);
+        float tile_vals[kBitmapTileDim * kBitmapTileDim];
+        convert(hvalues + cursor, tile_vals, static_cast<size_t>(pc));
+        cursor += static_cast<size_t>(pc);
+        const int64_t bt_r = base_r + static_cast<int64_t>(tcr) * kTcTileDim +
+                             (q % 2) * kBitmapTileDim;
+        const int64_t bt_c = base_c + static_cast<int64_t>(tcc) * kTcTileDim +
+                             (q / 2) * kBitmapTileDim;
+        if (bt_r + kBitmapTileDim > m || bt_c + kBitmapTileDim > k) {
+          EdgeBitmapTile(bitmap, tile_vals, bt_r, bt_c, m, k, xf, n, j0, nb,
+                         out);
+          continue;
+        }
+        // Interior tile: bits are row-major (bit = r*8 + c), so each bitmap
+        // byte is one output row's nonzeros and its Values are contiguous in
+        // the staging array. Decode width (nb == 8, one accumulator
+        // register) skips the RowTerm staging and walks the bits directly;
+        // wider blocks gather the row's terms once and replay them per
+        // register tile. Both paths form the same products in the same
+        // order.
+        int tv = 0;
+        if (nb == kBitmapTileDim) {
+          const float* xcol0 = xf + bt_c * n + j0;
+          for (int rr = 0; rr < kBitmapTileDim; ++rr) {
+            const uint64_t rowmask = (bitmap >> (rr * kBitmapTileDim)) & 0xFFull;
+            if (rowmask == 0) {
+              continue;
+            }
+            row_fma.Row8(out + (bt_r + rr) * n + j0, rowmask, tile_vals + tv,
+                         xcol0, n);
+            tv += std::popcount(rowmask);
+          }
+          continue;
+        }
+        for (int rr = 0; rr < kBitmapTileDim; ++rr) {
+          uint64_t rowmask = (bitmap >> (rr * kBitmapTileDim)) & 0xFFull;
+          if (rowmask == 0) {
+            continue;
+          }
+          RowTerm terms[kBitmapTileDim];
+          int count = 0;
+          while (rowmask != 0) {
+            const int cc = std::countr_zero(rowmask);
+            rowmask &= rowmask - 1;
+            terms[count].v = tile_vals[tv + count];
+            terms[count].xrow = xf + (bt_c + cc) * n + j0;
+            ++count;
+          }
+          tv += count;
+          row_fma(out + (bt_r + rr) * n + j0, terms, count, nb);
+        }
+      }
+    }
+  }
+}
+
+// The AVX2 variant's kernels, defined in cpu_backend_avx2.cc (built with
+// -mavx2 -mfma -mf16c when the compiler supports them). Call only when
+// CpuSpmmAvx2Compiled() and the running CPU advertises AVX2+FMA+F16C.
+bool CpuSpmmAvx2Compiled();
+void ProcessGroupTileAvx2(const TcaBmeMatrix& w, int64_t gt, const float* xf,
+                          int64_t n, int64_t j0, int64_t nb, float* out);
+// 8-wide vcvtph2ps half->float of `count` elements; exact, so bit-identical
+// to the portable LUT conversion for every non-NaN input (and for the NaN
+// encodings hardware and the LUT agree on; weights are never NaN).
+void ConvertHalfToFloatAvx2(const Half* src, float* dst, size_t count);
+
+}  // namespace cpu_backend_detail
+}  // namespace spinfer

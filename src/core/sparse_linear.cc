@@ -32,17 +32,27 @@ void SparseLinear::SetBias(std::vector<float> bias) {
 }
 
 FloatMatrix SparseLinear::Forward(const HalfMatrix& x) const {
+  FloatMatrix out;
+  ForwardInto(x, &out);
+  return out;
+}
+
+void SparseLinear::ForwardInto(const HalfMatrix& x, FloatMatrix* out) const {
   SPINFER_CHECK_EQ(x.rows(), weight_.cols());
-  FloatMatrix out(weight_.rows(), x.cols());
+  out->Reshape(weight_.rows(), x.cols());
   if (bias_.has_value()) {
-    for (int64_t r = 0; r < out.rows(); ++r) {
-      for (int64_t c = 0; c < out.cols(); ++c) {
-        out.at(r, c) = (*bias_)[r];
+    float* data = out->data();
+    const int64_t n = out->cols();
+    for (int64_t r = 0; r < out->rows(); ++r) {
+      const float b = (*bias_)[r];
+      for (int64_t c = 0; c < n; ++c) {
+        data[r * n + c] = b;
       }
     }
+  } else {
+    out->Fill(0.0f);
   }
-  CpuSpmmAccumulate(weight_, x, &out);
-  return out;
+  CpuSpmmAccumulateInto(weight_, x, &workspace_, out);
 }
 
 uint64_t SparseLinear::StorageBytes() const {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/cpu_backend.h"
 #include "src/core/kernel_config.h"
 #include "src/core/spmm.h"
 #include "src/format/tca_bme.h"
@@ -37,8 +38,16 @@ class SparseLinear {
   // Sets a per-output-row bias added to every output column.
   void SetBias(std::vector<float> bias);
 
-  // y = W x (+ bias). Runs the bitmap-direct CPU backend.
+  // y = W x (+ bias). Runs the bitmap-direct CPU backend. Scratch comes from
+  // the layer's own workspace, so repeat calls at seen shapes allocate only
+  // the returned matrix; serving loops should prefer ForwardInto.
   FloatMatrix Forward(const HalfMatrix& x) const;
+
+  // Allocation-free serving form: reshapes `out` to (out_features, x.cols()),
+  // fills it with the bias (or zero), and accumulates W x. After `out` and
+  // the layer workspace have seen the call's shapes once, repeat calls
+  // perform zero heap allocations.
+  void ForwardInto(const HalfMatrix& x, FloatMatrix* out) const;
 
   int64_t in_features() const { return weight_.cols(); }
   int64_t out_features() const { return weight_.rows(); }
@@ -55,6 +64,11 @@ class SparseLinear {
  private:
   TcaBmeMatrix weight_;
   std::optional<std::vector<float>> bias_;
+  // Per-layer SpMM scratch, grown monotonically by ForwardInto. `mutable`
+  // because a matmul is logically const; this also means a single
+  // SparseLinear must not serve concurrent Forward calls (matching the
+  // SpmmWorkspace contract).
+  mutable SpmmWorkspace workspace_;
 };
 
 }  // namespace spinfer

@@ -7,6 +7,7 @@
 // See examples/quickstart.cpp for the 30-line tour.
 #pragma once
 
+#include "src/core/cpu_backend.h"      // IWYU pragma: export
 #include "src/core/kernel_config.h"    // IWYU pragma: export
 #include "src/core/smbd.h"             // IWYU pragma: export
 #include "src/core/spinfer_kernel.h"   // IWYU pragma: export

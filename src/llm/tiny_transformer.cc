@@ -19,13 +19,12 @@ TcaBmeConfig TinyFormat() {
   return cfg;
 }
 
-// Converts a float activation (rows x cols) to FP16 for the next matmul.
-HalfMatrix ToHalf(const FloatMatrix& f) {
-  HalfMatrix h(f.rows(), f.cols());
+// Converts a float activation (rows x cols) to FP16 into reusable storage.
+void ToHalfInto(const FloatMatrix& f, HalfMatrix* h) {
+  h->Reshape(f.rows(), f.cols());
   for (int64_t i = 0; i < f.size(); ++i) {
-    h.data()[i] = Half(f.data()[i]);
+    h->data()[i] = Half(f.data()[i]);
   }
-  return h;
 }
 
 // LayerNorm over the hidden dimension. Activations are (hidden x seq):
@@ -102,12 +101,29 @@ void TinyTransformer::PruneWeights(const Pruner& pruner, double sparsity) {
   EncodeAll();
 }
 
-FloatMatrix TinyTransformer::Matmul(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
-                                    const HalfMatrix& x, MatmulBackend backend) const {
+void TinyTransformer::MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
+                                 const HalfMatrix& x, MatmulBackend backend,
+                                 FloatMatrix* out) const {
   if (backend == MatmulBackend::kDense) {
-    return ReferenceGemm(dense, x);
+    *out = ReferenceGemm(dense, x);
+    return;
   }
-  return CpuSpmm(encoded, x);
+  CpuSpmmInto(encoded, x, &scratch_.ws, out);
+}
+
+int64_t TinyTransformer::MatmulScratchGrowCount() const {
+  return scratch_.ws.grow_count();
+}
+
+uint64_t TinyTransformer::MatmulScratchCapacityBytes() const {
+  const MatmulScratch& s = scratch_;
+  uint64_t bytes = s.ws.capacity_bytes() + s.xh.capacity() * sizeof(Half) +
+                   s.scores.capacity() * sizeof(float);
+  for (const FloatMatrix* m : {&s.normed, &s.q, &s.kk, &s.v, &s.attn_out,
+                               &s.proj, &s.ffn_in, &s.hidden_act, &s.ffn_out}) {
+    bytes += m->capacity() * sizeof(float);
+  }
+  return bytes;
 }
 
 FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
@@ -131,18 +147,24 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
     }
   }
 
+  MatmulScratch& s = scratch_;
   for (const Layer& l : layers_) {
     // --- Attention block (pre-LN). ---
-    FloatMatrix normed = act;
-    LayerNormColumns(&normed);
-    const HalfMatrix x = ToHalf(normed);
-    const FloatMatrix q = Matmul(l.wq, l.enc_wq, x, backend);
-    const FloatMatrix kk = Matmul(l.wk, l.enc_wk, x, backend);
-    const FloatMatrix v = Matmul(l.wv, l.enc_wv, x, backend);
+    s.normed = act;
+    LayerNormColumns(&s.normed);
+    ToHalfInto(s.normed, &s.xh);
+    MatmulInto(l.wq, l.enc_wq, s.xh, backend, &s.q);
+    MatmulInto(l.wk, l.enc_wk, s.xh, backend, &s.kk);
+    MatmulInto(l.wv, l.enc_wv, s.xh, backend, &s.v);
+    const FloatMatrix& q = s.q;
+    const FloatMatrix& kk = s.kk;
+    const FloatMatrix& v = s.v;
 
-    FloatMatrix attn_out(h, seq);
+    s.attn_out.Reshape(h, seq);
+    FloatMatrix& attn_out = s.attn_out;
     const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
-    std::vector<float> scores(static_cast<size_t>(seq));
+    s.scores.resize(static_cast<size_t>(seq));
+    std::vector<float>& scores = s.scores;
     for (int64_t head = 0; head < config_.heads; ++head) {
       const int64_t r0 = head * hd;
       for (int64_t t = 0; t < seq; ++t) {
@@ -170,21 +192,24 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
         }
       }
     }
-    const FloatMatrix proj = Matmul(l.wo, l.enc_wo, ToHalf(attn_out), backend);
+    ToHalfInto(attn_out, &s.xh);
+    MatmulInto(l.wo, l.enc_wo, s.xh, backend, &s.proj);
     for (int64_t i = 0; i < act.size(); ++i) {
-      act.data()[i] += proj.data()[i];  // residual
+      act.data()[i] += s.proj.data()[i];  // residual
     }
 
     // --- FFN block (pre-LN, GELU). ---
-    FloatMatrix ffn_in = act;
-    LayerNormColumns(&ffn_in);
-    FloatMatrix hidden_act = Matmul(l.fc1, l.enc_fc1, ToHalf(ffn_in), backend);
-    for (int64_t i = 0; i < hidden_act.size(); ++i) {
-      hidden_act.data()[i] = Gelu(hidden_act.data()[i]);
+    s.ffn_in = act;
+    LayerNormColumns(&s.ffn_in);
+    ToHalfInto(s.ffn_in, &s.xh);
+    MatmulInto(l.fc1, l.enc_fc1, s.xh, backend, &s.hidden_act);
+    for (int64_t i = 0; i < s.hidden_act.size(); ++i) {
+      s.hidden_act.data()[i] = Gelu(s.hidden_act.data()[i]);
     }
-    const FloatMatrix ffn_out = Matmul(l.fc2, l.enc_fc2, ToHalf(hidden_act), backend);
+    ToHalfInto(s.hidden_act, &s.xh);
+    MatmulInto(l.fc2, l.enc_fc2, s.xh, backend, &s.ffn_out);
     for (int64_t i = 0; i < act.size(); ++i) {
-      act.data()[i] += ffn_out.data()[i];
+      act.data()[i] += s.ffn_out.data()[i];
     }
   }
 

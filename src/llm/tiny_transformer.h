@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/cpu_backend.h"
 #include "src/format/tca_bme.h"
 #include "src/numeric/matrix.h"
 #include "src/pruning/pruner.h"
@@ -51,6 +52,13 @@ class TinyTransformer {
                                 MatmulBackend backend) const;
 
   const TinyConfig& config() const { return config_; }
+  // Observability for the zero-allocation serving contract (tests, benches).
+  // Grow count / capacity of the reusable matmul-path scratch: once a
+  // Forward at the serving shapes has warmed it, further Forwards at those
+  // (or smaller) shapes leave both unchanged — i.e. the matmul path performs
+  // zero heap allocations per step.
+  int64_t MatmulScratchGrowCount() const;
+  uint64_t MatmulScratchCapacityBytes() const;
   // Weight footprints: dense FP16 vs the encoded TCA-BME bytes.
   uint64_t DenseWeightBytes() const;
   uint64_t EncodedWeightBytes() const;
@@ -65,15 +73,31 @@ class TinyTransformer {
     TcaBmeMatrix enc_wq, enc_wk, enc_wv, enc_wo, enc_fc1, enc_fc2;
   };
 
-  // Runs W*X on the selected backend.
-  FloatMatrix Matmul(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
-                     const HalfMatrix& x, MatmulBackend backend) const;
+  // Reusable buffers for one Forward pass. Shapes depend only on (seq,
+  // hidden, ffn), so every layer — and every subsequent call at seen shapes —
+  // reuses the same storage; nothing here is shrunk. `xh` stages the FP16
+  // conversion feeding each matmul.
+  struct MatmulScratch {
+    SpmmWorkspace ws;
+    HalfMatrix xh;
+    FloatMatrix normed, q, kk, v, attn_out, proj, ffn_in, hidden_act, ffn_out;
+    std::vector<float> scores;
+  };
+
+  // out = W*X on the selected backend. The sparse path draws all scratch
+  // from scratch_.ws; the dense reference path may allocate.
+  void MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
+                  const HalfMatrix& x, MatmulBackend backend,
+                  FloatMatrix* out) const;
 
   void EncodeAll();
 
   TinyConfig config_;
   HalfMatrix embedding_;  // vocab x hidden (tied LM head)
   std::vector<Layer> layers_;
+  // `mutable`: Forward is logically const. A single TinyTransformer must not
+  // run concurrent Forward calls (matching the SpmmWorkspace contract).
+  mutable MatmulScratch scratch_;
 };
 
 }  // namespace spinfer

@@ -20,6 +20,13 @@ int64_t HalfMatrix::CountNonZeros() const {
   return nnz;
 }
 
+void HalfMatrix::Reshape(int64_t rows, int64_t cols) {
+  SPINFER_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<size_t>(rows * cols));
+}
+
 double HalfMatrix::Sparsity() const {
   if (size() == 0) {
     return 0.0;
@@ -65,12 +72,23 @@ void FloatMatrix::Fill(float v) {
   }
 }
 
+void FloatMatrix::Reshape(int64_t rows, int64_t cols) {
+  SPINFER_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<size_t>(rows * cols));
+}
+
 FloatMatrix ToFloatMatrix(const HalfMatrix& m) {
   FloatMatrix out(m.rows(), m.cols());
-  for (int64_t i = 0; i < m.size(); ++i) {
-    out.data()[i] = m.data()[i].ToFloat();
-  }
+  ToFloatInto(m, out.data());
   return out;
+}
+
+void ToFloatInto(const HalfMatrix& m, float* out) {
+  for (int64_t i = 0; i < m.size(); ++i) {
+    out[i] = m.data()[i].ToFloat();
+  }
 }
 
 FloatMatrix ReferenceGemm(const HalfMatrix& w, const HalfMatrix& x) {

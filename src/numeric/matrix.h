@@ -30,6 +30,14 @@ class HalfMatrix {
   const Half* data() const { return data_.data(); }
   Half* data() { return data_.data(); }
 
+  // Re-shapes in place; element values are unspecified afterwards. Storage
+  // only grows (vector capacity is kept), so scratch matrices cycled through
+  // repeating shapes stop allocating once they have seen their largest size.
+  void Reshape(int64_t rows, int64_t cols);
+  // Backing capacity in elements; stable capacity across calls is how
+  // workspace-reuse tests prove a path performs no hidden allocations.
+  int64_t capacity() const { return static_cast<int64_t>(data_.capacity()); }
+
   // Number of non-zero entries (zero = bit pattern +/-0).
   int64_t CountNonZeros() const;
 
@@ -69,6 +77,10 @@ class FloatMatrix {
 
   void Fill(float v);
 
+  // Same grow-only reshape contract as HalfMatrix::Reshape.
+  void Reshape(int64_t rows, int64_t cols);
+  int64_t capacity() const { return static_cast<int64_t>(data_.capacity()); }
+
  private:
   int64_t rows_ = 0;
   int64_t cols_ = 0;
@@ -80,6 +92,10 @@ class FloatMatrix {
 // element at every use; results are unchanged because the conversion is
 // deterministic and exact.
 FloatMatrix ToFloatMatrix(const HalfMatrix& m);
+
+// Same conversion into caller-owned storage of at least m.size() floats —
+// the allocation-free form workspace paths use.
+void ToFloatInto(const HalfMatrix& m, float* out);
 
 // Reference dense GEMM: O = W(MxK) * X(KxN), FP16 inputs, FP32 accumulation,
 // plain triple loop. This is the correctness oracle for every kernel.

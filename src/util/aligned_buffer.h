@@ -1,0 +1,87 @@
+// Grow-only, cache-line-aligned scratch buffers.
+//
+// The CPU SpMM workspace (src/core/cpu_backend.h) and other hot-path scratch
+// space need three properties std::vector does not give together: 64-byte
+// alignment (full-cache-line loads for SIMD panels, no split lines), strictly
+// monotonic capacity (a serving loop must stop allocating once it has seen
+// its largest shape), and an observable allocation count so tests can prove
+// reuse rather than assume it.
+//
+// Contents are NOT preserved across growth — this is scratch space the owner
+// refills every use, so copying old bytes would be pure waste.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+
+namespace spinfer {
+
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T> &&
+                    std::is_trivially_constructible_v<T>,
+                "AlignedBuffer holds raw scratch storage only");
+
+ public:
+  static constexpr size_t kAlignment = 64;  // one x86 cache line
+
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { Release(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_), grow_count_(other.grow_count_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      grow_count_ = other.grow_count_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+
+  // Ensures room for at least `count` elements. Never shrinks; existing
+  // contents are discarded when growth happens.
+  void Reserve(size_t count) {
+    if (count <= capacity_) {
+      return;
+    }
+    Release();
+    data_ = static_cast<T*>(
+        ::operator new(count * sizeof(T), std::align_val_t(kAlignment)));
+    capacity_ = count;
+    ++grow_count_;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t capacity() const { return capacity_; }
+
+  // Number of allocations performed over the buffer's lifetime. A stable
+  // grow_count across repeated uses is the reuse proof tests assert on.
+  int64_t grow_count() const { return grow_count_; }
+
+ private:
+  void Release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kAlignment));
+      data_ = nullptr;
+    }
+  }
+
+  T* data_ = nullptr;
+  size_t capacity_ = 0;
+  int64_t grow_count_ = 0;
+};
+
+}  // namespace spinfer

@@ -1,0 +1,85 @@
+#include "src/util/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace spinfer {
+
+namespace {
+
+CpuFeatures Detect() {
+  CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+  f.f16c = __builtin_cpu_supports("f16c") != 0;
+  f.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return f;
+}
+
+SimdLevel Resolve() {
+  const CpuFeatures& f = GetCpuFeatures();
+  // The AVX2 kernels also use F16C half conversions; every AVX2-era CPU has
+  // all three, but dispatch verifies each flag it depends on.
+  SimdLevel level =
+      (f.avx2 && f.fma && f.f16c) ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+  if (const char* env = std::getenv("SPINFER_SIMD")) {
+    if (std::strcmp(env, "portable") == 0 || std::strcmp(env, "scalar") == 0) {
+      level = SimdLevel::kPortable;
+    }
+    // "avx2" (or anything else) keeps the hardware-clamped level: the
+    // override can narrow dispatch but never select an unsupported tier.
+  }
+  return level;
+}
+
+}  // namespace
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = Detect();
+  return features;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = Resolve();
+  return level;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kPortable:
+      return "portable";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::string CpuFeaturesSummary() {
+  const CpuFeatures& f = GetCpuFeatures();
+  std::string s;
+  auto add = [&s](bool has, const char* name) {
+    if (has) {
+      if (!s.empty()) {
+        s += '+';
+      }
+      s += name;
+    }
+  };
+  add(f.avx2, "avx2");
+  add(f.fma, "fma");
+  add(f.f16c, "f16c");
+  add(f.avx512f, "avx512f");
+  if (s.empty()) {
+    s = "baseline";
+  }
+  s += " (dispatch: ";
+  s += SimdLevelName(ActiveSimdLevel());
+  s += ')';
+  return s;
+}
+
+}  // namespace spinfer

@@ -1,0 +1,47 @@
+// Runtime CPU-feature detection and the SIMD dispatch policy.
+//
+// The library ships one binary that must run correctly on any x86-64 machine
+// (and non-x86 hosts), so SIMD kernels are selected at runtime: translation
+// units compiled with -mavx2/-mfma are entered only after the running CPU has
+// advertised those features. Detection happens once and is cached.
+//
+// Dispatch can be pinned for debugging and A/B testing with the environment
+// variable SPINFER_SIMD:
+//   SPINFER_SIMD=portable   always take the portable fallback
+//   SPINFER_SIMD=avx2       request AVX2 (silently falls back when the CPU
+//                           lacks it — the override can widen testing, never
+//                           crash the process)
+// Every SIMD variant in the library is bit-identical to the portable path by
+// contract, so the override changes speed, never results.
+#pragma once
+
+#include <string>
+
+namespace spinfer {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool f16c = false;
+  bool avx512f = false;
+};
+
+// What the running CPU supports; detected once, cached.
+const CpuFeatures& GetCpuFeatures();
+
+// SIMD tiers the library dispatches between. Ordered: higher is wider.
+enum class SimdLevel {
+  kPortable = 0,  // plain C++, auto-vectorized; runs everywhere
+  kAvx2 = 1,      // AVX2+FMA hand-written kernels (x86-64)
+};
+
+// The level dispatch should use: hardware features clamped by the
+// SPINFER_SIMD override. Cached after the first call.
+SimdLevel ActiveSimdLevel();
+
+const char* SimdLevelName(SimdLevel level);
+
+// Human-readable summary, e.g. "avx2+fma+avx512f (dispatch: avx2)".
+std::string CpuFeaturesSummary();
+
+}  // namespace spinfer

@@ -145,16 +145,20 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   if (total <= 0) {
     return;
   }
-  if (num_threads_ == 1 || total == 1) {
-    for (int64_t i = begin; i < end; ++i) {
-      fn(i);
-    }
-    return;
-  }
   if (grain <= 0) {
     // ~8 chunks per execution-width thread: fine enough to balance ragged
     // per-index cost, coarse enough that the shared cursor stays cold.
     grain = std::max<int64_t>(1, total / (static_cast<int64_t>(num_threads_) * 8));
+  }
+  // Inline fast path: a width-1 pool, or a range that fits in a single
+  // chunk, runs on the caller with no task handoff, no shared loop state,
+  // and no wake/wait traffic. Same indices, same order as the one chunk the
+  // caller would have claimed anyway — results are unchanged.
+  if (num_threads_ == 1 || total <= grain) {
+    for (int64_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
   }
 
   // Shared loop state. Heap-allocated and reference-counted so helper tasks

@@ -52,7 +52,9 @@ class ThreadPool {
   // Runs fn(i) exactly once for every i in [begin, end), distributing chunks
   // over the pool and the calling thread; returns when all indices are done.
   // `grain` is the minimum number of consecutive indices per chunk (0 picks
-  // a balanced default of ~8 chunks per thread).
+  // a balanced default of ~8 chunks per thread). Loops that fit in a single
+  // chunk — including every loop on a width-1 pool — run inline on the
+  // caller with no task handoff or synchronization at all.
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn, int64_t grain = 0);
 

@@ -4,10 +4,23 @@
 
 #include "src/core/spinfer_kernel.h"
 #include "src/numeric/compare.h"
+#include "src/util/cpu_features.h"
 #include "src/util/random.h"
+#include "src/util/thread_pool.h"
 
 namespace spinfer {
 namespace {
+
+// Exact comparison: the v2 backend's determinism contract is bit-identity,
+// not tolerance. Any mismatch prints the first differing element.
+void ExpectBitIdentical(const FloatMatrix& a, const FloatMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.data()[i], b.data()[i])
+        << "first mismatch at flat index " << i << " of " << a.size();
+  }
+}
 
 class CpuSpmmSweep : public ::testing::TestWithParam<std::tuple<double, int64_t>> {};
 
@@ -61,6 +74,86 @@ TEST(CpuBackendTest, NonDefaultGeometry) {
   const HalfMatrix x = HalfMatrix::Random(300, 8, rng, 0.5f);
   const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, cfg);
   EXPECT_TRUE(CompareMatrices(CpuSpmm(enc, x), ReferenceGemm(w, x), 2e-3, 5e-2).ok);
+}
+
+TEST(CpuBackendTest, SimdVariantsBitIdentical) {
+  if (!CpuSpmmVariantAvailable(CpuSpmmVariant::kAvx2)) {
+    GTEST_SKIP() << "AVX2 variant unavailable on this build/machine ("
+                 << CpuFeaturesSummary() << "); nothing to cross-check";
+  }
+  // Density 30%..90%: sparse enough to exercise empty bitmap rows, dense
+  // enough to fill whole tiles.
+  for (const double sparsity : {0.7, 0.5, 0.3, 0.1}) {
+    Rng rng(491 + static_cast<uint64_t>(sparsity * 100));
+    const HalfMatrix w = HalfMatrix::RandomSparse(160, 224, sparsity, rng);
+    const HalfMatrix x = HalfMatrix::Random(224, 33, rng, 0.5f);
+    const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+    SpmmWorkspace ws;
+    FloatMatrix portable(160, 33);
+    portable.Fill(0.0f);
+    CpuSpmmAccumulateIntoVariant(enc, x, &ws, &portable, CpuSpmmVariant::kPortable);
+    FloatMatrix avx2(160, 33);
+    avx2.Fill(0.0f);
+    CpuSpmmAccumulateIntoVariant(enc, x, &ws, &avx2, CpuSpmmVariant::kAvx2);
+    ExpectBitIdentical(portable, avx2);
+  }
+}
+
+TEST(CpuBackendTest, BitIdenticalAcrossThreadCounts) {
+  Rng rng(492);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 192, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(192, 17, rng, 0.5f);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  ThreadPool::SetGlobalThreads(1);
+  const FloatMatrix one = CpuSpmm(enc, x);
+  for (const int threads : {2, 8}) {
+    ThreadPool::SetGlobalThreads(threads);
+    const FloatMatrix got = CpuSpmm(enc, x);
+    ExpectBitIdentical(one, got);
+  }
+  ThreadPool::SetGlobalThreads(0);  // restore the default pool
+}
+
+TEST(CpuBackendTest, RaggedShapesOffTileBoundaries) {
+  // Shapes that leave partial BitmapTiles on both edges, crossed with N that
+  // exercises every row-update tail (scalar, 4-wide, 8-wide, 32+1).
+  const std::pair<int64_t, int64_t> shapes[] = {{70, 90}, {129, 257}};
+  for (const auto& [m, k] : shapes) {
+    for (const int64_t n : {int64_t{1}, int64_t{5}, int64_t{31}, int64_t{33}}) {
+      Rng rng(493 + static_cast<uint64_t>(m + n));
+      const HalfMatrix w = HalfMatrix::RandomSparse(m, k, 0.5, rng);
+      const HalfMatrix x = HalfMatrix::Random(k, n, rng, 0.5f);
+      const FloatMatrix got = CpuSpmm(TcaBmeMatrix::Encode(w), x);
+      const CompareResult cmp = CompareMatrices(got, ReferenceGemm(w, x), 2e-3, 5e-2);
+      EXPECT_TRUE(cmp.ok) << "m=" << m << " k=" << k << " n=" << n << ": "
+                          << cmp.ToString();
+    }
+  }
+}
+
+TEST(CpuBackendTest, WorkspaceReusedAcrossCallsAndShapes) {
+  Rng rng(494);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 128, 0.5, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  SpmmWorkspace ws;
+  FloatMatrix out;
+  // Largest shape first: everything after must fit in the grown buffers.
+  const int64_t ns[] = {40, 8, 1, 40, 24, 8};
+  int64_t grows_after_first = -1;
+  for (const int64_t n : ns) {
+    Rng xrng(600 + static_cast<uint64_t>(n));
+    const HalfMatrix x = HalfMatrix::Random(128, n, xrng, 0.5f);
+    CpuSpmmInto(enc, x, &ws, &out);
+    if (grows_after_first < 0) {
+      grows_after_first = ws.grow_count();
+    } else {
+      EXPECT_EQ(ws.grow_count(), grows_after_first)
+          << "workspace grew on a shape it had already seen (n=" << n << ")";
+    }
+    // Reused scratch must not change results: compare against a fresh call.
+    ExpectBitIdentical(out, CpuSpmm(enc, x));
+  }
+  EXPECT_GT(ws.capacity_bytes(), 0u);
 }
 
 TEST(CpuBackendTest, AllZeroMatrix) {

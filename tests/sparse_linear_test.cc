@@ -65,6 +65,35 @@ TEST(SparseLinearTest, StorageAndEstimateSane) {
   EXPECT_LT(t, 1000.0);
 }
 
+TEST(SparseLinearTest, ForwardIntoMatchesForwardAndReusesOutput) {
+  Rng rng(246);
+  const HalfMatrix w = HalfMatrix::RandomSparse(64, 96, 0.5, rng);
+  const HalfMatrix x = HalfMatrix::Random(96, 8, rng, 0.5f);
+  SparseLinear layer = SparseLinear::FromDense(w);
+  std::vector<float> bias(64);
+  for (size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = 0.25f * static_cast<float>(i);
+  }
+  layer.SetBias(bias);
+  const FloatMatrix via_forward = layer.Forward(x);
+  FloatMatrix out;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    layer.ForwardInto(x, &out);
+    ASSERT_EQ(out.rows(), via_forward.rows());
+    ASSERT_EQ(out.cols(), via_forward.cols());
+    for (int64_t i = 0; i < out.size(); ++i) {
+      ASSERT_EQ(out.data()[i], via_forward.data()[i]) << "repeat " << repeat;
+    }
+  }
+  // A smaller batch reuses the grown output and workspace.
+  const HalfMatrix x1 = HalfMatrix::Random(96, 1, rng, 0.5f);
+  layer.ForwardInto(x1, &out);
+  const FloatMatrix fresh = layer.Forward(x1);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out.data()[i], fresh.data()[i]);
+  }
+}
+
 TEST(SparseLinearTest, WrapsCheckpointMatrix) {
   Rng rng(245);
   const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);

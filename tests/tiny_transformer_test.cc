@@ -78,6 +78,33 @@ TEST(TinyTransformerTest, PruningShrinksEncodedWeights) {
   EXPECT_LT(after, model.DenseWeightBytes());
 }
 
+// The serving contract behind the decode bench: after one warm-up Forward,
+// the matmul path (SpMM workspace + activation staging) never grows again at
+// the same (or smaller) sequence lengths — zero heap allocations per step.
+TEST(TinyTransformerTest, MatmulPathAllocationFreeAfterWarmup) {
+  TinyTransformer model(SmallConfig(), 14);
+  model.PruneWeights(MagnitudePruner(), 0.6);
+  std::vector<int32_t> tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+  model.Forward(tokens, MatmulBackend::kTcaBmeCpu);  // warm-up at max shape
+  const int64_t grows = model.MatmulScratchGrowCount();
+  const uint64_t bytes = model.MatmulScratchCapacityBytes();
+  EXPECT_GT(bytes, 0u);
+  const FloatMatrix warm = model.Forward(tokens, MatmulBackend::kTcaBmeCpu);
+  EXPECT_EQ(model.MatmulScratchGrowCount(), grows);
+  EXPECT_EQ(model.MatmulScratchCapacityBytes(), bytes);
+  // Shorter sequences (decode prefixes) must also fit the warmed scratch.
+  tokens.resize(3);
+  model.Forward(tokens, MatmulBackend::kTcaBmeCpu);
+  EXPECT_EQ(model.MatmulScratchGrowCount(), grows);
+  EXPECT_EQ(model.MatmulScratchCapacityBytes(), bytes);
+  // And scratch reuse must not perturb results.
+  tokens = {1, 2, 3, 4, 5, 6, 7, 8};
+  const FloatMatrix again = model.Forward(tokens, MatmulBackend::kTcaBmeCpu);
+  for (int64_t i = 0; i < warm.size(); ++i) {
+    EXPECT_EQ(warm.data()[i], again.data()[i]);
+  }
+}
+
 TEST(TinyTransformerTest, DeterministicAcrossInstances) {
   const TinyTransformer a(SmallConfig(), 12);
   const TinyTransformer b(SmallConfig(), 12);

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH.json against the committed bench baseline.
+
+Prints a Markdown table (bench name, baseline ms, current ms, delta) suitable
+for a CI job summary. Warn-only by design: shared-runner clocks are noisy, so
+this tool always exits 0 — the table makes regressions visible, a human
+decides whether they are real. Treat deltas beyond +/-30% on the same machine
+as signal, anything less as noise (matches bench/perf_regression.cc).
+
+Usage: bench_delta.py [--baseline bench/BENCH_baseline.json] [--current BENCH.json]
+"""
+
+import argparse
+import json
+import sys
+
+WARN_RATIO = 1.30  # flag rows whose wall time moved by more than this factor
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_delta: cannot read {path}: {err}", file=sys.stderr)
+        return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/BENCH_baseline.json")
+    parser.add_argument("--current", default="BENCH.json")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    if baseline is None or current is None:
+        print("bench_delta: nothing to compare (missing or unreadable input)")
+        return 0
+
+    print("### Perf smoke vs committed baseline")
+    print()
+    print("Warn-only: shared-runner clocks are noisy; ±30% is the signal bar.")
+    print()
+    print("| bench | baseline ms | current ms | delta |")
+    print("|---|---:|---:|---:|")
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name, {}).get("wall_ms")
+        cur = current.get(name, {}).get("wall_ms")
+        if base is None or cur is None:
+            status = "new" if base is None else "removed"
+            shown = cur if cur is not None else base
+            print(f"| {name} | {'' if base is None else f'{base:.3f}'} "
+                  f"| {'' if cur is None else f'{cur:.3f}'} | ({status}) |")
+            continue
+        if base <= 0.0:
+            print(f"| {name} | {base:.3f} | {cur:.3f} | n/a |")
+            continue
+        ratio = cur / base
+        flag = " ⚠️" if ratio > WARN_RATIO or ratio < 1.0 / WARN_RATIO else ""
+        print(f"| {name} | {base:.3f} | {cur:.3f} | {ratio - 1.0:+.1%}{flag} |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
