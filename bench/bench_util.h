@@ -10,6 +10,8 @@
 #include "src/baselines/kernel_registry.h"
 #include "src/core/spmm.h"
 #include "src/gpusim/device_spec.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/cli.h"
 #include "src/util/table.h"
@@ -22,10 +24,19 @@ namespace spinfer {
 // hardware concurrency). Determinism guarantee: every parallel loop in the
 // library reduces in a fixed order, so all modeled numbers and functional
 // outputs are bit-identical for any N — --threads only changes wall-clock.
+//
+// `--trace=FILE` turns tracing on for the whole run and writes a Chrome
+// trace-event JSON (Perfetto / chrome://tracing) at exit. Note traced runs
+// pay the recording overhead inside timed regions; perf_regression instead
+// keeps its timing loop untraced and records a separate traced pass.
 inline CliFlags BenchInit(int argc, char** argv) {
   CliFlags flags(argc, argv);
-  flags.RestrictTo({"threads"});
+  flags.RestrictTo({"threads", "trace"});
   ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 0)));
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    obs::EnableTracingToFileAtExit(trace_path);
+  }
   return flags;
 }
 
@@ -77,6 +88,49 @@ inline double MinWallMs(int reps, const std::function<void()>& fn) {
     }
   }
   return best;
+}
+
+// As above, additionally recording every timed repetition (not the warm-up)
+// into `hist` so a metrics dump carries the per-rep distribution (p50/p95)
+// next to the best-of summary. Timing behaviour is identical.
+inline double MinWallMs(int reps, const std::function<void()>& fn,
+                        obs::Histogram* hist) {
+  SPINFER_CHECK(reps >= 1);
+  fn();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (hist != nullptr) {
+      hist->Record(ms);
+    }
+    if (r == 0 || ms < best) {
+      best = ms;
+    }
+  }
+  return best;
+}
+
+// Buckets for per-bench wall-time histograms: 1µs .. ~16s, x2 per bucket.
+inline std::vector<double> BenchWallMsBuckets() {
+  return obs::Histogram::ExponentialBuckets(0.001, 2.0, 24);
+}
+
+// Runs `fn` once with tracing enabled, the whole run wrapped in a span named
+// `bench.<name>`. Used by perf_regression's --trace mode so the timed
+// repetitions stay untraced while the trace still covers every bench.
+inline void RunTracedOnce(const std::string& name,
+                          const std::function<void()>& fn) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  const char* span = tracer.InternName("bench." + name);
+  tracer.Start();
+  {
+    obs::TraceScope scope(span);
+    fn();
+  }
+  tracer.Stop();
 }
 
 // Writes the records as a JSON object keyed by bench name, e.g.

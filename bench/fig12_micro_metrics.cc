@@ -48,9 +48,19 @@ int main(int argc, char** argv) {
       [&](const std::string& k) { return double(run[k].smem_bank_conflicts); }, 0, "");
   add("TC pipe util",
       [&](const std::string& k) { return 100.0 * est[k].time.tc_utilization; }, 1, "%");
+  add("warp instrs (modeled, M)",
+      [&](const std::string& k) {
+        return static_cast<double>(est[k].counters.TotalWarpInstrs()) / 1e6;
+      },
+      1, "");
   add("modeled time (us)",
       [&](const std::string& k) { return est[k].time.total_us; }, 1, "");
   std::printf("%s\n", t.Render().c_str());
+
+  std::printf("Functional-sample counter dumps (256x256 tile):\n");
+  for (const char* name : {"cublas_tc", "flash_llm", "spinfer"}) {
+    std::printf("  %-10s %s\n", name, run[name].ToString().c_str());
+  }
   std::printf(
       "Paper shape check: SpInfer has the fewest registers, least DRAM traffic,\n"
       "highest bandwidth utilization, zero bank conflicts (Flash-LLM's scattered\n"

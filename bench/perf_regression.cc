@@ -10,6 +10,15 @@
 // bench/BENCH_baseline.json); EXPERIMENTS.md records the trajectory.
 //
 // Usage: perf_regression [--threads=N] [--reps=R] [--out=BENCH.json]
+//                        [--trace=TRACE.json] [--metrics=METRICS.json]
+//
+// --trace: after each bench's (untraced) timing loop, one extra traced pass
+// runs under a `bench.<name>` span; the combined Chrome trace-event JSON is
+// written at the end and loads in Perfetto / chrome://tracing. Timing
+// numbers never include tracing overhead.
+// --metrics: per-bench wall-time histograms (every rep), thread-pool
+// scheduling totals, and PerfCounters gauges, dumped as a registry JSON.
+// Kept out of BENCH.json so its flat name->record diff contract is untouched.
 //
 // This is a smoke harness, not a statistics engine: each point reports the
 // best of `reps` repetitions (default 5). Treat >1.3x movement on the same
@@ -24,6 +33,8 @@
 #include "src/format/tca_bme.h"
 #include "src/llm/tiny_transformer.h"
 #include "src/numeric/matrix.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/perf_counters_bridge.h"
 #include "src/pruning/magnitude.h"
 #include "src/util/random.h"
 
@@ -58,10 +69,12 @@ volatile float g_sink = 0.0f;
 
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
-  flags.RestrictTo({"threads", "reps", "out"});
+  flags.RestrictTo({"threads", "reps", "out", "trace", "metrics"});
   ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 1)));
   const int reps = static_cast<int>(flags.GetInt("reps", 5));
   const std::string out_path = flags.GetString("out", "BENCH.json");
+  const std::string trace_path = flags.GetString("trace", "");
+  const std::string metrics_path = flags.GetString("metrics", "");
   const int threads = ThreadPool::Global().num_threads();
 
   PrintHeader("Perf-smoke regression (fixed shapes, wall clock)");
@@ -72,11 +85,21 @@ int Main(int argc, char** argv) {
                       const std::function<void()>& fn) {
     BenchRecord r;
     r.name = name;
-    r.wall_ms = MinWallMs(reps, fn);
+    obs::Histogram* hist =
+        metrics_path.empty()
+            ? nullptr
+            : obs::MetricsRegistry::Global().GetHistogram(
+                  "bench." + name + ".wall_ms", BenchWallMsBuckets());
+    r.wall_ms = MinWallMs(reps, fn, hist);
     r.repetitions = reps;
     r.threads = at_threads;
     records.push_back(r);
     std::printf("%-28s %10.3f ms\n", name.c_str(), r.wall_ms);
+    if (!trace_path.empty()) {
+      // Separate traced pass: the timing numbers above never pay recording
+      // overhead, and the trace still covers every bench end to end.
+      RunTracedOnce(name, fn);
+    }
   };
   auto bench = [&](const std::string& name, const std::function<void()>& fn) {
     bench_at(name, threads, fn);
@@ -98,10 +121,16 @@ int Main(int argc, char** argv) {
     const HalfMatrix x = HalfMatrix::Random(kSpmmK, kSpmmN, rng);
     const SpInferSpmmKernel kernel;
     const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, kernel.config().format);
+    PerfCounters last_counters;
     bench("spinfer_functional", [&] {
       PerfCounters c;
       g_sink = Checksum(kernel.RunEncoded(enc, x, &c));
+      last_counters = c;
     });
+    if (!metrics_path.empty()) {
+      // One functional run's hardware-event totals next to the wall times.
+      obs::RecordPerfCounters(last_counters, "sim.spinfer_functional");
+    }
   }
 
   // --- TCA-BME encoder. ----------------------------------------------------
@@ -194,6 +223,23 @@ int Main(int argc, char** argv) {
 
   WriteBenchJson(out_path, records);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!trace_path.empty()) {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    tracer.Stop();
+    const std::vector<obs::TraceEvent> events = tracer.Drain();
+    SPINFER_CHECK_MSG(obs::ChromeTraceWriter::WriteFile(trace_path, events),
+                      "cannot write trace output file");
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                events.size());
+  }
+  if (!metrics_path.empty()) {
+    ThreadPool::Global().PublishMetrics();
+    SPINFER_CHECK_MSG(
+        obs::MetricsRegistry::Global().WriteJsonFile(metrics_path),
+        "cannot write metrics output file");
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

@@ -48,9 +48,7 @@ int main() {
 
     // Instruction-throughput proxies. Total issued warp instructions:
     const PerfCounters& c = est.counters;
-    const double instrs = static_cast<double>(c.ldgsts_instrs + c.ldg_instrs +
-                                              c.lds_instrs + c.ldsm_instrs +
-                                              c.mma_instrs + c.popc_ops + c.alu_ops);
+    const double instrs = static_cast<double>(c.TotalWarpInstrs());
     // Issue slots: 4 schedulers per SM, one instruction per cycle each.
     const double slots = est.time.total_us * 1e-6 * dev.clock_ghz * 1e9 * 4.0 *
                          static_cast<double>(dev.sm_count);

@@ -134,8 +134,15 @@ struct Avx2Convert {
 }  // namespace
 
 void ProcessGroupTileAvx2(const TcaBmeMatrix& w, int64_t gt, const float* xf,
-                          int64_t n, int64_t j0, int64_t nb, float* out) {
-  ProcessGroupTile(w, gt, xf, n, j0, nb, out, Avx2RowFma{}, Avx2Convert{});
+                          int64_t n, int64_t j0, int64_t nb, float* out,
+                          SpmmPhaseRecorder* rec) {
+  if (rec != nullptr) {
+    ProcessGroupTile<true>(w, gt, xf, n, j0, nb, out, Avx2RowFma{},
+                           Avx2Convert{}, rec);
+  } else {
+    ProcessGroupTile<false>(w, gt, xf, n, j0, nb, out, Avx2RowFma{},
+                            Avx2Convert{});
+  }
 }
 
 void ConvertHalfToFloatAvx2(const Half* src, float* dst, size_t count) {
@@ -153,7 +160,8 @@ void ConvertHalfToFloatAvx2(const Half* src, float* dst, size_t count) {
 #else  // !SPINFER_CPU_BACKEND_AVX2
 
 void ProcessGroupTileAvx2(const TcaBmeMatrix& w, int64_t gt, const float* xf,
-                          int64_t n, int64_t j0, int64_t nb, float* out) {
+                          int64_t n, int64_t j0, int64_t nb, float* out,
+                          SpmmPhaseRecorder* rec) {
   (void)w;
   (void)gt;
   (void)xf;
@@ -161,6 +169,7 @@ void ProcessGroupTileAvx2(const TcaBmeMatrix& w, int64_t gt, const float* xf,
   (void)j0;
   (void)nb;
   (void)out;
+  (void)rec;
   SPINFER_CHECK_MSG(false, "AVX2 CPU SpMM kernel was not compiled into this binary");
 }
 

@@ -26,6 +26,27 @@ struct RowTerm {
   const float* xrow;
 };
 
+// Per-row-task phase accounting for tracing. Timing is a compile-time
+// template parameter of ProcessGroupTile (`kTimed`), so the untraced
+// instantiation contains no timing code at all — bit-for-bit the
+// pre-instrumentation loop; the driver selects the instantiation once per
+// task on the hoisted tracing flag (see src/obs/trace.h). When active,
+// decode/convert/accumulate nanoseconds accumulate here and the driver emits
+// them as synthetic child slices of the row-task span.
+//
+// Now() is defined out-of-line in cpu_backend.cc on purpose: this header is
+// compiled into TUs with different ISA flags, and an inline body could hand
+// AVX-encoded code to the portable path via COMDAT merging.
+struct SpmmPhaseRecorder {
+  uint64_t convert_ns = 0;     // half->float staging of tile Values
+  uint64_t decode_ns = 0;      // bitmap walk / RowTerm gathering
+  uint64_t accumulate_ns = 0;  // FMA row updates (incl. fused decode in Row8)
+  uint64_t tiles = 0;          // nonzero BitmapTiles processed
+  uint64_t nnz = 0;            // nonzeros consumed
+
+  uint64_t Now() const;  // Tracer clock (respects an injected FakeClock)
+};
+
 // RowFma contract: fma(orow, terms, count, nb) performs, for every
 // j in [0, nb) and t in [0, count) in ascending t order:
 //     orow[j] = orow[j] + terms[t].v * terms[t].xrow[j]
@@ -83,10 +104,11 @@ static inline void EdgeBitmapTile(uint64_t bitmap, const float* tile_vals,
 // row-parallelism; this walks TCTiles in storage order so the Values cursor
 // advances without index lookups, and hands every interior BitmapTile row to
 // `row_fma` as one register-tiled update.
-template <typename RowFma, typename ConvertFn>
+template <bool kTimed, typename RowFma, typename ConvertFn>
 static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
                              int64_t n, int64_t j0, int64_t nb, float* out,
-                             const RowFma& row_fma, const ConvertFn& convert) {
+                             const RowFma& row_fma, const ConvertFn& convert,
+                             SpmmPhaseRecorder* rec = nullptr) {
   const Half* hvalues = w.values().data();
   const int64_t m = w.rows();
   const int64_t k = w.cols();
@@ -106,15 +128,30 @@ static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
         }
         const int pc = std::popcount(bitmap);
         float tile_vals[kBitmapTileDim * kBitmapTileDim];
+        uint64_t t_phase = 0;
+        if constexpr (kTimed) {
+          t_phase = rec->Now();
+        }
         convert(hvalues + cursor, tile_vals, static_cast<size_t>(pc));
         cursor += static_cast<size_t>(pc);
+        if constexpr (kTimed) {
+          rec->convert_ns += rec->Now() - t_phase;
+          rec->tiles += 1;
+          rec->nnz += static_cast<uint64_t>(pc);
+        }
         const int64_t bt_r = base_r + static_cast<int64_t>(tcr) * kTcTileDim +
                              (q % 2) * kBitmapTileDim;
         const int64_t bt_c = base_c + static_cast<int64_t>(tcc) * kTcTileDim +
                              (q / 2) * kBitmapTileDim;
         if (bt_r + kBitmapTileDim > m || bt_c + kBitmapTileDim > k) {
+          if constexpr (kTimed) {
+            t_phase = rec->Now();
+          }
           EdgeBitmapTile(bitmap, tile_vals, bt_r, bt_c, m, k, xf, n, j0, nb,
                          out);
+          if constexpr (kTimed) {
+            rec->accumulate_ns += rec->Now() - t_phase;
+          }
           continue;
         }
         // Interior tile: bits are row-major (bit = r*8 + c), so each bitmap
@@ -126,6 +163,11 @@ static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
         // order.
         int tv = 0;
         if (nb == kBitmapTileDim) {
+          // Decode is fused into Row8's bit walk; the whole tile charges to
+          // the accumulate phase.
+          if constexpr (kTimed) {
+            t_phase = rec->Now();
+          }
           const float* xcol0 = xf + bt_c * n + j0;
           for (int rr = 0; rr < kBitmapTileDim; ++rr) {
             const uint64_t rowmask = (bitmap >> (rr * kBitmapTileDim)) & 0xFFull;
@@ -136,12 +178,18 @@ static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
                          xcol0, n);
             tv += std::popcount(rowmask);
           }
+          if constexpr (kTimed) {
+            rec->accumulate_ns += rec->Now() - t_phase;
+          }
           continue;
         }
         for (int rr = 0; rr < kBitmapTileDim; ++rr) {
           uint64_t rowmask = (bitmap >> (rr * kBitmapTileDim)) & 0xFFull;
           if (rowmask == 0) {
             continue;
+          }
+          if constexpr (kTimed) {
+            t_phase = rec->Now();
           }
           RowTerm terms[kBitmapTileDim];
           int count = 0;
@@ -153,7 +201,15 @@ static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
             ++count;
           }
           tv += count;
+          if constexpr (kTimed) {
+            const uint64_t t_mid = rec->Now();
+            rec->decode_ns += t_mid - t_phase;
+            t_phase = t_mid;
+          }
           row_fma(out + (bt_r + rr) * n + j0, terms, count, nb);
+          if constexpr (kTimed) {
+            rec->accumulate_ns += rec->Now() - t_phase;
+          }
         }
       }
     }
@@ -165,7 +221,8 @@ static void ProcessGroupTile(const TcaBmeMatrix& w, int64_t gt, const float* xf,
 // CpuSpmmAvx2Compiled() and the running CPU advertises AVX2+FMA+F16C.
 bool CpuSpmmAvx2Compiled();
 void ProcessGroupTileAvx2(const TcaBmeMatrix& w, int64_t gt, const float* xf,
-                          int64_t n, int64_t j0, int64_t nb, float* out);
+                          int64_t n, int64_t j0, int64_t nb, float* out,
+                          SpmmPhaseRecorder* rec);
 // 8-wide vcvtph2ps half->float of `count` elements; exact, so bit-identical
 // to the portable LUT conversion for every non-NaN input (and for the NaN
 // encodings hardware and the LUT agree on; weights are never NaN).

@@ -41,11 +41,53 @@ struct PerfCounters {
 
   PerfCounters& operator+=(const PerfCounters& o);
 
+  // Field-wise subtraction, saturating at 0 — the natural "what did this
+  // region cost" helper for before/after snapshots. registers_per_thread is
+  // carried from the left operand (it is a static property, not a flow).
+  PerfCounters& operator-=(const PerfCounters& o);
+
+  // Delta(before, after) == after - before; reads in snapshot order.
+  static PerfCounters Delta(const PerfCounters& before,
+                            const PerfCounters& after);
+
+  // Total warp-level instructions issued — the Table 1 "instructions"
+  // column: memory + MMA + POPC + ALU.
+  uint64_t TotalWarpInstrs() const;
+
   // Field-wise equality; used by determinism tests to assert counter totals
   // are identical regardless of execution width.
   bool operator==(const PerfCounters& o) const = default;
 
+  // Visits every counter as (name, value) in declaration order, with
+  // registers_per_thread widened to uint64_t. Single source of truth for
+  // field enumeration: ToString, arithmetic, and the metrics bridge
+  // (src/obs/perf_counters_bridge.h) all go through it, so adding a field
+  // here updates every consumer.
+  template <typename Visitor>
+  void ForEachField(Visitor&& v) const {
+    v("dram_bytes_read", dram_bytes_read);
+    v("dram_bytes_written", dram_bytes_written);
+    v("smem_bytes_read", smem_bytes_read);
+    v("smem_bytes_written", smem_bytes_written);
+    v("smem_transactions", smem_transactions);
+    v("smem_bank_conflicts", smem_bank_conflicts);
+    v("ldgsts_instrs", ldgsts_instrs);
+    v("ldg_instrs", ldg_instrs);
+    v("lds_instrs", lds_instrs);
+    v("ldsm_instrs", ldsm_instrs);
+    v("mma_instrs", mma_instrs);
+    v("popc_ops", popc_ops);
+    v("alu_ops", alu_ops);
+    v("flops", flops);
+    v("registers_per_thread", static_cast<uint64_t>(registers_per_thread));
+  }
+
   std::string ToString() const;
 };
+
+inline PerfCounters operator-(PerfCounters lhs, const PerfCounters& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
 
 }  // namespace spinfer

@@ -8,6 +8,8 @@
 #include "src/core/spinfer_kernel.h"
 #include "src/llm/attention.h"
 #include "src/llm/parallel.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace spinfer {
@@ -129,6 +131,7 @@ WeightFormat FrameworkWeightFormat(Framework f) {
 
 double DecodeStepTimeUs(const EngineConfig& cfg, int64_t batch, int64_t context) {
   SPINFER_CHECK(batch > 0 && context > 0);
+  SPINFER_TRACE_SCOPE_ARG("engine.decode_step", "context", context);
   EngineConfig c = cfg;
   c.batch = batch;
   return StepLinearTimeUs(c, batch) +
@@ -140,6 +143,7 @@ double DecodeStepTimeUs(const EngineConfig& cfg, int64_t batch, int64_t context)
 
 double PrefillTimeUs(const EngineConfig& cfg, int64_t batch, int64_t seq_len) {
   SPINFER_CHECK(batch > 0 && seq_len > 0);
+  SPINFER_TRACE_SCOPE_ARG("engine.prefill", "seq_len", seq_len);
   EngineConfig c = cfg;
   c.batch = batch;
   const int64_t tokens = batch * seq_len;
@@ -153,6 +157,13 @@ double PrefillTimeUs(const EngineConfig& cfg, int64_t batch, int64_t seq_len) {
 InferenceReport SimulateInference(const EngineConfig& cfg) {
   SPINFER_CHECK(cfg.num_gpus >= 1 && cfg.batch > 0);
   SPINFER_CHECK(cfg.input_len > 0 && cfg.output_len > 0);
+  obs::TraceScope scope("engine.simulate");
+  if (scope.active()) {
+    scope.AddArg("batch", cfg.batch);
+    scope.AddArg("input_len", cfg.input_len);
+    scope.AddArg("output_len", cfg.output_len);
+    scope.AddArg("num_gpus", cfg.num_gpus);
+  }
   InferenceReport report;
 
   const double weight_sparsity =
@@ -198,6 +209,15 @@ InferenceReport SimulateInference(const EngineConfig& cfg) {
   report.total_ms = report.prefill_ms + report.decode_ms;
   report.tokens_per_second = static_cast<double>(cfg.batch * cfg.output_len) /
                              (report.total_ms / 1e3);
+
+  // Last-run summary gauges; overwritten per simulation so a bench sweep's
+  // metrics dump reflects its final configuration.
+  if (obs::TracingEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    reg.GetGauge("engine.prefill_ms")->Set(report.prefill_ms);
+    reg.GetGauge("engine.decode_ms")->Set(report.decode_ms);
+    reg.GetGauge("engine.tokens_per_second")->Set(report.tokens_per_second);
+  }
   return report;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/cpu_backend.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
 
@@ -103,7 +104,8 @@ void TinyTransformer::PruneWeights(const Pruner& pruner, double sparsity) {
 
 void TinyTransformer::MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
                                  const HalfMatrix& x, MatmulBackend backend,
-                                 FloatMatrix* out) const {
+                                 const char* label, FloatMatrix* out) const {
+  SPINFER_TRACE_SCOPE(label);
   if (backend == MatmulBackend::kDense) {
     *out = ReferenceGemm(dense, x);
     return;
@@ -133,29 +135,38 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
   const int64_t h = config_.hidden;
   const int64_t hd = config_.head_dim();
 
+  SPINFER_TRACE_SCOPE_ARG("tt.forward", "seq", seq);
+
   // Activations are (hidden x seq): one column per token, matching the
   // W(MxK) * X(KxN) convention of the kernels.
   FloatMatrix act(h, seq);
-  for (int64_t t = 0; t < seq; ++t) {
-    SPINFER_CHECK(tokens[t] >= 0 && tokens[t] < config_.vocab);
-    // Embedding + a fixed sinusoidal positional signal.
-    for (int64_t r = 0; r < h; ++r) {
-      const double pos = static_cast<double>(t) /
-                         std::pow(10000.0, static_cast<double>(2 * (r / 2)) / h);
-      act.at(r, t) = embedding_.at(tokens[t], r).ToFloat() +
-                     0.1f * static_cast<float>((r % 2 == 0) ? std::sin(pos) : std::cos(pos));
+  {
+    SPINFER_TRACE_SCOPE("tt.embed");
+    for (int64_t t = 0; t < seq; ++t) {
+      SPINFER_CHECK(tokens[t] >= 0 && tokens[t] < config_.vocab);
+      // Embedding + a fixed sinusoidal positional signal.
+      for (int64_t r = 0; r < h; ++r) {
+        const double pos = static_cast<double>(t) /
+                           std::pow(10000.0, static_cast<double>(2 * (r / 2)) / h);
+        act.at(r, t) = embedding_.at(tokens[t], r).ToFloat() +
+                       0.1f * static_cast<float>((r % 2 == 0) ? std::sin(pos)
+                                                              : std::cos(pos));
+      }
     }
   }
 
   MatmulScratch& s = scratch_;
-  for (const Layer& l : layers_) {
+  for (size_t layer_idx = 0; layer_idx < layers_.size(); ++layer_idx) {
+    const Layer& l = layers_[layer_idx];
+    SPINFER_TRACE_SCOPE_ARG("tt.layer", "layer",
+                            static_cast<int64_t>(layer_idx));
     // --- Attention block (pre-LN). ---
     s.normed = act;
     LayerNormColumns(&s.normed);
     ToHalfInto(s.normed, &s.xh);
-    MatmulInto(l.wq, l.enc_wq, s.xh, backend, &s.q);
-    MatmulInto(l.wk, l.enc_wk, s.xh, backend, &s.kk);
-    MatmulInto(l.wv, l.enc_wv, s.xh, backend, &s.v);
+    MatmulInto(l.wq, l.enc_wq, s.xh, backend, "tt.matmul.wq", &s.q);
+    MatmulInto(l.wk, l.enc_wk, s.xh, backend, "tt.matmul.wk", &s.kk);
+    MatmulInto(l.wv, l.enc_wv, s.xh, backend, "tt.matmul.wv", &s.v);
     const FloatMatrix& q = s.q;
     const FloatMatrix& kk = s.kk;
     const FloatMatrix& v = s.v;
@@ -165,35 +176,38 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
     const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
     s.scores.resize(static_cast<size_t>(seq));
     std::vector<float>& scores = s.scores;
-    for (int64_t head = 0; head < config_.heads; ++head) {
-      const int64_t r0 = head * hd;
-      for (int64_t t = 0; t < seq; ++t) {
-        // Causal scores for query t against keys 0..t.
-        float max_score = -1e30f;
-        for (int64_t s = 0; s <= t; ++s) {
-          float dot = 0.0f;
-          for (int64_t r = 0; r < hd; ++r) {
-            dot += q.at(r0 + r, t) * kk.at(r0 + r, s);
-          }
-          scores[s] = dot * inv_sqrt_d;
-          max_score = std::max(max_score, scores[s]);
-        }
-        float denom = 0.0f;
-        for (int64_t s = 0; s <= t; ++s) {
-          scores[s] = std::exp(scores[s] - max_score);
-          denom += scores[s];
-        }
-        for (int64_t r = 0; r < hd; ++r) {
-          float acc = 0.0f;
+    {
+      SPINFER_TRACE_SCOPE("tt.attention");
+      for (int64_t head = 0; head < config_.heads; ++head) {
+        const int64_t r0 = head * hd;
+        for (int64_t t = 0; t < seq; ++t) {
+          // Causal scores for query t against keys 0..t.
+          float max_score = -1e30f;
           for (int64_t s = 0; s <= t; ++s) {
-            acc += scores[s] * v.at(r0 + r, s);
+            float dot = 0.0f;
+            for (int64_t r = 0; r < hd; ++r) {
+              dot += q.at(r0 + r, t) * kk.at(r0 + r, s);
+            }
+            scores[s] = dot * inv_sqrt_d;
+            max_score = std::max(max_score, scores[s]);
           }
-          attn_out.at(r0 + r, t) = acc / denom;
+          float denom = 0.0f;
+          for (int64_t s = 0; s <= t; ++s) {
+            scores[s] = std::exp(scores[s] - max_score);
+            denom += scores[s];
+          }
+          for (int64_t r = 0; r < hd; ++r) {
+            float acc = 0.0f;
+            for (int64_t s = 0; s <= t; ++s) {
+              acc += scores[s] * v.at(r0 + r, s);
+            }
+            attn_out.at(r0 + r, t) = acc / denom;
+          }
         }
       }
     }
     ToHalfInto(attn_out, &s.xh);
-    MatmulInto(l.wo, l.enc_wo, s.xh, backend, &s.proj);
+    MatmulInto(l.wo, l.enc_wo, s.xh, backend, "tt.matmul.wo", &s.proj);
     for (int64_t i = 0; i < act.size(); ++i) {
       act.data()[i] += s.proj.data()[i];  // residual
     }
@@ -202,18 +216,19 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
     s.ffn_in = act;
     LayerNormColumns(&s.ffn_in);
     ToHalfInto(s.ffn_in, &s.xh);
-    MatmulInto(l.fc1, l.enc_fc1, s.xh, backend, &s.hidden_act);
+    MatmulInto(l.fc1, l.enc_fc1, s.xh, backend, "tt.matmul.fc1", &s.hidden_act);
     for (int64_t i = 0; i < s.hidden_act.size(); ++i) {
       s.hidden_act.data()[i] = Gelu(s.hidden_act.data()[i]);
     }
     ToHalfInto(s.hidden_act, &s.xh);
-    MatmulInto(l.fc2, l.enc_fc2, s.xh, backend, &s.ffn_out);
+    MatmulInto(l.fc2, l.enc_fc2, s.xh, backend, "tt.matmul.fc2", &s.ffn_out);
     for (int64_t i = 0; i < act.size(); ++i) {
       act.data()[i] += s.ffn_out.data()[i];
     }
   }
 
   // Final LN + tied unembedding: logits[t][v] = <embedding_v, act_t>.
+  SPINFER_TRACE_SCOPE("tt.unembed");
   LayerNormColumns(&act);
   FloatMatrix logits(seq, config_.vocab);
   for (int64_t t = 0; t < seq; ++t) {
@@ -233,6 +248,7 @@ std::vector<int32_t> TinyTransformer::Generate(const std::vector<int32_t>& promp
   std::vector<int32_t> tokens = prompt;
   for (int i = 0; i < steps && static_cast<int64_t>(tokens.size()) < config_.max_seq;
        ++i) {
+    SPINFER_TRACE_SCOPE_ARG("tt.decode_step", "step", i);
     const FloatMatrix logits = Forward(tokens, backend);
     const int64_t last = logits.rows() - 1;
     int32_t best = 0;

@@ -85,9 +85,10 @@ class TinyTransformer {
   };
 
   // out = W*X on the selected backend. The sparse path draws all scratch
-  // from scratch_.ws; the dense reference path may allocate.
+  // from scratch_.ws; the dense reference path may allocate. `label` is a
+  // static string literal naming the matmul's trace span (e.g. "tt.matmul.wq").
   void MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
-                  const HalfMatrix& x, MatmulBackend backend,
+                  const HalfMatrix& x, MatmulBackend backend, const char* label,
                   FloatMatrix* out) const;
 
   void EncodeAll();

@@ -1,0 +1,141 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+// ns → µs with exact 3-decimal precision, no floating point: 1234567 ns
+// prints as "1234.567".
+void AppendMicros(uint64_t ns, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                ns % 1000);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string ChromeTraceWriter::ToJson(const std::vector<TraceEvent>& events) {
+  uint64_t base_ns = 0;
+  if (!events.empty()) {
+    base_ns = events[0].start_ns;
+    for (const TraceEvent& e : events) {
+      base_ns = std::min(base_ns, e.start_ns);
+    }
+  }
+
+  std::set<uint32_t> tids;
+  for (const TraceEvent& e : events) {
+    tids.insert(e.tid);
+  }
+
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out.append("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+
+  char buf[128];
+  bool first = true;
+  for (const uint32_t tid : tids) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":0,\"tid\":%u,\"name\":\"thread_name\","
+                  "\"args\":{\"name\":\"thread %u\"}}",
+                  tid, tid);
+    out.append(buf);
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"ph\":\"X\",\"pid\":0,\"tid\":%u,",
+                  e.tid);
+    out.append(buf);
+    out.append("\"ts\":");
+    AppendMicros(e.start_ns - base_ns, &out);
+    out.append(",\"dur\":");
+    AppendMicros(e.dur_ns, &out);
+    out.append(",\"name\":\"");
+    AppendJsonEscaped(e.name != nullptr ? e.name : "(null)", &out);
+    out.append("\",\"cat\":\"spinfer\"");
+    if (e.num_args > 0) {
+      out.append(",\"args\":{");
+      for (uint32_t i = 0; i < e.num_args; ++i) {
+        if (i > 0) {
+          out.push_back(',');
+        }
+        out.push_back('"');
+        AppendJsonEscaped(e.args[i].name != nullptr ? e.args[i].name : "arg",
+                          &out);
+        out.append("\":");
+        std::snprintf(buf, sizeof(buf), "%" PRId64, e.args[i].value);
+        out.append(buf);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+
+  out.append("]}\n");
+  return out;
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path,
+                                  const std::vector<TraceEvent>& events) {
+  const std::string json = ToJson(events);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = (written == json.size()) && (std::fclose(f) == 0);
+  if (written != json.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace spinfer

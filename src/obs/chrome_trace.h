@@ -1,0 +1,32 @@
+// Serializes drained TraceEvents to Chrome trace-event JSON.
+//
+// Output is the "JSON Object Format" understood by Perfetto and
+// chrome://tracing with no fixups: a top-level object holding
+// `displayTimeUnit` and a `traceEvents` array of "M" (thread-name metadata)
+// events followed by "X" (complete) events. Timestamps are emitted in
+// microseconds with fixed 3-decimal nanosecond precision, rebased so the
+// earliest span starts at ts 0 — which also makes the output a pure function
+// of the event list, so FakeClock-driven tests can assert it byte-for-byte.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace spinfer {
+namespace obs {
+
+class ChromeTraceWriter {
+ public:
+  // Deterministic serialization of `events` (kept in the order given; Drain
+  // order is (tid, append), which viewers accept without sorting).
+  static std::string ToJson(const std::vector<TraceEvent>& events);
+
+  // ToJson + write to `path`. Returns false if the file cannot be written.
+  static bool WriteFile(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+};
+
+}  // namespace obs
+}  // namespace spinfer

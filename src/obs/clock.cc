@@ -1,0 +1,16 @@
+#include "src/obs/clock.h"
+
+#include <chrono>
+
+namespace spinfer {
+namespace obs {
+
+uint64_t SteadyClock::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,47 @@
+// Injectable time source for the observability layer.
+//
+// Spans and metrics never call std::chrono directly: they go through a Clock
+// so tests can drive a FakeClock and assert byte-exact trace output, and so a
+// future backend (e.g. rdtsc with calibration) can swap in without touching
+// instrumentation sites. The default is SteadyClock — monotonic, immune to
+// wall-clock adjustments, the right base for durations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace spinfer {
+namespace obs {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic nanoseconds since an arbitrary (per-clock) epoch.
+  virtual uint64_t NowNs() = 0;
+};
+
+// std::chrono::steady_clock; the production time source.
+class SteadyClock final : public Clock {
+ public:
+  uint64_t NowNs() override;
+};
+
+// Manually-advanced clock for deterministic tests: time moves only when the
+// test says so, making span timestamps and durations exact golden values.
+// Thread-safe: readers may race with AdvanceNs from the test thread.
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_ns = 0) : now_ns_(start_ns) {}
+
+  uint64_t NowNs() override { return now_ns_.load(std::memory_order_relaxed); }
+  void AdvanceNs(uint64_t delta_ns) {
+    now_ns_.fetch_add(delta_ns, std::memory_order_relaxed);
+  }
+  void SetNs(uint64_t now_ns) { now_ns_.store(now_ns, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> now_ns_;
+};
+
+}  // namespace obs
+}  // namespace spinfer

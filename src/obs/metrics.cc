@@ -1,0 +1,266 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <mutex>
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+uint64_t DoubleBits(double v) { return std::bit_cast<uint64_t>(v); }
+double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+// CAS-update an atomic double (stored as bits) towards the min/max of itself
+// and `v`. Relaxed is fine: these feed post-run snapshots, not synchronization.
+template <typename Better>
+void UpdateExtremum(std::atomic<uint64_t>* bits, double v, Better better) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  while (better(v, BitsDouble(cur)) &&
+         !bits->compare_exchange_weak(cur, DoubleBits(v),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void Gauge::Set(double value) {
+  bits_.store(DoubleBits(value), std::memory_order_relaxed);
+}
+
+double Gauge::Value() const {
+  return BitsDouble(bits_.load(std::memory_order_relaxed));
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(upper_bounds_.size() + 1),
+      min_bits_(DoubleBits(0.0)),
+      max_bits_(DoubleBits(0.0)) {}
+
+void Histogram::Record(double value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - upper_bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_bits_.store(DoubleBits(BitsDouble(sum_bits_.load(
+                                 std::memory_order_relaxed)) +
+                             value),
+                  std::memory_order_relaxed);
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    // First sample seeds both extrema so min of all-positive samples is not
+    // stuck at the 0.0 initializer.
+    min_bits_.store(DoubleBits(value), std::memory_order_relaxed);
+    max_bits_.store(DoubleBits(value), std::memory_order_relaxed);
+    return;
+  }
+  UpdateExtremum(&min_bits_, value, [](double a, double b) { return a < b; });
+  UpdateExtremum(&max_bits_, value, [](double a, double b) { return a > b; });
+}
+
+double Histogram::Sum() const {
+  return BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Min() const {
+  return Count() == 0 ? 0.0
+                      : BitsDouble(min_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Max() const {
+  return Count() == 0 ? 0.0
+                      : BitsDouble(max_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample, 1-based, rounded up (nearest-rank base).
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(q * static_cast<double>(n) +
+                                                  0.999999999999));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (seen + in_bucket < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    if (i == upper_bounds_.size()) {
+      // Overflow bucket has no upper bound; the best point estimate is the
+      // observed max.
+      return Max();
+    }
+    const double lo = i == 0 ? 0.0 : upper_bounds_[i - 1];
+    const double hi = upper_bounds_[i];
+    const double frac =
+        in_bucket == 0
+            ? 1.0
+            : static_cast<double>(rank - seen) / static_cast<double>(in_bucket);
+    const double est = lo + (hi - lo) * frac;
+    return std::clamp(est, Min(), Max());
+  }
+  return Max();
+}
+
+std::string Histogram::Summary() const {
+  std::string out;
+  out += "count=" + std::to_string(Count());
+  out += " sum=" + FormatDouble(Sum());
+  out += " min=" + FormatDouble(Min());
+  out += " p50=" + FormatDouble(Quantile(0.50));
+  out += " p95=" + FormatDouble(Quantile(0.95));
+  out += " p99=" + FormatDouble(Quantile(0.99));
+  out += " max=" + FormatDouble(Max());
+  return out;
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mutex;
+  // std::map: iteration is name-sorted, which makes every dump deterministic.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl()) {}
+MetricsRegistry::~MetricsRegistry() { delete impl_; }
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked for the same reason as Tracer::Global: instruments may be touched
+  // from atexit hooks.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->counters[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->gauges[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto& slot = impl_->histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out;
+  for (const auto& [name, c] : impl_->counters) {
+    out += name + " counter " + std::to_string(c->Value()) + "\n";
+  }
+  for (const auto& [name, g] : impl_->gauges) {
+    out += name + " gauge " + FormatDouble(g->Value()) + "\n";
+  }
+  for (const auto& [name, h] : impl_->histograms) {
+    out += name + " histogram " + h->Summary() + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(c->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":" + FormatDouble(g->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":{";
+    out += "\"count\":" + std::to_string(h->Count());
+    out += ",\"sum\":" + FormatDouble(h->Sum());
+    out += ",\"min\":" + FormatDouble(h->Min());
+    out += ",\"mean\":" + FormatDouble(h->Mean());
+    out += ",\"p50\":" + FormatDouble(h->Quantile(0.50));
+    out += ",\"p95\":" + FormatDouble(h->Quantile(0.95));
+    out += ",\"p99\":" + FormatDouble(h->Quantile(0.99));
+    out += ",\"max\":" + FormatDouble(h->Max());
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (written != json.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->counters.clear();
+  impl_->gauges.clear();
+  impl_->histograms.clear();
+}
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,112 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// All instruments are lock-free on the recording path (relaxed atomics); the
+// registry mutex is taken only on Get* lookup, so callers cache the returned
+// pointer. Pointers stay valid until ResetForTest(). Snapshots (ToString /
+// ToJson / quantiles) are exact when recording has quiesced and merely
+// approximate while writers race — same contract as Tracer::Drain.
+//
+// Histogram quantile semantics (Quantile(q), q in [0,1]): linear
+// interpolation within the owning bucket, the first bucket's lower bound
+// taken as 0, the result clamped to [observed min, observed max]. A rank
+// landing in the overflow bucket returns the observed max; an empty
+// histogram returns 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace spinfer {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time value, set not accumulated — the right shape for "current
+// total" snapshots published from elsewhere-owned counters (e.g. ThreadPool
+// stats), where Counter::Add would double-count across publishes.
+class Gauge {
+ public:
+  void Set(double value);
+  double Value() const;
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit_cast'd double
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; values above the last bound
+  // land in an implicit overflow bucket.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  double Min() const;  // 0 when empty
+  double Max() const;  // 0 when empty
+  double Mean() const;
+  double Quantile(double q) const;  // see header comment for semantics
+
+  // "count=5 sum=12.0 min=... p50=... p95=... p99=... max=..."
+  std::string Summary() const;
+
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+
+  // upper_bounds = {start, start*factor, ...} (count entries), for latency
+  // histograms spanning several decades.
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // size upper_bounds_+1 (overflow)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};
+  std::atomic<uint64_t> min_bits_;
+  std::atomic<uint64_t> max_bits_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Find-or-create by name. The instrument's address is stable until
+  // ResetForTest; cache it rather than re-looking-up in hot code. Requesting
+  // an existing histogram ignores `upper_bounds`.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds);
+
+  // Human-readable dump, one `name kind value` line per instrument, sorted
+  // by name.
+  std::string ToString() const;
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  // p50,p95,p99}}} — sorted keys, deterministic given quiesced instruments.
+  std::string ToJson() const;
+  bool WriteJsonFile(const std::string& path) const;
+
+  // Drops every instrument (invalidating cached pointers). Tests only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace obs
+}  // namespace spinfer

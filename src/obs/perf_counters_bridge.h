@@ -1,0 +1,33 @@
+// Bridges simulator PerfCounters into the metrics registry so hardware-event
+// totals land next to wall-clock metrics in one dump.
+//
+// Header-only on purpose: it rides on PerfCounters::ForEachField, so
+// spinfer_obs does not link against spinfer_gpusim (obs sits below every
+// other library in the dependency order). Values are published as gauges —
+// a PerfCounters struct is already a totalled snapshot, and Counter::Add
+// would double-count when the same run is recorded twice.
+#pragma once
+
+#include <string>
+
+#include "src/gpusim/perf_counters.h"
+#include "src/obs/metrics.h"
+
+namespace spinfer {
+namespace obs {
+
+// Publishes every counter field as gauge `<prefix>.<field>` plus the derived
+// `<prefix>.total_warp_instrs`. nullptr registry means the global one.
+inline void RecordPerfCounters(const PerfCounters& c, const std::string& prefix,
+                               MetricsRegistry* registry = nullptr) {
+  MetricsRegistry& reg =
+      registry != nullptr ? *registry : MetricsRegistry::Global();
+  c.ForEachField([&](const char* name, uint64_t value) {
+    reg.GetGauge(prefix + "." + name)->Set(static_cast<double>(value));
+  });
+  reg.GetGauge(prefix + ".total_warp_instrs")
+      ->Set(static_cast<double>(c.TotalWarpInstrs()));
+}
+
+}  // namespace obs
+}  // namespace spinfer

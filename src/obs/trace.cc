@@ -1,0 +1,204 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "src/obs/chrome_trace.h"
+
+namespace spinfer {
+namespace obs {
+
+// Per-thread append-only event log. Single-writer (the owning thread),
+// multi-reader (Drain). The writer fills fixed-capacity chunks in order and
+// publishes progress through `published` with release stores; readers
+// acquire `published` and walk the chunk list, never reading an unpublished
+// slot. No lock is ever taken on the recording path.
+struct Tracer::ThreadLog {
+  static constexpr size_t kChunkCap = 1024;
+  struct Chunk {
+    TraceEvent events[kChunkCap];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  uint32_t tid = 0;
+  Chunk* head = nullptr;       // owned; freed in the destructor
+  Chunk* tail = nullptr;       // writer-only cursor
+  size_t tail_used = 0;        // writer-only fill level of `tail`
+  std::atomic<uint64_t> published{0};
+
+  ThreadLog() {
+    head = tail = new Chunk();
+  }
+  ~ThreadLog() {
+    Chunk* c = head;
+    while (c != nullptr) {
+      Chunk* next = c->next.load(std::memory_order_relaxed);
+      delete c;
+      c = next;
+    }
+  }
+};
+
+struct Tracer::Impl {
+  std::mutex mutex;  // guards logs / interned / lifecycle; never on the hot path
+  std::vector<std::unique_ptr<ThreadLog>> logs;
+  std::deque<std::string> interned;  // deque: stable addresses across growth
+  std::atomic<Clock*> clock{nullptr};
+  SteadyClock steady;
+  // Bumped by Reset so threads re-register instead of writing into freed logs.
+  std::atomic<uint64_t> generation{1};
+};
+
+namespace {
+
+struct TlsSlot {
+  void* log = nullptr;
+  uint64_t generation = 0;
+};
+thread_local TlsSlot tls_slot;
+
+}  // namespace
+
+Tracer::Tracer() : impl_(new Impl()) {}
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::Global() {
+  // Intentionally leaked: instrumented code and atexit writers may record or
+  // drain after static destructors start running.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadLog* Tracer::LogForThisThread() {
+  const uint64_t gen = impl_->generation.load(std::memory_order_acquire);
+  if (tls_slot.log != nullptr && tls_slot.generation == gen) {
+    return static_cast<ThreadLog*>(tls_slot.log);
+  }
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto log = std::make_unique<ThreadLog>();
+  log->tid = static_cast<uint32_t>(impl_->logs.size());
+  ThreadLog* raw = log.get();
+  impl_->logs.push_back(std::move(log));
+  tls_slot.log = raw;
+  tls_slot.generation = gen;
+  return raw;
+}
+
+void Tracer::Start(Clock* clock) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->clock.store(clock != nullptr ? clock : &impl_->steady,
+                     std::memory_order_release);
+  trace_detail::g_tracing_enabled.store(true, std::memory_order_release);
+}
+
+void Tracer::Stop() {
+  trace_detail::g_tracing_enabled.store(false, std::memory_order_release);
+}
+
+uint64_t Tracer::NowNs() {
+  Clock* c = impl_->clock.load(std::memory_order_acquire);
+  return c != nullptr ? c->NowNs() : impl_->steady.NowNs();
+}
+
+void Tracer::Record(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                    const TraceArg* args, int num_args) {
+  if (!TracingEnabled()) {
+    return;
+  }
+  ThreadLog* log = LogForThisThread();
+  if (log->tail_used == ThreadLog::kChunkCap) {
+    auto* next = new ThreadLog::Chunk();
+    log->tail->next.store(next, std::memory_order_release);
+    log->tail = next;
+    log->tail_used = 0;
+  }
+  TraceEvent& e = log->tail->events[log->tail_used];
+  e.name = name;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.tid = log->tid;
+  e.num_args = 0;
+  if (args != nullptr) {
+    if (num_args > kTraceMaxArgs) {
+      num_args = kTraceMaxArgs;
+    }
+    for (int i = 0; i < num_args; ++i) {
+      e.args[i] = args[i];
+    }
+    e.num_args = static_cast<uint32_t>(num_args);
+  }
+  ++log->tail_used;
+  log->published.store(log->published.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_release);
+}
+
+const char* Tracer::InternName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->interned.push_back(name);
+  return impl_->interned.back().c_str();
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<TraceEvent> out;
+  for (const auto& log : impl_->logs) {
+    uint64_t remaining = log->published.load(std::memory_order_acquire);
+    ThreadLog::Chunk* c = log->head;
+    while (remaining > 0 && c != nullptr) {
+      const uint64_t take =
+          remaining < ThreadLog::kChunkCap ? remaining : ThreadLog::kChunkCap;
+      for (uint64_t i = 0; i < take; ++i) {
+        out.push_back(c->events[i]);
+      }
+      remaining -= take;
+      c = c->next.load(std::memory_order_acquire);
+    }
+  }
+  return out;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->logs.clear();
+  impl_->interned.clear();
+  // Invalidate every thread's cached log pointer before the next Record.
+  impl_->generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+namespace {
+
+std::string* g_atexit_trace_path = nullptr;
+
+void WriteTraceAtExit() {
+  Tracer& tracer = Tracer::Global();
+  tracer.Stop();
+  const std::vector<TraceEvent> events = tracer.Drain();
+  if (g_atexit_trace_path == nullptr) {
+    return;
+  }
+  if (ChromeTraceWriter::WriteFile(*g_atexit_trace_path, events)) {
+    std::fprintf(stderr, "wrote trace (%zu events) to %s\n", events.size(),
+                 g_atexit_trace_path->c_str());
+  } else {
+    std::fprintf(stderr, "FAILED to write trace to %s\n",
+                 g_atexit_trace_path->c_str());
+  }
+}
+
+}  // namespace
+
+void EnableTracingToFileAtExit(const std::string& path) {
+  if (g_atexit_trace_path == nullptr) {
+    g_atexit_trace_path = new std::string(path);
+    std::atexit(WriteTraceAtExit);
+  } else {
+    *g_atexit_trace_path = path;
+  }
+  Tracer::Global().Start();
+}
+
+}  // namespace obs
+}  // namespace spinfer

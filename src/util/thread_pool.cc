@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace spinfer {
@@ -66,9 +68,11 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   if (queues_.empty()) {
+    tasks_inline_.fetch_add(1, std::memory_order_relaxed);
     task();  // width-1 pool: run inline
     return;
   }
+  tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
   size_t target;
   if (tls_worker_pool == this && tls_worker_index >= 0) {
     target = static_cast<size_t>(tls_worker_index);
@@ -90,6 +94,7 @@ bool ThreadPool::TryGetTask(int worker_index, std::function<void()>* task) {
     if (!own->tasks.empty()) {
       *task = std::move(own->tasks.back());
       own->tasks.pop_back();
+      tasks_popped_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -102,6 +107,7 @@ bool ThreadPool::TryGetTask(int worker_index, std::function<void()>* task) {
     if (!victim->tasks.empty()) {
       *task = std::move(victim->tasks.front());
       victim->tasks.pop_front();
+      tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -154,12 +160,15 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   // chunk, runs on the caller with no task handoff, no shared loop state,
   // and no wake/wait traffic. Same indices, same order as the one chunk the
   // caller would have claimed anyway — results are unchanged.
+  parallel_fors_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1 || total <= grain) {
+    parallel_fors_inline_.fetch_add(1, std::memory_order_relaxed);
     for (int64_t i = begin; i < end; ++i) {
       fn(i);
     }
     return;
   }
+  SPINFER_TRACE_SCOPE_ARG("threadpool.parallel_for", "total", total);
 
   // Shared loop state. Heap-allocated and reference-counted so helper tasks
   // that lose the race for the last chunk can still touch it safely after
@@ -208,6 +217,36 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end,
   run_chunks(state);
   std::unique_lock<std::mutex> lock(state->done_mutex);
   state->done_cv.wait(lock, [&] { return state->done == state->total; });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.tasks_inline = tasks_inline_.load(std::memory_order_relaxed);
+  s.tasks_popped = tasks_popped_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  s.parallel_fors = parallel_fors_.load(std::memory_order_relaxed);
+  s.parallel_fors_inline = parallel_fors_inline_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::PublishMetrics(obs::MetricsRegistry* registry) const {
+  obs::MetricsRegistry& reg =
+      registry != nullptr ? *registry : obs::MetricsRegistry::Global();
+  const Stats s = stats();
+  reg.GetGauge("threadpool.num_threads")->Set(num_threads_);
+  reg.GetGauge("threadpool.tasks_submitted")
+      ->Set(static_cast<double>(s.tasks_submitted));
+  reg.GetGauge("threadpool.tasks_inline")
+      ->Set(static_cast<double>(s.tasks_inline));
+  reg.GetGauge("threadpool.tasks_popped")
+      ->Set(static_cast<double>(s.tasks_popped));
+  reg.GetGauge("threadpool.tasks_stolen")
+      ->Set(static_cast<double>(s.tasks_stolen));
+  reg.GetGauge("threadpool.parallel_fors")
+      ->Set(static_cast<double>(s.parallel_fors));
+  reg.GetGauge("threadpool.parallel_fors_inline")
+      ->Set(static_cast<double>(s.parallel_fors_inline));
 }
 
 namespace {

@@ -31,8 +31,24 @@
 
 namespace spinfer {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 class ThreadPool {
  public:
+  // Scheduling statistics, accumulated since construction on relaxed
+  // atomics (zero cross-thread ordering cost; totals are exact once the
+  // pool is quiescent). Used by benches and asserted in
+  // tests/parallel_determinism_test.cc.
+  struct Stats {
+    uint64_t tasks_submitted = 0;    // tasks routed to a worker queue
+    uint64_t tasks_inline = 0;       // Submit calls run inline (width-1 pool)
+    uint64_t tasks_popped = 0;       // tasks a worker took from its own queue
+    uint64_t tasks_stolen = 0;       // tasks taken from another worker's queue
+    uint64_t parallel_fors = 0;      // ParallelFor invocations
+    uint64_t parallel_fors_inline = 0;  // of which ran the inline fast path
+  };
   // Spawns `num_threads` workers. 0 picks std::thread::hardware_concurrency.
   // A pool of 1 runs everything inline on the submitting thread.
   explicit ThreadPool(int num_threads = 0);
@@ -57,6 +73,15 @@ class ThreadPool {
   // caller with no task handoff or synchronization at all.
   void ParallelFor(int64_t begin, int64_t end,
                    const std::function<void(int64_t)>& fn, int64_t grain = 0);
+
+  // Snapshot of the scheduling counters. Exact when no work is in flight.
+  Stats stats() const;
+
+  // Publishes stats() as `threadpool.*` gauges (plus threadpool.num_threads)
+  // into `registry` (nullptr = the global registry). Gauges, not counters:
+  // the pool owns the running totals, so repeated publishes must overwrite
+  // rather than re-add.
+  void PublishMetrics(obs::MetricsRegistry* registry = nullptr) const;
 
   // The process-wide pool used by the free ParallelFor below. Created
   // lazily with hardware_concurrency workers.
@@ -84,6 +109,14 @@ class ThreadPool {
   std::condition_variable wake_cv_;
   std::atomic<uint64_t> next_queue_{0};  // round-robin cursor for Submit
   std::atomic<bool> stopping_{false};
+
+  // Stats counters; relaxed increments only, never part of synchronization.
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_inline_{0};
+  std::atomic<uint64_t> tasks_popped_{0};
+  std::atomic<uint64_t> tasks_stolen_{0};
+  std::atomic<uint64_t> parallel_fors_{0};
+  std::atomic<uint64_t> parallel_fors_inline_{0};
 };
 
 // ParallelFor over the global pool; the workhorse entry point.

@@ -1,0 +1,115 @@
+// Enforces the observability determinism contract (src/obs/trace.h): turning
+// tracing on must not change a single bit of any instrumented computation —
+// CpuSpmm outputs, RunEncoded outputs, and the simulator's PerfCounters are
+// identical with tracing off, on, and on-at-width-2.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/core/cpu_backend.h"
+#include "src/core/spinfer_kernel.h"
+#include "src/format/tca_bme.h"
+#include "src/gpusim/perf_counters.h"
+#include "src/llm/tiny_transformer.h"
+#include "src/numeric/matrix.h"
+#include "src/obs/trace.h"
+#include "src/pruning/magnitude.h"
+#include "src/util/random.h"
+#include "src/util/thread_pool.h"
+
+namespace spinfer {
+namespace {
+
+// Bitwise equality, not EXPECT_FLOAT_EQ: the contract is identity, and
+// byte-compare also distinguishes -0.0f from 0.0f.
+void ExpectBitIdentical(const FloatMatrix& a, const FloatMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                        static_cast<size_t>(a.size()) * sizeof(float)),
+            0);
+}
+
+class BitIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::Global().Reset();
+    ThreadPool::SetGlobalThreads(1);
+  }
+  void TearDown() override {
+    obs::Tracer::Global().Stop();
+    obs::Tracer::Global().Reset();
+    ThreadPool::SetGlobalThreads(1);
+  }
+};
+
+TEST_F(BitIdentityTest, CpuSpmmOutputsUnchangedByTracing) {
+  Rng rng(77);
+  const HalfMatrix w = HalfMatrix::RandomSparse(256, 256, 0.6, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  const HalfMatrix x8 = HalfMatrix::Random(256, 8, rng);
+  const HalfMatrix x64 = HalfMatrix::Random(256, 64, rng);
+
+  SpmmWorkspace ws;
+  FloatMatrix off8, off64;
+  CpuSpmmInto(enc, x8, &ws, &off8);
+  CpuSpmmInto(enc, x64, &ws, &off64);
+
+  obs::Tracer::Global().Start();
+  FloatMatrix on8, on64;
+  CpuSpmmInto(enc, x8, &ws, &on8);
+  CpuSpmmInto(enc, x64, &ws, &on64);
+  // Width 2 exercises the traced ParallelFor/worker path as well.
+  ThreadPool::SetGlobalThreads(2);
+  FloatMatrix on64_t2;
+  CpuSpmmInto(enc, x64, &ws, &on64_t2);
+  obs::Tracer::Global().Stop();
+
+  ExpectBitIdentical(off8, on8);
+  ExpectBitIdentical(off64, on64);
+  ExpectBitIdentical(off64, on64_t2);
+  // The traced runs must actually have recorded spans, or this test proves
+  // nothing.
+  EXPECT_FALSE(obs::Tracer::Global().Drain().empty());
+}
+
+TEST_F(BitIdentityTest, RunEncodedOutputsAndCountersUnchangedByTracing) {
+  Rng rng(78);
+  const HalfMatrix w = HalfMatrix::RandomSparse(128, 128, 0.6, rng);
+  const HalfMatrix x = HalfMatrix::Random(128, 16, rng);
+  const SpInferSpmmKernel kernel;
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w, kernel.config().format);
+
+  PerfCounters counters_off;
+  const FloatMatrix out_off = kernel.RunEncoded(enc, x, &counters_off);
+
+  obs::Tracer::Global().Start();
+  PerfCounters counters_on;
+  const FloatMatrix out_on = kernel.RunEncoded(enc, x, &counters_on);
+  obs::Tracer::Global().Stop();
+
+  ExpectBitIdentical(out_off, out_on);
+  EXPECT_EQ(counters_off, counters_on);
+  EXPECT_FALSE(obs::Tracer::Global().Drain().empty());
+}
+
+TEST_F(BitIdentityTest, TinyTransformerLogitsUnchangedByTracing) {
+  TinyTransformer model(TinyConfig{}, 99);
+  model.PruneWeights(MagnitudePruner(), 0.6);
+  std::vector<int32_t> tokens;
+  for (int i = 0; i < 12; ++i) {
+    tokens.push_back(static_cast<int32_t>((i * 11 + 5) % model.config().vocab));
+  }
+  const FloatMatrix off = model.Forward(tokens, MatmulBackend::kTcaBmeCpu);
+
+  obs::Tracer::Global().Start();
+  const FloatMatrix on = model.Forward(tokens, MatmulBackend::kTcaBmeCpu);
+  obs::Tracer::Global().Stop();
+
+  ExpectBitIdentical(off, on);
+  EXPECT_FALSE(obs::Tracer::Global().Drain().empty());
+}
+
+}  // namespace
+}  // namespace spinfer

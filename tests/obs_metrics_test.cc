@@ -1,0 +1,182 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace spinfer {
+namespace obs {
+namespace {
+
+TEST(Counter, AddAndIncrementAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Counter, ConcurrentAddsDoNotLoseUpdates) {
+  Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) {
+        c.Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(c.Value(), 40000u);
+}
+
+TEST(Gauge, RoundTripsDoublesExactly) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.25);
+  EXPECT_EQ(g.Value(), 3.25);
+  g.Set(-1e-300);
+  EXPECT_EQ(g.Value(), -1e-300);
+}
+
+TEST(Histogram, EmptyReturnsZeroEverywhere) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST(Histogram, SingleSampleIsEveryQuantile) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(1.5);
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_EQ(h.Min(), 1.5);
+  EXPECT_EQ(h.Max(), 1.5);
+  EXPECT_EQ(h.Mean(), 1.5);
+  // Every quantile clamps into [min, max] = the one sample.
+  EXPECT_EQ(h.Quantile(0.0), 1.5);
+  EXPECT_EQ(h.Quantile(0.5), 1.5);
+  EXPECT_EQ(h.Quantile(1.0), 1.5);
+}
+
+TEST(Histogram, OverflowBucketReportsObservedMax) {
+  Histogram h({1.0, 2.0});
+  h.Record(100.0);  // above the last bound -> overflow bucket
+  h.Record(250.0);
+  EXPECT_EQ(h.Max(), 250.0);
+  // Any rank landing in the unbounded overflow bucket reports the observed
+  // max — the only finite point estimate available there.
+  EXPECT_EQ(h.Quantile(0.5), 250.0);
+  EXPECT_EQ(h.Quantile(0.99), 250.0);
+}
+
+TEST(Histogram, BoundaryValueLandsInItsBucketInclusive) {
+  Histogram h({1.0, 2.0});
+  // lower_bound semantics: a sample equal to an upper bound belongs to that
+  // bound's bucket, not the next one.
+  h.Record(1.0);
+  EXPECT_EQ(h.Quantile(0.5), 1.0);
+}
+
+TEST(Histogram, QuantilesInterpolateWithinBuckets) {
+  Histogram h({10.0, 20.0, 40.0});
+  for (int i = 0; i < 90; ++i) {
+    h.Record(5.0);  // bucket [0, 10]
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(30.0);  // bucket (20, 40]
+  }
+  EXPECT_EQ(h.Count(), 100u);
+  const double p50 = h.Quantile(0.5);
+  EXPECT_GE(p50, 5.0);
+  EXPECT_LE(p50, 10.0);
+  const double p95 = h.Quantile(0.95);
+  EXPECT_GT(p95, 20.0);
+  EXPECT_LE(p95, 30.0);  // clamped to observed max
+  EXPECT_EQ(h.Quantile(1.0), 30.0);
+}
+
+TEST(Histogram, MinMaxTrackExtremaAcrossThreads) {
+  Histogram h(Histogram::ExponentialBuckets(0.001, 2.0, 24));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 1; i <= 1000; ++i) {
+        h.Record(static_cast<double>(t * 1000 + i));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(h.Count(), 4000u);
+  EXPECT_EQ(h.Min(), 1.0);
+  EXPECT_EQ(h.Max(), 4000.0);
+}
+
+TEST(Histogram, ExponentialBucketsGrowByFactor) {
+  const std::vector<double> b = Histogram::ExponentialBuckets(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 1.0);
+  EXPECT_EQ(b[1], 2.0);
+  EXPECT_EQ(b[2], 4.0);
+  EXPECT_EQ(b[3], 8.0);
+}
+
+TEST(Histogram, SummaryMentionsAllFields) {
+  Histogram h({1.0});
+  h.Record(0.5);
+  const std::string s = h.Summary();
+  for (const char* field :
+       {"count=1", "sum=0.5", "min=0.5", "p50=", "p95=", "p99=", "max=0.5"}) {
+    EXPECT_NE(s.find(field), std::string::npos) << s;
+  }
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTest();
+  Counter* c = reg.GetCounter("test.counter");
+  EXPECT_EQ(c, reg.GetCounter("test.counter"));
+  Gauge* g = reg.GetGauge("test.gauge");
+  EXPECT_EQ(g, reg.GetGauge("test.gauge"));
+  Histogram* h = reg.GetHistogram("test.hist", {1.0, 2.0});
+  // Second lookup ignores the (different) bounds and returns the original.
+  EXPECT_EQ(h, reg.GetHistogram("test.hist", {99.0}));
+  EXPECT_EQ(h->upper_bounds().size(), 2u);
+  reg.ResetForTest();
+}
+
+TEST(MetricsRegistry, DumpsAreSortedAndDeterministic) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTest();
+  reg.GetCounter("b.count")->Add(2);
+  reg.GetCounter("a.count")->Add(1);
+  reg.GetGauge("g.value")->Set(1.5);
+  reg.GetHistogram("h.lat", {1.0})->Record(0.5);
+
+  const std::string text = reg.ToString();
+  EXPECT_LT(text.find("a.count counter 1"), text.find("b.count counter 2"));
+  EXPECT_NE(text.find("g.value gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("h.lat histogram count=1"), std::string::npos);
+
+  const std::string json = reg.ToJson();
+  EXPECT_EQ(json, reg.ToJson());  // pure snapshot, stable across calls
+  EXPECT_NE(json.find("\"a.count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"g.value\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h.lat\":{\"count\":1"), std::string::npos);
+  reg.ResetForTest();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,223 @@
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/clock.h"
+
+namespace spinfer {
+namespace obs {
+namespace {
+
+// Every test begins and ends with a quiescent, empty tracer so they compose
+// in any order within this binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Tracer::Global().Reset(); }
+  void TearDown() override {
+    Tracer::Global().Stop();
+    Tracer::Global().Reset();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndScopesRecordNothing) {
+  EXPECT_FALSE(TracingEnabled());
+  {
+    TraceScope scope("never");
+    EXPECT_FALSE(scope.active());
+  }
+  SPINFER_TRACE_SCOPE("never_macro");
+  Tracer::Global().Record("never_direct", 0, 1);
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+}
+
+TEST_F(TraceTest, FakeClockSpansHaveExactTimes) {
+  FakeClock clock(1000);
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(&clock);
+  EXPECT_TRUE(TracingEnabled());
+  {
+    TraceScope outer("outer", "m", 7);
+    EXPECT_TRUE(outer.active());
+    EXPECT_EQ(outer.start_ns(), 1000u);
+    clock.AdvanceNs(5000);
+    {
+      TraceScope inner("inner");
+      clock.AdvanceNs(1500);
+    }
+    clock.AdvanceNs(500);
+  }
+  tracer.Stop();
+  EXPECT_FALSE(TracingEnabled());
+
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 2u);
+  // Scopes record at destruction: inner closes first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].start_ns, 6000u);
+  EXPECT_EQ(events[0].dur_ns, 1500u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].start_ns, 1000u);
+  EXPECT_EQ(events[1].dur_ns, 7000u);
+  ASSERT_EQ(events[1].num_args, 1u);
+  EXPECT_STREQ(events[1].args[0].name, "m");
+  EXPECT_EQ(events[1].args[0].value, 7);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, GoldenChromeTraceJson) {
+  FakeClock clock(1000);
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(&clock);
+  {
+    TraceScope outer("outer", "m", 7);
+    clock.AdvanceNs(5000);
+    {
+      TraceScope inner("inner");
+      clock.AdvanceNs(1500);
+    }
+    clock.AdvanceNs(500);
+  }
+  tracer.Stop();
+
+  // Byte-exact: the writer rebases to the earliest span and formats µs with
+  // fixed 3-decimal ns precision, so FakeClock makes the output a constant.
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"thread 0\"}},"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":5.000,\"dur\":1.500,"
+      "\"name\":\"inner\",\"cat\":\"spinfer\"},"
+      "{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":0.000,\"dur\":7.000,"
+      "\"name\":\"outer\",\"cat\":\"spinfer\",\"args\":{\"m\":7}}"
+      "]}\n";
+  EXPECT_EQ(ChromeTraceWriter::ToJson(tracer.Drain()), expected);
+}
+
+TEST_F(TraceTest, EmptyTraceSerializesToEmptyEventArray) {
+  EXPECT_EQ(ChromeTraceWriter::ToJson({}),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST_F(TraceTest, WriterEscapesNamesAndArgNames) {
+  TraceEvent e;
+  e.name = "quote\"back\\slash\nend";
+  e.start_ns = 0;
+  e.dur_ns = 1;
+  e.num_args = 1;
+  e.args[0] = TraceArg{"arg\"name", -3};
+  const std::string json = ChromeTraceWriter::ToJson({e});
+  EXPECT_NE(json.find("\"name\":\"quote\\\"back\\\\slash\\nend\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"arg\\\"name\":-3"), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, MultiThreadSpansInterleaveWithoutLossOrReorder) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  FakeClock clock(0);
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(&clock);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        // start_ns encodes (thread, index) so the drain can verify per-thread
+        // append order survived concurrent recording.
+        const TraceArg arg{"i", i};
+        tracer.Record("span", static_cast<uint64_t>(t) * 1000000 +
+                                  static_cast<uint64_t>(i),
+                      1, &arg, 1);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  tracer.Stop();
+
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  // Drain is grouped by tid, events in append order within each tid.
+  std::vector<int> seen_per_tid;
+  uint32_t last_tid = events[0].tid;
+  int index_in_tid = 0;
+  for (const TraceEvent& e : events) {
+    if (e.tid != last_tid) {
+      seen_per_tid.push_back(index_in_tid);
+      last_tid = e.tid;
+      index_in_tid = 0;
+    }
+    EXPECT_EQ(e.args[0].value, index_in_tid);
+    EXPECT_EQ(e.start_ns % 1000000, static_cast<uint64_t>(index_in_tid));
+    ++index_in_tid;
+  }
+  seen_per_tid.push_back(index_in_tid);
+  ASSERT_EQ(seen_per_tid.size(), static_cast<size_t>(kThreads));
+  for (const int n : seen_per_tid) {
+    EXPECT_EQ(n, kSpansPerThread);
+  }
+}
+
+TEST_F(TraceTest, InternNameOutlivesTheTemporaryString) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(nullptr);
+  const char* name = nullptr;
+  {
+    std::string dynamic = "bench.";
+    dynamic += "case_1";
+    name = tracer.InternName(dynamic);
+  }
+  tracer.Record(name, 10, 5);
+  tracer.Stop();
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "bench.case_1");
+}
+
+TEST_F(TraceTest, ResetDropsEventsAndReArmsRecording) {
+  FakeClock clock(0);
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(&clock);
+  tracer.Record("before", 0, 1);
+  tracer.Stop();
+  ASSERT_EQ(tracer.Drain().size(), 1u);
+
+  tracer.Reset();
+  EXPECT_TRUE(tracer.Drain().empty());
+
+  tracer.Start(&clock);
+  tracer.Record("after", 2, 3);
+  tracer.Stop();
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "after");
+}
+
+TEST_F(TraceTest, ArgListIsCappedAtMax) {
+  FakeClock clock(0);
+  Tracer& tracer = Tracer::Global();
+  tracer.Start(&clock);
+  {
+    TraceScope scope("many_args");
+    for (int i = 0; i < kTraceMaxArgs + 3; ++i) {
+      scope.AddArg("x", i);
+    }
+  }
+  tracer.Stop();
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].num_args, static_cast<uint32_t>(kTraceMaxArgs));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace spinfer

@@ -14,6 +14,7 @@
 #include "src/baselines/kernel_registry.h"
 #include "src/core/spinfer_kernel.h"
 #include "src/format/tca_bme.h"
+#include "src/obs/metrics.h"
 #include "src/pruning/magnitude.h"
 #include "src/pruning/sparsegpt.h"
 #include "src/pruning/wanda.h"
@@ -91,6 +92,84 @@ TEST(ThreadPoolTest, LargeGrainStillCoversRange) {
   for (size_t i = 0; i < hits.size(); ++i) {
     ASSERT_EQ(hits[i], 1);
   }
+}
+
+// --- Scheduling statistics (src/util/thread_pool.h Stats) ------------------
+
+TEST(ThreadPoolStatsTest, InlinePathsAreCountedExactly) {
+  ThreadPool pool(1);
+  const ThreadPool::Stats zero = pool.stats();
+  EXPECT_EQ(zero.parallel_fors, 0u);
+  EXPECT_EQ(zero.tasks_inline, 0u);
+
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 100, [&](int64_t) { calls.fetch_add(1); });
+  pool.Submit([&] { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 101);
+
+  // Width 1 is fully inline: no task ever reaches a queue.
+  const ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.parallel_fors, 1u);
+  EXPECT_EQ(s.parallel_fors_inline, 1u);
+  EXPECT_EQ(s.tasks_inline, 1u);
+  EXPECT_EQ(s.tasks_submitted, 0u);
+  EXPECT_EQ(s.tasks_popped, 0u);
+  EXPECT_EQ(s.tasks_stolen, 0u);
+}
+
+TEST(ThreadPoolStatsTest, DistributedParallelForAccountsHelperTasks) {
+  ThreadPool pool(4);
+  std::vector<int> hits(4096, 0);
+  pool.ParallelFor(0, 4096, [&](int64_t i) { hits[static_cast<size_t>(i)] += 1; },
+                   /*grain=*/16);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+
+  ThreadPool::Stats s = pool.stats();
+  EXPECT_EQ(s.parallel_fors, 1u);
+  EXPECT_EQ(s.parallel_fors_inline, 0u);
+  // One helper task per worker (the caller is the fourth lane), all queued.
+  EXPECT_EQ(s.tasks_submitted, 3u);
+  EXPECT_EQ(s.tasks_inline, 0u);
+  // Workers may still be draining the last helper tasks; what has been
+  // consumed so far was either popped or stolen, never more than submitted.
+  EXPECT_LE(s.tasks_popped + s.tasks_stolen, s.tasks_submitted);
+
+  // A range that fits in one chunk takes the inline fast path even on a
+  // wide pool; the counters are cumulative.
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 10, [&](int64_t) { calls.fetch_add(1); }, /*grain=*/100);
+  EXPECT_EQ(calls.load(), 10);
+  s = pool.stats();
+  EXPECT_EQ(s.parallel_fors, 2u);
+  EXPECT_EQ(s.parallel_fors_inline, 1u);
+  EXPECT_EQ(s.tasks_submitted, 3u);
+}
+
+TEST(ThreadPoolStatsTest, PublishMetricsExportsGaugesToRegistry) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+
+  // Width 1 so every counter is quiescent and exact at publish time.
+  ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 64, [&](int64_t) { calls.fetch_add(1); });
+  pool.Submit([&] { calls.fetch_add(1); });
+  pool.PublishMetrics();  // nullptr = the global registry
+
+  EXPECT_EQ(reg.GetGauge("threadpool.num_threads")->Value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.parallel_fors")->Value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.parallel_fors_inline")->Value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.tasks_inline")->Value(), 1.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.tasks_submitted")->Value(), 0.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.tasks_popped")->Value(), 0.0);
+  EXPECT_EQ(reg.GetGauge("threadpool.tasks_stolen")->Value(), 0.0);
+
+  // Re-publishing overwrites (gauges, not counters): totals must not double.
+  pool.PublishMetrics();
+  EXPECT_EQ(reg.GetGauge("threadpool.parallel_fors")->Value(), 1.0);
+  reg.ResetForTest();
 }
 
 // --- Functional kernels ----------------------------------------------------

@@ -2,10 +2,13 @@
 """Compare a fresh BENCH.json against the committed bench baseline.
 
 Prints a Markdown table (bench name, baseline ms, current ms, delta) suitable
-for a CI job summary. Warn-only by design: shared-runner clocks are noisy, so
-this tool always exits 0 — the table makes regressions visible, a human
-decides whether they are real. Treat deltas beyond +/-30% on the same machine
-as signal, anything less as noise (matches bench/perf_regression.cc).
+for a CI job summary. Benches present in only one of the two files are listed
+explicitly in their own sections — a bench silently disappearing from the
+smoke is itself a regression worth seeing. Warn-only by design: shared-runner
+clocks are noisy, so this tool always exits 0 — the table makes regressions
+visible, a human decides whether they are real. Treat deltas beyond +/-30% on
+the same machine as signal, anything less as noise (matches
+bench/perf_regression.cc).
 
 Usage: bench_delta.py [--baseline bench/BENCH_baseline.json] [--current BENCH.json]
 """
@@ -26,6 +29,45 @@ def load(path):
         return None
 
 
+def _wall_ms(record):
+    ms = record.get("wall_ms") if isinstance(record, dict) else None
+    return ms if isinstance(ms, (int, float)) and not isinstance(ms, bool) else None
+
+
+def render(baseline, current):
+    """Returns the full report as a list of Markdown lines."""
+    lines = [
+        "### Perf smoke vs committed baseline",
+        "",
+        "Warn-only: shared-runner clocks are noisy; ±30% is the signal bar.",
+        "",
+        "| bench | baseline ms | current ms | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    one_sided = []  # (name, "baseline only" | "current only", ms or None)
+    for name in sorted(set(baseline) | set(current)):
+        base = _wall_ms(baseline.get(name, {}))
+        cur = _wall_ms(current.get(name, {}))
+        if base is None or cur is None:
+            side = "current only" if base is None else "baseline only"
+            one_sided.append((name, side, cur if base is None else base))
+            continue
+        if base <= 0.0:
+            lines.append(f"| {name} | {base:.3f} | {cur:.3f} | n/a |")
+            continue
+        ratio = cur / base
+        flag = " ⚠️" if ratio > WARN_RATIO or ratio < 1.0 / WARN_RATIO else ""
+        lines.append(f"| {name} | {base:.3f} | {cur:.3f} | {ratio - 1.0:+.1%}{flag} |")
+
+    if one_sided:
+        lines += ["", "Present in only one file (new bench, removed bench, or "
+                      "a record missing its wall_ms):", ""]
+        for name, side, ms in one_sided:
+            shown = "?" if ms is None else f"{ms:.3f} ms"
+            lines.append(f"- `{name}`: {side} ({shown})")
+    return lines
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="bench/BENCH_baseline.json")
@@ -38,27 +80,7 @@ def main():
         print("bench_delta: nothing to compare (missing or unreadable input)")
         return 0
 
-    print("### Perf smoke vs committed baseline")
-    print()
-    print("Warn-only: shared-runner clocks are noisy; ±30% is the signal bar.")
-    print()
-    print("| bench | baseline ms | current ms | delta |")
-    print("|---|---:|---:|---:|")
-    for name in sorted(set(baseline) | set(current)):
-        base = baseline.get(name, {}).get("wall_ms")
-        cur = current.get(name, {}).get("wall_ms")
-        if base is None or cur is None:
-            status = "new" if base is None else "removed"
-            shown = cur if cur is not None else base
-            print(f"| {name} | {'' if base is None else f'{base:.3f}'} "
-                  f"| {'' if cur is None else f'{cur:.3f}'} | ({status}) |")
-            continue
-        if base <= 0.0:
-            print(f"| {name} | {base:.3f} | {cur:.3f} | n/a |")
-            continue
-        ratio = cur / base
-        flag = " ⚠️" if ratio > WARN_RATIO or ratio < 1.0 / WARN_RATIO else ""
-        print(f"| {name} | {base:.3f} | {cur:.3f} | {ratio - 1.0:+.1%}{flag} |")
+    print("\n".join(render(baseline, current)))
     return 0
 
 

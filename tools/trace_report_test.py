@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Self-test for trace_report.py (stdlib-only; run directly or via CTest)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import trace_report
+
+
+def x(name, ts, dur, tid=0, args=None):
+    ev = {"name": name, "cat": "spinfer", "ph": "X", "pid": 1, "tid": tid,
+          "ts": ts, "dur": dur}
+    if args is not None:
+        ev["args"] = args
+    return ev
+
+
+def meta(tid=0, thread="thread 0"):
+    return {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": thread}}
+
+
+def trace(events):
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+class ValidateTest(unittest.TestCase):
+    def test_valid_trace_passes(self):
+        t = trace([meta(), x("a", 0, 100, args={"m": 4}), x("b", 10, 20)])
+        self.assertEqual(trace_report.validate(t), [])
+
+    def test_top_level_must_be_object_with_event_array(self):
+        self.assertTrue(trace_report.validate([]))
+        self.assertTrue(trace_report.validate({"traceEvents": "nope"}))
+
+    def test_x_event_requires_numeric_ts_and_dur(self):
+        for bad in (
+            {"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": 0},  # no dur
+            x("a", -1, 5),                                          # negative
+            {"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": "0", "dur": 1},
+            {"name": "a", "ph": "X", "pid": 1, "tid": 0, "ts": True, "dur": 1},
+        ):
+            self.assertTrue(trace_report.validate(trace([bad])), bad)
+
+    def test_rejects_unknown_phase_and_bad_metadata(self):
+        self.assertTrue(trace_report.validate(trace([x("a", 0, 1) | {"ph": "B"}])))
+        bad_meta = meta()
+        bad_meta["args"] = {}
+        self.assertTrue(trace_report.validate(trace([bad_meta])))
+
+    def test_empty_name_rejected(self):
+        self.assertTrue(trace_report.validate(trace([x("", 0, 1)])))
+
+
+class RowsTest(unittest.TestCase):
+    def test_aggregates_count_total_mean(self):
+        t = trace([x("leaf", 0, 1000), x("leaf", 2000, 3000)])
+        rows = trace_report.build_rows(t)
+        self.assertEqual(len(rows), 1)
+        name, count, total, mean, p95, parent, pct = rows[0]
+        self.assertEqual((name, count), ("leaf", 2))
+        self.assertAlmostEqual(total, 4.0)   # us -> ms
+        self.assertAlmostEqual(mean, 2.0)
+        self.assertAlmostEqual(p95, 3.0)     # nearest-rank of [1000, 3000]
+        self.assertEqual(parent, "-")
+        self.assertIsNone(pct)
+
+    def test_nesting_gives_percent_of_parent(self):
+        t = trace([
+            x("task", 0, 1000),
+            x("phase", 100, 250),
+            x("phase", 400, 250),
+            x("task", 2000, 1000),
+            x("phase", 2100, 500),
+        ])
+        rows = {r[0]: r for r in trace_report.build_rows(t)}
+        _, count, total, _, _, parent, pct = rows["phase"]
+        self.assertEqual(count, 3)
+        self.assertEqual(parent, "task")
+        # 1000us of phase over 2000us of parent task instances.
+        self.assertAlmostEqual(pct, 50.0)
+        self.assertEqual(rows["task"][5], "-")
+
+    def test_threads_nest_independently(self):
+        t = trace([
+            x("outer", 0, 100, tid=0),
+            x("inner", 10, 50, tid=0),
+            x("inner", 10, 50, tid=1),  # no enclosing span on tid 1
+        ])
+        rows = {r[0]: r for r in trace_report.build_rows(t)}
+        # Dominant parent is 'outer' on tid 0; tid 1's instance is a root.
+        self.assertEqual(rows["inner"][1], 2)
+        self.assertEqual(rows["inner"][5], "outer")
+        # Only the tid-0 instance counts towards the percentage (50 of 100);
+        # the rootless tid-1 instance must not inflate it.
+        self.assertAlmostEqual(rows["inner"][6], 50.0)
+
+    def test_rows_sorted_by_total_descending(self):
+        t = trace([x("small", 0, 10), x("big", 100, 500)])
+        rows = trace_report.build_rows(t)
+        self.assertEqual([r[0] for r in rows], ["big", "small"])
+
+
+class RenderAndMainTest(unittest.TestCase):
+    def test_render_includes_header_and_rows(self):
+        lines = trace_report.render(trace_report.build_rows(
+            trace([x("a", 0, 1000)])))
+        self.assertIn("span", lines[0])
+        self.assertIn("% of parent", lines[0])
+        self.assertTrue(any(line.startswith("a") for line in lines[1:]))
+
+    def test_main_validate_roundtrip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            good = os.path.join(tmp, "good.json")
+            with open(good, "w", encoding="utf-8") as f:
+                json.dump(trace([meta(), x("a", 0, 5)]), f)
+            self.assertEqual(trace_report.main([good, "--validate"]), 0)
+            self.assertEqual(trace_report.main([good]), 0)
+
+            bad = os.path.join(tmp, "bad.json")
+            with open(bad, "w", encoding="utf-8") as f:
+                json.dump(trace([{"ph": "X"}]), f)
+            self.assertEqual(trace_report.main([bad, "--validate"]), 1)
+            self.assertEqual(
+                trace_report.main([os.path.join(tmp, "missing.json")]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
