@@ -113,17 +113,19 @@ GroupTileFn KernelFor(CpuSpmmVariant v) {
                                     : &ProcessGroupTilePortable;
 }
 
-// Shared accumulate core: converts X once, then sweeps N blocks x GroupTile
-// columns inside a row-parallel loop. Each ParallelFor index owns the output
-// rows of one GroupTile grid row, so writes are disjoint and the per-element
-// accumulation order (N-block, then GroupTile column, then storage bit
-// order) is fixed regardless of thread count.
-void AccumulateImpl(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
+// Shared accumulate core: fills the FP32 X panel once (`fill_panel` is the
+// only thing the FP16 and quantize-FP32 entry points differ in), then sweeps
+// N blocks x GroupTile columns inside a row-parallel loop. Each ParallelFor
+// index owns the output rows of one GroupTile grid row, so writes are
+// disjoint and the per-element accumulation order (N-block, then GroupTile
+// column, then storage bit order) is fixed regardless of thread count.
+template <typename FillPanel>
+void AccumulateCore(const TcaBmeMatrix& w, int64_t x_rows, int64_t n,
+                    const FillPanel& fill_panel, SpmmWorkspace* ws,
                     FloatMatrix* out, CpuSpmmVariant variant) {
-  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  SPINFER_CHECK_EQ(w.cols(), x_rows);
   SPINFER_CHECK_EQ(out->rows(), w.rows());
-  SPINFER_CHECK_EQ(out->cols(), x.cols());
-  const int64_t n = x.cols();
+  SPINFER_CHECK_EQ(out->cols(), n);
   if (n == 0 || w.rows() == 0) {
     return;
   }
@@ -138,13 +140,13 @@ void AccumulateImpl(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* w
     call_scope.AddArg("n", n);
   }
 
-  ws->x_panel.Reserve(static_cast<size_t>(x.size()));
+  ws->x_panel.Reserve(static_cast<size_t>(x_rows * n));
   float* xf = ws->x_panel.data();
   {
     // Named like the per-tile value staging so trace_report aggregates the
     // whole half->float phase under one row.
     SPINFER_TRACE_SCOPE("cpu_spmm.convert");
-    ToFloatInto(x, xf);
+    fill_panel(xf);
   }
 
   const GroupTileFn kernel = KernelFor(variant);
@@ -187,6 +189,31 @@ void AccumulateImpl(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* w
     slice_start += rec.decode_ns;
     tracer.Record("cpu_spmm.accumulate", slice_start, rec.accumulate_ns);
   });
+}
+
+void AccumulateImpl(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
+                    FloatMatrix* out, CpuSpmmVariant variant) {
+  AccumulateCore(
+      w, x.rows(), x.cols(), [&](float* xf) { ToFloatInto(x, xf); }, ws, out,
+      variant);
+}
+
+// FP32 input: quantize to FP16 on the fly while filling the panel. The panel
+// bits equal float(Half(x[i])) — exactly what ToFloatInto produces from a
+// pre-converted HalfMatrix — so the two entry families are bit-identical.
+void QuantAccumulateImpl(const TcaBmeMatrix& w, const FloatMatrix& x,
+                         SpmmWorkspace* ws, FloatMatrix* out,
+                         CpuSpmmVariant variant) {
+  AccumulateCore(
+      w, x.rows(), x.cols(),
+      [&](float* xf) {
+        const float* src = x.data();
+        const int64_t size = x.size();
+        for (int64_t i = 0; i < size; ++i) {
+          xf[i] = Half(src[i]).ToFloat();
+        }
+      },
+      ws, out, variant);
 }
 
 }  // namespace
@@ -233,6 +260,19 @@ void CpuSpmmInto(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
   out->Reshape(w.rows(), x.cols());
   out->Fill(0.0f);
   AccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
+}
+
+void CpuSpmmQuantAccumulateInto(const TcaBmeMatrix& w, const FloatMatrix& x,
+                                SpmmWorkspace* ws, FloatMatrix* out) {
+  QuantAccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
+}
+
+void CpuSpmmQuantInto(const TcaBmeMatrix& w, const FloatMatrix& x,
+                      SpmmWorkspace* ws, FloatMatrix* out) {
+  SPINFER_CHECK_EQ(w.cols(), x.rows());
+  out->Reshape(w.rows(), x.cols());
+  out->Fill(0.0f);
+  QuantAccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 
 FloatMatrix CpuSpmm(const TcaBmeMatrix& w, const HalfMatrix& x) {

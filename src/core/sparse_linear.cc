@@ -39,20 +39,29 @@ FloatMatrix SparseLinear::Forward(const HalfMatrix& x) const {
 
 void SparseLinear::ForwardInto(const HalfMatrix& x, FloatMatrix* out) const {
   SPINFER_CHECK_EQ(x.rows(), weight_.cols());
-  out->Reshape(weight_.rows(), x.cols());
-  if (bias_.has_value()) {
-    float* data = out->data();
-    const int64_t n = out->cols();
-    for (int64_t r = 0; r < out->rows(); ++r) {
-      const float b = (*bias_)[r];
-      for (int64_t c = 0; c < n; ++c) {
-        data[r * n + c] = b;
-      }
-    }
-  } else {
-    out->Fill(0.0f);
-  }
+  FillBias(x.cols(), out);
   CpuSpmmAccumulateInto(weight_, x, &workspace_, out);
+}
+
+void SparseLinear::ForwardQuantInto(const FloatMatrix& x, FloatMatrix* out) const {
+  SPINFER_CHECK_EQ(x.rows(), weight_.cols());
+  FillBias(x.cols(), out);
+  CpuSpmmQuantAccumulateInto(weight_, x, &workspace_, out);
+}
+
+void SparseLinear::FillBias(int64_t n, FloatMatrix* out) const {
+  out->Reshape(weight_.rows(), n);
+  if (!bias_.has_value()) {
+    out->Fill(0.0f);
+    return;
+  }
+  float* data = out->data();
+  for (int64_t r = 0; r < out->rows(); ++r) {
+    const float b = (*bias_)[r];
+    for (int64_t c = 0; c < n; ++c) {
+      data[r * n + c] = b;
+    }
+  }
 }
 
 uint64_t SparseLinear::StorageBytes() const {

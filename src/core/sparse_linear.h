@@ -49,6 +49,12 @@ class SparseLinear {
   // perform zero heap allocations.
   void ForwardInto(const HalfMatrix& x, FloatMatrix* out) const;
 
+  // Quantize-and-forward serving form: `x` holds FP32 activations that are
+  // rounded to FP16 while the SpMM panel is built — bit-identical to
+  // converting `x` into a HalfMatrix and calling ForwardInto, without the
+  // intermediate FP16 staging matrix. Same zero-allocation contract.
+  void ForwardQuantInto(const FloatMatrix& x, FloatMatrix* out) const;
+
   int64_t in_features() const { return weight_.cols(); }
   int64_t out_features() const { return weight_.rows(); }
   double sparsity() const {
@@ -62,6 +68,9 @@ class SparseLinear {
   double EstimateGpuTimeUs(int64_t n, const DeviceSpec& dev) const;
 
  private:
+  // Reshapes `out` to (out_features, n) and fills it with the bias (or zero).
+  void FillBias(int64_t n, FloatMatrix* out) const;
+
   TcaBmeMatrix weight_;
   std::optional<std::vector<float>> bias_;
   // Per-layer SpMM scratch, grown monotonically by ForwardInto. `mutable`

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "src/gpusim/device_spec.h"
+#include "src/llm/kv_allocator.h"
 #include "src/llm/model_config.h"
+#include "src/numeric/matrix.h"
 
 namespace spinfer {
 
@@ -32,5 +35,24 @@ AttentionCost PrefillAttentionCost(const ModelConfig& model, int64_t batch,
 // Bytes of KV cache held per GPU for `context` tokens.
 uint64_t KvCacheBytes(const ModelConfig& model, int64_t batch, int64_t context,
                       int num_gpus);
+
+// --- Executing paged attention (CPU serving path) ---------------------------
+//
+// Causal decode attention for ONE sequence at ONE layer: the query is column
+// `col` of `q` (a kv_dim x batch activation panel), keys/values are the
+// sequence's cached slots [0, SequenceTokens) in `cache` — including the slot
+// for the token being decoded, whose K/V must already be written. The result
+// is written into column `col` of `out` (same shape as `q`).
+//
+// Numerics deliberately mirror TinyTransformer::Forward's in-batch attention
+// (max-subtracted softmax, identical accumulation order over the context), and
+// the computation touches only this sequence's pages and this column — so a
+// sequence's decode output is bit-identical regardless of which other
+// sequences share the batch. `scores` is caller-owned scratch, grown to the
+// context length.
+void PagedAttentionDecode(const PagedKvCache& cache, int64_t layer,
+                          int64_t seq_id, int64_t heads, const FloatMatrix& q,
+                          int64_t col, FloatMatrix* out,
+                          std::vector<float>* scores);
 
 }  // namespace spinfer

@@ -62,6 +62,21 @@ void KvAllocator::RemoveSequence(int64_t seq_id) {
   sequences_.erase(it);
 }
 
+void KvAllocator::TruncateSequence(int64_t seq_id, int64_t tokens) {
+  const auto it = sequences_.find(seq_id);
+  SPINFER_CHECK_MSG(it != sequences_.end(), "unknown sequence: " << seq_id);
+  Sequence& seq = it->second;
+  SPINFER_CHECK_MSG(tokens >= 0 && tokens <= seq.tokens,
+                    "cannot truncate sequence " << seq_id << " from "
+                                                << seq.tokens << " to " << tokens);
+  const int64_t keep = BlocksFor(tokens);
+  while (static_cast<int64_t>(seq.blocks.size()) > keep) {
+    free_list_.push_back(seq.blocks.back());
+    seq.blocks.pop_back();
+  }
+  seq.tokens = tokens;
+}
+
 bool KvAllocator::CanFit(int64_t tokens) const {
   return BlocksFor(tokens) <= free_blocks();
 }
@@ -76,12 +91,97 @@ int64_t KvAllocator::SequenceBlocks(int64_t seq_id) const {
   return it == sequences_.end() ? 0 : static_cast<int64_t>(it->second.blocks.size());
 }
 
+const std::vector<int32_t>* KvAllocator::SequenceBlockList(int64_t seq_id) const {
+  const auto it = sequences_.find(seq_id);
+  return it == sequences_.end() ? nullptr : &it->second.blocks;
+}
+
 int64_t KvAllocator::WastedTokenSlots() const {
   int64_t waste = 0;
   for (const auto& [id, seq] : sequences_) {
     waste += static_cast<int64_t>(seq.blocks.size()) * config_.block_tokens - seq.tokens;
   }
   return waste;
+}
+
+// --- PagedKvCache -----------------------------------------------------------
+
+namespace {
+
+// The internal allocator counts whole blocks; feed it a synthetic byte
+// geometry (1 byte per token) so `num_blocks` maps through exactly.
+KvAllocatorConfig BookkeepingConfig(const PagedKvCacheConfig& cfg) {
+  KvAllocatorConfig acfg;
+  acfg.bytes_per_token = 1;
+  acfg.block_tokens = cfg.block_tokens;
+  acfg.capacity_bytes = static_cast<uint64_t>(cfg.num_blocks) *
+                        static_cast<uint64_t>(cfg.block_tokens);
+  return acfg;
+}
+
+}  // namespace
+
+PagedKvCache::PagedKvCache(const PagedKvCacheConfig& config)
+    : config_(config), alloc_(BookkeepingConfig(config)) {
+  SPINFER_CHECK(config.layers > 0 && config.kv_dim > 0);
+  SPINFER_CHECK(config.block_tokens > 0 && config.num_blocks > 0);
+  const size_t floats = static_cast<size_t>(config.layers) *
+                        static_cast<size_t>(config.num_blocks) *
+                        static_cast<size_t>(config.block_tokens) *
+                        static_cast<size_t>(config.kv_dim);
+  k_pool_.assign(floats, 0.0f);
+  v_pool_.assign(floats, 0.0f);
+}
+
+bool PagedKvCache::AddSequence(int64_t seq_id, int64_t tokens) {
+  return alloc_.AddSequence(seq_id, tokens);
+}
+
+bool PagedKvCache::AppendToken(int64_t seq_id) { return alloc_.AppendToken(seq_id); }
+
+void PagedKvCache::RemoveSequence(int64_t seq_id) { alloc_.RemoveSequence(seq_id); }
+
+void PagedKvCache::TruncateSequence(int64_t seq_id, int64_t tokens) {
+  alloc_.TruncateSequence(seq_id, tokens);
+}
+
+int64_t PagedKvCache::SlotIndex(int64_t layer, int64_t seq_id, int64_t token) const {
+  SPINFER_CHECK(layer >= 0 && layer < config_.layers);
+  const std::vector<int32_t>* blocks = alloc_.SequenceBlockList(seq_id);
+  SPINFER_CHECK_MSG(blocks != nullptr, "unknown sequence: " << seq_id);
+  SPINFER_CHECK_MSG(token >= 0 && token < alloc_.SequenceTokens(seq_id),
+                    "token slot " << token << " out of range for sequence "
+                                  << seq_id);
+  const int64_t block = (*blocks)[static_cast<size_t>(token / config_.block_tokens)];
+  const int64_t offset = token % config_.block_tokens;
+  return ((layer * config_.num_blocks + block) * config_.block_tokens + offset) *
+         config_.kv_dim;
+}
+
+float* PagedKvCache::KRow(int64_t layer, int64_t seq_id, int64_t token) {
+  return k_pool_.data() + SlotIndex(layer, seq_id, token);
+}
+
+const float* PagedKvCache::KRow(int64_t layer, int64_t seq_id, int64_t token) const {
+  return k_pool_.data() + SlotIndex(layer, seq_id, token);
+}
+
+float* PagedKvCache::VRow(int64_t layer, int64_t seq_id, int64_t token) {
+  return v_pool_.data() + SlotIndex(layer, seq_id, token);
+}
+
+const float* PagedKvCache::VRow(int64_t layer, int64_t seq_id, int64_t token) const {
+  return v_pool_.data() + SlotIndex(layer, seq_id, token);
+}
+
+const float* PagedKvCache::KBlockBase(int64_t layer, int32_t block) const {
+  return k_pool_.data() +
+         (layer * config_.num_blocks + block) * config_.block_tokens * config_.kv_dim;
+}
+
+const float* PagedKvCache::VBlockBase(int64_t layer, int32_t block) const {
+  return v_pool_.data() +
+         (layer * config_.num_blocks + block) * config_.block_tokens * config_.kv_dim;
 }
 
 }  // namespace spinfer

@@ -1,11 +1,18 @@
-// Paged KV-cache allocator (vLLM-style block management).
+// Paged KV-cache allocation (vLLM-style block management).
 //
 // The serving results (Figs. 13-14, and our serving simulator) hinge on how
 // much KV cache fits beside the weights; a real engine manages that pool in
 // fixed-size blocks so sequences can grow without reserving their maximum
-// context up front. This allocator provides that substrate: per-sequence
-// block lists, O(1) alloc/free from a free list, token-granular append, and
-// utilization accounting the scheduler admits against.
+// context up front. Two layers live here:
+//
+//   * KvAllocator — pure block bookkeeping: per-sequence block lists, O(1)
+//     alloc/free from a free list, token-granular append, and utilization
+//     accounting the scheduler admits against. No data moves through it.
+//   * PagedKvCache — the executing substrate on top: the same block
+//     discipline plus real per-layer K/V storage, so TinyTransformer's
+//     KV-cache decode path reads and writes through the page tables the
+//     allocator maintains. One token's K (or V) at one layer is one
+//     contiguous `kv_dim`-float row inside its block.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,11 @@ class KvAllocator {
   // Releases all of a sequence's blocks.
   void RemoveSequence(int64_t seq_id);
 
+  // Shrinks a sequence to `tokens` (<= its current count), returning any
+  // now-unused tail blocks to the free list. The serving benches rewind
+  // decode state with this; eviction uses RemoveSequence.
+  void TruncateSequence(int64_t seq_id, int64_t tokens);
+
   // Whether `tokens` more tokens could be added for a hypothetical new
   // sequence right now.
   bool CanFit(int64_t tokens) const;
@@ -55,8 +67,15 @@ class KvAllocator {
   int64_t SequenceTokens(int64_t seq_id) const;
   // Blocks held by `seq_id`.
   int64_t SequenceBlocks(int64_t seq_id) const;
+  // Block ids held by `seq_id` in token order (token t lives in entry
+  // t / block_tokens), or nullptr if the sequence is unknown. The pointer is
+  // invalidated by the next mutating call for that sequence.
+  const std::vector<int32_t>* SequenceBlockList(int64_t seq_id) const;
   // Internal fragmentation: allocated-but-unused token slots.
   int64_t WastedTokenSlots() const;
+
+  // Blocks needed to hold `tokens` tokens (schedulers reserve against this).
+  int64_t BlocksForTokens(int64_t tokens) const { return BlocksFor(tokens); }
 
  private:
   struct Sequence {
@@ -72,6 +91,81 @@ class KvAllocator {
   int64_t total_blocks_ = 0;
   std::vector<int32_t> free_list_;
   std::map<int64_t, Sequence> sequences_;
+};
+
+// --- Executing paged KV storage ---------------------------------------------
+
+struct PagedKvCacheConfig {
+  int64_t layers = 0;
+  // Floats per token per tensor (== hidden for classic MHA: heads * head_dim).
+  int64_t kv_dim = 0;
+  int64_t block_tokens = 16;
+  int64_t num_blocks = 0;
+};
+
+// Block-paged K/V storage for the executing CPU serving path. Bookkeeping
+// (which blocks a sequence owns, free list, fragmentation counters) is
+// delegated to an internal KvAllocator; this class adds the actual float
+// pools and slot addressing. Values are stored as the FP32 activations the
+// transformer computed — storage is exact, so a decode that reads a cached
+// K/V row sees bit-for-bit the column that was written at prefill/append
+// time (the substrate of the batched-vs-single bit-identity tests).
+class PagedKvCache {
+ public:
+  explicit PagedKvCache(const PagedKvCacheConfig& config);
+
+  // Registers `seq_id` with `tokens` slots (the prompt); the caller then
+  // fills the K/V rows of slots [0, tokens). Returns false if the pool
+  // cannot hold it (nothing allocated).
+  bool AddSequence(int64_t seq_id, int64_t tokens);
+  // Allocates one more slot; returns false on pool exhaustion.
+  bool AppendToken(int64_t seq_id);
+  void RemoveSequence(int64_t seq_id);
+  // Rewinds `seq_id` to `tokens` slots, freeing tail blocks.
+  void TruncateSequence(int64_t seq_id, int64_t tokens);
+
+  bool CanFit(int64_t tokens) const { return alloc_.CanFit(tokens); }
+  int64_t SequenceTokens(int64_t seq_id) const { return alloc_.SequenceTokens(seq_id); }
+  int64_t SequenceBlocks(int64_t seq_id) const { return alloc_.SequenceBlocks(seq_id); }
+  const std::vector<int32_t>* SequenceBlockList(int64_t seq_id) const {
+    return alloc_.SequenceBlockList(seq_id);
+  }
+
+  // K/V row of one token slot: `kv_dim` contiguous floats. `token` must be
+  // < SequenceTokens(seq_id). Resolves the sequence's block list per call;
+  // hot loops (attention) should resolve the list once and use *BlockBase.
+  float* KRow(int64_t layer, int64_t seq_id, int64_t token);
+  const float* KRow(int64_t layer, int64_t seq_id, int64_t token) const;
+  float* VRow(int64_t layer, int64_t seq_id, int64_t token);
+  const float* VRow(int64_t layer, int64_t seq_id, int64_t token) const;
+
+  // Base of one block's rows at one layer (block_tokens * kv_dim floats);
+  // token t of a sequence lives at offset (t % block_tokens) * kv_dim inside
+  // block blocks[t / block_tokens].
+  const float* KBlockBase(int64_t layer, int32_t block) const;
+  const float* VBlockBase(int64_t layer, int32_t block) const;
+
+  // Accounting passthrough (scheduler gauges, fragmentation counters).
+  int64_t total_blocks() const { return alloc_.total_blocks(); }
+  int64_t free_blocks() const { return alloc_.free_blocks(); }
+  int64_t used_blocks() const { return alloc_.used_blocks(); }
+  double Utilization() const { return alloc_.Utilization(); }
+  int64_t WastedTokenSlots() const { return alloc_.WastedTokenSlots(); }
+  int64_t BlocksForTokens(int64_t tokens) const { return alloc_.BlocksForTokens(tokens); }
+
+  const PagedKvCacheConfig& config() const { return config_; }
+  uint64_t StorageBytes() const {
+    return 2ull * k_pool_.size() * sizeof(float);
+  }
+
+ private:
+  int64_t SlotIndex(int64_t layer, int64_t seq_id, int64_t token) const;
+
+  PagedKvCacheConfig config_;
+  KvAllocator alloc_;
+  // [layer][block][slot][kv_dim] pools, allocated once at construction.
+  std::vector<float> k_pool_;
+  std::vector<float> v_pool_;
 };
 
 }  // namespace spinfer

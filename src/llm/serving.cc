@@ -6,6 +6,7 @@
 
 #include "src/util/check.h"
 #include "src/util/random.h"
+#include "src/util/stats.h"
 
 namespace spinfer {
 namespace {
@@ -30,15 +31,6 @@ int64_t FeasibleBatch(const ServingConfig& cfg) {
     }
   }
   return lo;
-}
-
-double Percentile(std::vector<double>& v, double p) {
-  if (v.empty()) {
-    return 0.0;
-  }
-  std::sort(v.begin(), v.end());
-  const size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
-  return v[idx];
 }
 
 struct Request {
@@ -130,16 +122,11 @@ ServingReport SimulateServing(const ServingConfig& cfg) {
 
   report.throughput_tps = tokens_generated / std::max(now_s, 1e-9);
   report.mean_batch = batch_time_integral / std::max(now_s, 1e-9);
-  if (!latencies_ms.empty()) {
-    double sum = 0.0;
-    for (double l : latencies_ms) {
-      sum += l;
-    }
-    report.mean_latency_ms = sum / static_cast<double>(latencies_ms.size());
-    report.p50_latency_ms = Percentile(latencies_ms, 0.50);
-    report.p95_latency_ms = Percentile(latencies_ms, 0.95);
-    report.p99_latency_ms = Percentile(latencies_ms, 0.99);
-  }
+  const LatencySummary lat = SummarizeLatenciesMs(std::move(latencies_ms));
+  report.mean_latency_ms = lat.mean_ms;
+  report.p50_latency_ms = lat.p50_ms;
+  report.p95_latency_ms = lat.p95_ms;
+  report.p99_latency_ms = lat.p99_ms;
   return report;
 }
 

@@ -1,0 +1,342 @@
+#include "src/llm/serving_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/check.h"
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+// Cached global instruments (find-or-create once; recording is lock-free).
+struct ServingMetrics {
+  obs::Counter* arrived;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* tokens;
+  obs::Counter* iterations;
+  obs::Gauge* queue_depth;
+  obs::Gauge* batch_size;
+  obs::Gauge* kv_used_blocks;
+  obs::Gauge* kv_utilization;
+  obs::Histogram* latency_ms;
+
+  static ServingMetrics& Get() {
+    static ServingMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      ServingMetrics s;
+      s.arrived = reg.GetCounter("srv.requests_arrived");
+      s.rejected = reg.GetCounter("srv.requests_rejected");
+      s.completed = reg.GetCounter("srv.requests_completed");
+      s.tokens = reg.GetCounter("srv.tokens_generated");
+      s.iterations = reg.GetCounter("srv.iterations");
+      s.queue_depth = reg.GetGauge("srv.queue_depth");
+      s.batch_size = reg.GetGauge("srv.batch_size");
+      s.kv_used_blocks = reg.GetGauge("srv.kv_used_blocks");
+      s.kv_utilization = reg.GetGauge("srv.kv_utilization");
+      s.latency_ms = reg.GetHistogram(
+          "srv.request_latency_ms",
+          obs::Histogram::ExponentialBuckets(0.1, 2.0, 24));
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+ModelConfig ModelConfigFor(const TinyConfig& cfg) {
+  ModelConfig m;
+  m.name = "tiny";
+  m.hidden = cfg.hidden;
+  m.layers = cfg.layers;
+  m.heads = cfg.heads;
+  m.kv_heads = cfg.heads;
+  m.ffn_hidden = cfg.ffn;
+  m.vocab = cfg.vocab;
+  return m;
+}
+
+const char* FinishReasonName(FinishReason r) {
+  switch (r) {
+    case FinishReason::kNone:
+      return "none";
+    case FinishReason::kEos:
+      return "eos";
+    case FinishReason::kMaxTokens:
+      return "max_tokens";
+    case FinishReason::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+std::string ExecServingReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "arrived=%lld rejected=%lld completed=%lld tokens=%lld iters=%lld "
+      "peak_batch=%lld peak_kv_blocks=%lld sim_s=%.6f tps=%.6f "
+      "mean_batch=%.6f lat_ms{mean=%.6f p50=%.6f p95=%.6f p99=%.6f}",
+      static_cast<long long>(arrived), static_cast<long long>(rejected),
+      static_cast<long long>(completed), static_cast<long long>(tokens_generated),
+      static_cast<long long>(iterations), static_cast<long long>(peak_batch),
+      static_cast<long long>(peak_kv_blocks), sim_time_s, throughput_tps,
+      mean_batch, latency.mean_ms, latency.p50_ms, latency.p95_ms,
+      latency.p99_ms);
+  return std::string(buf);
+}
+
+ServingEngine::ServingEngine(const TinyTransformer* model,
+                             const ServingEngineConfig& cfg)
+    : model_(model),
+      cfg_(cfg),
+      cache_(model->KvCacheConfig(cfg.kv_block_tokens, cfg.kv_num_blocks)) {
+  SPINFER_CHECK(model != nullptr);
+  SPINFER_CHECK(cfg.max_batch > 0);
+}
+
+int64_t ServingEngine::Submit(std::vector<int32_t> prompt, int64_t max_new_tokens,
+                              double arrival_s) {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  SPINFER_CHECK_MSG(!ran_, "Submit after Run");
+  RequestRecord r;
+  r.id = static_cast<int64_t>(records_.size());
+  r.prompt = std::move(prompt);
+  r.max_new_tokens = max_new_tokens;
+  r.arrival_s = arrival_s;
+  records_.push_back(std::move(r));
+  ServingMetrics::Get().arrived->Increment();
+  return records_.back().id;
+}
+
+void ServingEngine::InjectPoissonArrivals(const PoissonTraffic& t) {
+  SPINFER_CHECK(t.arrival_rate_rps > 0.0 && t.horizon_s > 0.0);
+  SPINFER_CHECK(t.prompt_len_min >= 1 && t.prompt_len_max >= t.prompt_len_min);
+  SPINFER_CHECK(t.max_new_min >= 1 && t.max_new_max >= t.max_new_min);
+  // Arrival times replay the analytic simulator's exact draw sequence;
+  // content comes from a second stream so it cannot perturb the process.
+  Rng time_rng(t.seed);
+  Rng content_rng(t.seed ^ 0x9e3779b97f4a7c15ull);
+  const int64_t vocab = model_->config().vocab;
+  double now = 0.0;
+  while (true) {
+    now += -std::log(1.0 - time_rng.Uniform()) / t.arrival_rate_rps;
+    if (now >= t.horizon_s) {
+      break;
+    }
+    const int64_t prompt_len =
+        t.prompt_len_min +
+        static_cast<int64_t>(content_rng.Below(
+            static_cast<uint64_t>(t.prompt_len_max - t.prompt_len_min + 1)));
+    const int64_t max_new =
+        t.max_new_min + static_cast<int64_t>(content_rng.Below(
+                            static_cast<uint64_t>(t.max_new_max - t.max_new_min + 1)));
+    std::vector<int32_t> prompt(static_cast<size_t>(prompt_len));
+    for (int32_t& tok : prompt) {
+      tok = static_cast<int32_t>(content_rng.Below(static_cast<uint64_t>(vocab)));
+    }
+    Submit(std::move(prompt), max_new, now);
+  }
+}
+
+bool ServingEngine::IsServable(const RequestRecord& r) const {
+  const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
+  if (prompt_len < 1 || r.max_new_tokens < 1) {
+    return false;
+  }
+  if (prompt_len + r.max_new_tokens > model_->config().max_seq) {
+    return false;
+  }
+  return cache_.BlocksForTokens(prompt_len + r.max_new_tokens) <=
+         cache_.total_blocks();
+}
+
+ExecServingReport ServingEngine::Run() {
+  SPINFER_CHECK_MSG(!ran_, "ServingEngine::Run is single-shot");
+  ran_ = true;
+  ServingMetrics& metrics = ServingMetrics::Get();
+
+  ExecServingReport report;
+  report.arrived = static_cast<int64_t>(records_.size());
+
+  // FIFO queue of request ids by (arrival, submission order). stable_sort
+  // keeps equal-arrival requests in id order.
+  std::vector<int64_t> order(records_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int64_t>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](int64_t a, int64_t b) {
+    return records_[static_cast<size_t>(a)].arrival_s <
+           records_[static_cast<size_t>(b)].arrival_s;
+  });
+  std::deque<int64_t> queue(order.begin(), order.end());
+
+  std::vector<Active> running;
+  std::vector<int64_t> dec_ids;
+  std::vector<int32_t> dec_last;
+  std::vector<int32_t> dec_next;
+  std::vector<double> latencies_ms;
+  double now_s = 0.0;
+  double batch_time_integral = 0.0;
+
+  while (!queue.empty() || !running.empty()) {
+    // --- Admission: strict FIFO; the head blocks until it fits. ------------
+    int64_t admitted = 0;
+    int64_t admitted_prompt_sum = 0;
+    const size_t running_before = running.size();
+    while (!queue.empty()) {
+      RequestRecord& r = records_[static_cast<size_t>(queue.front())];
+      if (r.arrival_s > now_s) {
+        break;
+      }
+      if (!IsServable(r)) {
+        queue.pop_front();
+        r.reason = FinishReason::kRejected;
+        r.finish_s = now_s;
+        ++report.rejected;
+        metrics.rejected->Increment();
+        continue;
+      }
+      if (static_cast<int64_t>(running.size()) >= cfg_.max_batch) {
+        break;
+      }
+      const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
+      // Admit only if the pool can commit the request's full worst-case
+      // footprint. A sequence never allocates beyond its footprint, so the
+      // commitment cap means AppendToken can never fail mid-decode and no
+      // preemption machinery is needed.
+      const int64_t footprint =
+          cache_.BlocksForTokens(prompt_len + r.max_new_tokens);
+      if (committed_blocks_ + footprint > cache_.total_blocks()) {
+        break;
+      }
+      queue.pop_front();
+      committed_blocks_ += footprint;
+      SPINFER_CHECK(cache_.AddSequence(r.id, prompt_len));
+      r.admit_s = now_s;
+      admission_order_.push_back(r.id);
+      {
+        SPINFER_TRACE_SCOPE_ARG("srv.prefill", "prompt", prompt_len);
+        const FloatMatrix logits = model_->Prefill(r.prompt, cfg_.backend,
+                                                   &cache_, r.id);
+        r.generated.push_back(GreedyToken(logits, logits.rows() - 1));
+      }
+      running.push_back(Active{r.id});
+      ++admitted;
+      admitted_prompt_sum += prompt_len;
+    }
+
+    if (running.empty()) {
+      if (queue.empty()) {
+        break;
+      }
+      // Idle: jump the virtual clock to the next arrival. With an empty
+      // batch the head always admits or rejects, so its arrival must be in
+      // the future — anything else would spin this loop forever.
+      const double next_arrival =
+          records_[static_cast<size_t>(queue.front())].arrival_s;
+      SPINFER_CHECK_MSG(next_arrival > now_s,
+                        "scheduler wedged: empty batch cannot admit the "
+                        "queue head");
+      now_s = next_arrival;
+      continue;
+    }
+
+    const int64_t batch = static_cast<int64_t>(running.size());
+    ++report.iterations;
+    metrics.iterations->Increment();
+    report.peak_batch = std::max(report.peak_batch, batch);
+    report.peak_kv_blocks = std::max(report.peak_kv_blocks, cache_.used_blocks());
+    SPINFER_TRACE_SCOPE_ARG("srv.step", "batch", batch);
+
+    // --- Execute one decode token for every previously-running sequence.
+    // Newly admitted sequences got their first token from prefill above —
+    // the same "+1 token for every active sequence per iteration" accounting
+    // the analytic simulator uses.
+    if (running_before > 0) {
+      dec_ids.clear();
+      dec_last.clear();
+      for (size_t i = 0; i < running_before; ++i) {
+        const RequestRecord& r = records_[static_cast<size_t>(running[i].id)];
+        dec_ids.push_back(r.id);
+        dec_last.push_back(r.generated.back());
+      }
+      model_->DecodeStep(dec_ids, dec_last, cfg_.backend, &cache_, &dec_next);
+      for (size_t i = 0; i < running_before; ++i) {
+        records_[static_cast<size_t>(running[i].id)].generated.push_back(
+            dec_next[i]);
+      }
+    }
+
+    // --- Advance the virtual clock: expression-for-expression the analytic
+    // simulator's pricing. Every active sequence now holds g_pre + 1
+    // generated tokens, so its context contribution is
+    // prompt + (generated - 1) + 1, the analytic `input_len + g_pre + 1`.
+    double iter_us = 0.0;
+    if (admitted > 0) {
+      iter_us += PrefillTimeUs(cfg_.cost, admitted, admitted_prompt_sum / admitted);
+    }
+    int64_t context_sum = 0;
+    for (const Active& a : running) {
+      const RequestRecord& r = records_[static_cast<size_t>(a.id)];
+      context_sum += static_cast<int64_t>(r.prompt.size()) +
+                     (static_cast<int64_t>(r.generated.size()) - 1) + 1;
+    }
+    iter_us += DecodeStepTimeUs(cfg_.cost, batch, context_sum / batch);
+    now_s += iter_us / 1e6;
+    batch_time_integral += static_cast<double>(batch) * iter_us / 1e6;
+    report.tokens_generated += batch;
+    metrics.tokens->Add(static_cast<uint64_t>(batch));
+
+    // --- Retire: EOS or token budget. --------------------------------------
+    for (auto it = running.begin(); it != running.end();) {
+      RequestRecord& r = records_[static_cast<size_t>(it->id)];
+      const bool eos =
+          cfg_.eos_token >= 0 && r.generated.back() == cfg_.eos_token;
+      if (!eos &&
+          static_cast<int64_t>(r.generated.size()) < r.max_new_tokens) {
+        ++it;
+        continue;
+      }
+      r.reason = eos ? FinishReason::kEos : FinishReason::kMaxTokens;
+      r.finish_s = now_s;
+      r.latency_ms = (now_s - r.arrival_s) * 1e3;
+      latencies_ms.push_back(r.latency_ms);
+      metrics.latency_ms->Record(r.latency_ms);
+      metrics.completed->Increment();
+      ++report.completed;
+      committed_blocks_ -= cache_.BlocksForTokens(
+          static_cast<int64_t>(r.prompt.size()) + r.max_new_tokens);
+      cache_.RemoveSequence(r.id);
+      // Per-request span on the virtual timeline (finish on eviction).
+      const obs::TraceArg args[] = {{"id", r.id},
+                                    {"generated",
+                                     static_cast<int64_t>(r.generated.size())}};
+      obs::Tracer::Global().Record(
+          "srv.request", static_cast<uint64_t>(r.arrival_s * 1e9),
+          static_cast<uint64_t>((now_s - r.arrival_s) * 1e9), args, 2);
+      it = running.erase(it);
+    }
+
+    metrics.queue_depth->Set(static_cast<double>(queue.size()));
+    metrics.batch_size->Set(static_cast<double>(running.size()));
+    metrics.kv_used_blocks->Set(static_cast<double>(cache_.used_blocks()));
+    metrics.kv_utilization->Set(cache_.Utilization());
+  }
+
+  report.sim_time_s = now_s;
+  report.throughput_tps =
+      static_cast<double>(report.tokens_generated) / std::max(now_s, 1e-9);
+  report.mean_batch = batch_time_integral / std::max(now_s, 1e-9);
+  report.latency = SummarizeLatenciesMs(std::move(latencies_ms));
+  return report;
+}
+
+}  // namespace spinfer

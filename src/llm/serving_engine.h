@@ -1,0 +1,161 @@
+// Executing continuous-batching serving engine.
+//
+// Where SimulateServing (src/llm/serving.h) only *prices* a serving
+// trajectory, this engine *runs* one: real requests with real token ids flow
+// through a thread-safe queue, an Orca-style iteration-level scheduler, a
+// block-paged KV cache (PagedKvCache), and TinyTransformer's batched decode
+// step — one SpMM with N = batch columns per weight matrix per iteration.
+//
+// Time model: execution is real, the clock is virtual. Each iteration's
+// duration is priced by the same cost model the analytic simulator uses
+// (PrefillTimeUs / DecodeStepTimeUs), with arithmetic mirrored expression for
+// expression. Consequences, both load-bearing for the tests:
+//   * Reports are deterministic for a fixed seed — independent of thread
+//     count, machine speed, and tracing — because no wall clock feeds them.
+//   * With EOS disabled, uniform request shapes, and an ample KV pool, the
+//     engine's trajectory coincides with SimulateServing's, so the analytic
+//     report cross-checks the executing one to floating-point exactness.
+//
+// Scheduling policy (DESIGN.md §5): strict-FIFO admission at iteration
+// granularity. A request is admitted only when a batch slot is free AND the
+// KV pool can commit BlocksForTokens(prompt + max_new) blocks for it — the
+// full worst-case footprint is reserved up front, so AppendToken can never
+// fail mid-decode and no preemption machinery is needed. The queue head
+// blocks admission while it waits (no skip-ahead), which is what makes
+// FIFO-completion and no-starvation testable properties.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/llm/engine.h"
+#include "src/llm/kv_allocator.h"
+#include "src/llm/tiny_transformer.h"
+#include "src/util/stats.h"
+
+namespace spinfer {
+
+// Cost-model description of a TinyTransformer, so the virtual clock and the
+// analytic cross-check price the same architecture.
+ModelConfig ModelConfigFor(const TinyConfig& cfg);
+
+enum class FinishReason {
+  kNone,       // still queued or running
+  kEos,        // generated the configured EOS token
+  kMaxTokens,  // hit its max_new_tokens budget
+  kRejected,   // can never run (empty/oversized prompt, or footprint > pool)
+};
+
+const char* FinishReasonName(FinishReason r);
+
+struct ServingEngineConfig {
+  int64_t max_batch = 8;
+  int64_t kv_block_tokens = 16;
+  int64_t kv_num_blocks = 64;
+  // Token id that terminates a sequence early; -1 disables EOS eviction.
+  int32_t eos_token = -1;
+  MatmulBackend backend = MatmulBackend::kTcaBmeCpu;
+  // Prices the virtual clock (PrefillTimeUs / DecodeStepTimeUs).
+  EngineConfig cost;
+};
+
+// Poisson open-loop traffic for InjectPoissonArrivals. Arrival times are
+// drawn from Rng(seed) with exactly the analytic simulator's draw sequence;
+// request *content* (prompt lengths, token ids, output budgets) comes from an
+// independently-seeded second stream so the arrival process stays comparable
+// to SimulateServing whatever the content distribution.
+struct PoissonTraffic {
+  double arrival_rate_rps = 4.0;
+  double horizon_s = 10.0;
+  uint64_t seed = 1;
+  int64_t prompt_len_min = 8;
+  int64_t prompt_len_max = 8;
+  int64_t max_new_min = 8;
+  int64_t max_new_max = 8;
+};
+
+// Full per-request trajectory, kept for every submitted request.
+struct RequestRecord {
+  int64_t id = 0;
+  std::vector<int32_t> prompt;
+  int64_t max_new_tokens = 0;
+  std::vector<int32_t> generated;  // includes the EOS token when one fired
+  double arrival_s = 0.0;  // virtual
+  double admit_s = 0.0;    // virtual; 0 if never admitted
+  double finish_s = 0.0;   // virtual
+  double latency_ms = 0.0;  // finish - arrival; 0 for rejected
+  FinishReason reason = FinishReason::kNone;
+};
+
+struct ExecServingReport {
+  int64_t arrived = 0;
+  int64_t rejected = 0;
+  int64_t completed = 0;
+  int64_t tokens_generated = 0;
+  int64_t iterations = 0;
+  int64_t peak_batch = 0;
+  int64_t peak_kv_blocks = 0;
+  double sim_time_s = 0.0;
+  double throughput_tps = 0.0;  // generated tokens per virtual second
+  double mean_batch = 0.0;      // time-weighted in-flight sequences
+  LatencySummary latency;
+
+  // Deterministic rendering; the byte-stability tests compare these strings
+  // across reruns and thread counts.
+  std::string ToString() const;
+};
+
+class ServingEngine {
+ public:
+  // `model` is borrowed and must outlive the engine. The KV pool
+  // (kv_num_blocks x kv_block_tokens slots per layer) is allocated here.
+  ServingEngine(const TinyTransformer* model, const ServingEngineConfig& cfg);
+
+  // Thread-safe enqueue; returns the request id (dense, starting at 0, in
+  // submission order). `arrival_s` is the request's virtual arrival time.
+  int64_t Submit(std::vector<int32_t> prompt, int64_t max_new_tokens,
+                 double arrival_s = 0.0);
+
+  // Draws an open-loop Poisson trace and submits every request. Deterministic
+  // for a fixed traffic spec (see PoissonTraffic).
+  void InjectPoissonArrivals(const PoissonTraffic& traffic);
+
+  // Runs the scheduler until every submitted request is finished (completed
+  // or rejected) and returns the report. Single-shot: one Run per engine.
+  // Must not race Submit.
+  ExecServingReport Run();
+
+  // Post-Run inspection. `results()` is indexed by request id.
+  const std::vector<RequestRecord>& results() const { return records_; }
+  // Request ids in the order the scheduler admitted them (strict FIFO by
+  // (arrival, id) — the no-starvation property tests assert on this).
+  const std::vector<int64_t>& admission_order() const { return admission_order_; }
+  const PagedKvCache& kv_cache() const { return cache_; }
+
+ private:
+  struct Active {
+    int64_t id = 0;
+  };
+
+  // A request the pool could never hold, or that overflows the model's
+  // context window, is rejected at queue-head time.
+  bool IsServable(const RequestRecord& r) const;
+
+  const TinyTransformer* model_;
+  ServingEngineConfig cfg_;
+  PagedKvCache cache_;
+
+  std::mutex submit_mu_;
+  std::vector<RequestRecord> records_;
+  std::vector<int64_t> admission_order_;
+  // Sum of running sequences' worst-case footprints (blocks at
+  // prompt + max_new). Each sequence's allocation never exceeds its
+  // footprint, so keeping committed_blocks_ <= total_blocks guarantees
+  // AppendToken always finds a free block.
+  int64_t committed_blocks_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace spinfer

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/core/cpu_backend.h"
+#include "src/llm/attention.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -26,6 +27,13 @@ void ToHalfInto(const FloatMatrix& f, HalfMatrix* h) {
   for (int64_t i = 0; i < f.size(); ++i) {
     h->data()[i] = Half(f.data()[i]);
   }
+}
+
+// Copy into reusable storage (grow-only Reshape, so warmed scratch matrices
+// stop allocating; plain operator= could reallocate on every call).
+void CopyInto(const FloatMatrix& src, FloatMatrix* dst) {
+  dst->Reshape(src.rows(), src.cols());
+  std::copy(src.data(), src.data() + src.size(), dst->data());
 }
 
 // LayerNorm over the hidden dimension. Activations are (hidden x seq):
@@ -58,6 +66,18 @@ float Gelu(float x) {
 }
 
 }  // namespace
+
+int32_t GreedyToken(const FloatMatrix& logits, int64_t row) {
+  int32_t best = 0;
+  float best_score = logits.at(row, 0);
+  for (int64_t vtok = 1; vtok < logits.cols(); ++vtok) {
+    if (logits.at(row, vtok) > best_score) {
+      best_score = logits.at(row, vtok);
+      best = static_cast<int32_t>(vtok);
+    }
+  }
+  return best;
+}
 
 TinyTransformer::TinyTransformer(const TinyConfig& config, uint64_t seed)
     : config_(config) {
@@ -103,14 +123,17 @@ void TinyTransformer::PruneWeights(const Pruner& pruner, double sparsity) {
 }
 
 void TinyTransformer::MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
-                                 const HalfMatrix& x, MatmulBackend backend,
+                                 const FloatMatrix& x, MatmulBackend backend,
                                  const char* label, FloatMatrix* out) const {
   SPINFER_TRACE_SCOPE(label);
   if (backend == MatmulBackend::kDense) {
-    *out = ReferenceGemm(dense, x);
+    ToHalfInto(x, &scratch_.xh);
+    *out = ReferenceGemm(dense, scratch_.xh);
     return;
   }
-  CpuSpmmInto(encoded, x, &scratch_.ws, out);
+  // The sparse path quantizes to FP16 on panel fill — bit-identical to the
+  // explicit ToHalfInto staging above, one conversion pass cheaper.
+  CpuSpmmQuantInto(encoded, x, &scratch_.ws, out);
 }
 
 int64_t TinyTransformer::MatmulScratchGrowCount() const {
@@ -121,15 +144,57 @@ uint64_t TinyTransformer::MatmulScratchCapacityBytes() const {
   const MatmulScratch& s = scratch_;
   uint64_t bytes = s.ws.capacity_bytes() + s.xh.capacity() * sizeof(Half) +
                    s.scores.capacity() * sizeof(float);
-  for (const FloatMatrix* m : {&s.normed, &s.q, &s.kk, &s.v, &s.attn_out,
-                               &s.proj, &s.ffn_in, &s.hidden_act, &s.ffn_out}) {
+  for (const FloatMatrix* m :
+       {&s.normed, &s.q, &s.kk, &s.v, &s.attn_out, &s.proj, &s.ffn_in,
+        &s.hidden_act, &s.ffn_out, &s.act, &s.logits}) {
     bytes += m->capacity() * sizeof(float);
   }
   return bytes;
 }
 
+void TinyTransformer::EmbedInto(int32_t token, int64_t pos, int64_t col,
+                                FloatMatrix* act) const {
+  SPINFER_CHECK(token >= 0 && token < config_.vocab);
+  const int64_t h = config_.hidden;
+  // Embedding + a fixed sinusoidal positional signal. `pos` is the token's
+  // absolute position, so a decode step embeds exactly the bits a
+  // full-sequence Forward would give that position.
+  for (int64_t r = 0; r < h; ++r) {
+    const double p = static_cast<double>(pos) /
+                     std::pow(10000.0, static_cast<double>(2 * (r / 2)) / h);
+    act->at(r, col) = embedding_.at(token, r).ToFloat() +
+                      0.1f * static_cast<float>((r % 2 == 0) ? std::sin(p)
+                                                             : std::cos(p));
+  }
+}
+
 FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
                                      MatmulBackend backend) const {
+  return ForwardImpl(tokens, backend, /*cache=*/nullptr, /*seq_id=*/-1);
+}
+
+PagedKvCacheConfig TinyTransformer::KvCacheConfig(int64_t block_tokens,
+                                                  int64_t num_blocks) const {
+  PagedKvCacheConfig cfg;
+  cfg.layers = config_.layers;
+  cfg.kv_dim = config_.hidden;
+  cfg.block_tokens = block_tokens;
+  cfg.num_blocks = num_blocks;
+  return cfg;
+}
+
+FloatMatrix TinyTransformer::Prefill(const std::vector<int32_t>& tokens,
+                                     MatmulBackend backend, PagedKvCache* cache,
+                                     int64_t seq_id) const {
+  SPINFER_CHECK(cache != nullptr);
+  SPINFER_CHECK_EQ(cache->SequenceTokens(seq_id),
+                   static_cast<int64_t>(tokens.size()));
+  return ForwardImpl(tokens, backend, cache, seq_id);
+}
+
+FloatMatrix TinyTransformer::ForwardImpl(const std::vector<int32_t>& tokens,
+                                         MatmulBackend backend,
+                                         PagedKvCache* cache, int64_t seq_id) const {
   const int64_t seq = static_cast<int64_t>(tokens.size());
   SPINFER_CHECK(seq > 0 && seq <= config_.max_seq);
   const int64_t h = config_.hidden;
@@ -143,15 +208,7 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
   {
     SPINFER_TRACE_SCOPE("tt.embed");
     for (int64_t t = 0; t < seq; ++t) {
-      SPINFER_CHECK(tokens[t] >= 0 && tokens[t] < config_.vocab);
-      // Embedding + a fixed sinusoidal positional signal.
-      for (int64_t r = 0; r < h; ++r) {
-        const double pos = static_cast<double>(t) /
-                           std::pow(10000.0, static_cast<double>(2 * (r / 2)) / h);
-        act.at(r, t) = embedding_.at(tokens[t], r).ToFloat() +
-                       0.1f * static_cast<float>((r % 2 == 0) ? std::sin(pos)
-                                                              : std::cos(pos));
-      }
+      EmbedInto(tokens[t], /*pos=*/t, /*col=*/t, &act);
     }
   }
 
@@ -161,15 +218,25 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
     SPINFER_TRACE_SCOPE_ARG("tt.layer", "layer",
                             static_cast<int64_t>(layer_idx));
     // --- Attention block (pre-LN). ---
-    s.normed = act;
+    CopyInto(act, &s.normed);
     LayerNormColumns(&s.normed);
-    ToHalfInto(s.normed, &s.xh);
-    MatmulInto(l.wq, l.enc_wq, s.xh, backend, "tt.matmul.wq", &s.q);
-    MatmulInto(l.wk, l.enc_wk, s.xh, backend, "tt.matmul.wk", &s.kk);
-    MatmulInto(l.wv, l.enc_wv, s.xh, backend, "tt.matmul.wv", &s.v);
+    MatmulInto(l.wq, l.enc_wq, s.normed, backend, "tt.matmul.wq", &s.q);
+    MatmulInto(l.wk, l.enc_wk, s.normed, backend, "tt.matmul.wk", &s.kk);
+    MatmulInto(l.wv, l.enc_wv, s.normed, backend, "tt.matmul.wv", &s.v);
     const FloatMatrix& q = s.q;
     const FloatMatrix& kk = s.kk;
     const FloatMatrix& v = s.v;
+    if (cache != nullptr) {
+      // Prefill: persist every position's K/V columns for later paged decode.
+      for (int64_t t = 0; t < seq; ++t) {
+        float* krow = cache->KRow(static_cast<int64_t>(layer_idx), seq_id, t);
+        float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), seq_id, t);
+        for (int64_t r = 0; r < h; ++r) {
+          krow[r] = kk.at(r, t);
+          vrow[r] = v.at(r, t);
+        }
+      }
+    }
 
     s.attn_out.Reshape(h, seq);
     FloatMatrix& attn_out = s.attn_out;
@@ -206,22 +273,19 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
         }
       }
     }
-    ToHalfInto(attn_out, &s.xh);
-    MatmulInto(l.wo, l.enc_wo, s.xh, backend, "tt.matmul.wo", &s.proj);
+    MatmulInto(l.wo, l.enc_wo, attn_out, backend, "tt.matmul.wo", &s.proj);
     for (int64_t i = 0; i < act.size(); ++i) {
       act.data()[i] += s.proj.data()[i];  // residual
     }
 
     // --- FFN block (pre-LN, GELU). ---
-    s.ffn_in = act;
+    CopyInto(act, &s.ffn_in);
     LayerNormColumns(&s.ffn_in);
-    ToHalfInto(s.ffn_in, &s.xh);
-    MatmulInto(l.fc1, l.enc_fc1, s.xh, backend, "tt.matmul.fc1", &s.hidden_act);
+    MatmulInto(l.fc1, l.enc_fc1, s.ffn_in, backend, "tt.matmul.fc1", &s.hidden_act);
     for (int64_t i = 0; i < s.hidden_act.size(); ++i) {
       s.hidden_act.data()[i] = Gelu(s.hidden_act.data()[i]);
     }
-    ToHalfInto(s.hidden_act, &s.xh);
-    MatmulInto(l.fc2, l.enc_fc2, s.xh, backend, "tt.matmul.fc2", &s.ffn_out);
+    MatmulInto(l.fc2, l.enc_fc2, s.hidden_act, backend, "tt.matmul.fc2", &s.ffn_out);
     for (int64_t i = 0; i < act.size(); ++i) {
       act.data()[i] += s.ffn_out.data()[i];
     }
@@ -243,6 +307,105 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
   return logits;
 }
 
+void TinyTransformer::DecodeStep(const std::vector<int64_t>& seq_ids,
+                                 const std::vector<int32_t>& last_tokens,
+                                 MatmulBackend backend, PagedKvCache* cache,
+                                 std::vector<int32_t>* next_tokens,
+                                 FloatMatrix* logits_out) const {
+  const int64_t batch = static_cast<int64_t>(seq_ids.size());
+  SPINFER_CHECK(batch > 0);
+  SPINFER_CHECK_EQ(static_cast<int64_t>(last_tokens.size()), batch);
+  SPINFER_CHECK(cache != nullptr);
+  SPINFER_CHECK(next_tokens != nullptr);
+  const int64_t h = config_.hidden;
+
+  SPINFER_TRACE_SCOPE_ARG("tt.decode", "batch", batch);
+
+  MatmulScratch& s = scratch_;
+  // Append each sequence's new slot, then embed its last token at its
+  // absolute position. Admission reserved the blocks, so exhaustion here is
+  // a scheduler bug, not a runtime condition.
+  s.act.Reshape(h, batch);
+  std::vector<int64_t> positions(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    SPINFER_CHECK_MSG(cache->AppendToken(seq_ids[i]),
+                      "KV pool exhausted mid-decode; admission must reserve "
+                      "blocks for a sequence's full max length");
+    positions[i] = cache->SequenceTokens(seq_ids[i]) - 1;
+    SPINFER_CHECK(positions[i] < config_.max_seq);
+    EmbedInto(last_tokens[i], positions[i], /*col=*/i, &s.act);
+  }
+
+  for (size_t layer_idx = 0; layer_idx < layers_.size(); ++layer_idx) {
+    const Layer& l = layers_[layer_idx];
+    SPINFER_TRACE_SCOPE_ARG("tt.layer", "layer",
+                            static_cast<int64_t>(layer_idx));
+    // --- Attention block (pre-LN). One SpMM per weight with N = batch. ---
+    CopyInto(s.act, &s.normed);
+    LayerNormColumns(&s.normed);
+    MatmulInto(l.wq, l.enc_wq, s.normed, backend, "tt.matmul.wq", &s.q);
+    MatmulInto(l.wk, l.enc_wk, s.normed, backend, "tt.matmul.wk", &s.kk);
+    MatmulInto(l.wv, l.enc_wv, s.normed, backend, "tt.matmul.wv", &s.v);
+    for (int64_t i = 0; i < batch; ++i) {
+      float* krow = cache->KRow(static_cast<int64_t>(layer_idx), seq_ids[i],
+                                positions[i]);
+      float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), seq_ids[i],
+                                positions[i]);
+      for (int64_t r = 0; r < h; ++r) {
+        krow[r] = s.kk.at(r, i);
+        vrow[r] = s.v.at(r, i);
+      }
+    }
+
+    s.attn_out.Reshape(h, batch);
+    {
+      SPINFER_TRACE_SCOPE("tt.attention");
+      for (int64_t i = 0; i < batch; ++i) {
+        PagedAttentionDecode(*cache, static_cast<int64_t>(layer_idx),
+                             seq_ids[i], config_.heads, s.q, /*col=*/i,
+                             &s.attn_out, &s.scores);
+      }
+    }
+    MatmulInto(l.wo, l.enc_wo, s.attn_out, backend, "tt.matmul.wo", &s.proj);
+    for (int64_t i = 0; i < s.act.size(); ++i) {
+      s.act.data()[i] += s.proj.data()[i];  // residual
+    }
+
+    // --- FFN block (pre-LN, GELU). ---
+    CopyInto(s.act, &s.ffn_in);
+    LayerNormColumns(&s.ffn_in);
+    MatmulInto(l.fc1, l.enc_fc1, s.ffn_in, backend, "tt.matmul.fc1", &s.hidden_act);
+    for (int64_t i = 0; i < s.hidden_act.size(); ++i) {
+      s.hidden_act.data()[i] = Gelu(s.hidden_act.data()[i]);
+    }
+    MatmulInto(l.fc2, l.enc_fc2, s.hidden_act, backend, "tt.matmul.fc2", &s.ffn_out);
+    for (int64_t i = 0; i < s.act.size(); ++i) {
+      s.act.data()[i] += s.ffn_out.data()[i];
+    }
+  }
+
+  // Final LN + tied unembedding, one row of logits per batched sequence.
+  SPINFER_TRACE_SCOPE("tt.unembed");
+  LayerNormColumns(&s.act);
+  s.logits.Reshape(batch, config_.vocab);
+  for (int64_t i = 0; i < batch; ++i) {
+    for (int64_t vtok = 0; vtok < config_.vocab; ++vtok) {
+      float dot = 0.0f;
+      for (int64_t r = 0; r < h; ++r) {
+        dot += embedding_.at(vtok, r).ToFloat() * s.act.at(r, i);
+      }
+      s.logits.at(i, vtok) = dot;
+    }
+  }
+  next_tokens->resize(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    (*next_tokens)[static_cast<size_t>(i)] = GreedyToken(s.logits, i);
+  }
+  if (logits_out != nullptr) {
+    CopyInto(s.logits, logits_out);
+  }
+}
+
 std::vector<int32_t> TinyTransformer::Generate(const std::vector<int32_t>& prompt,
                                                int steps, MatmulBackend backend) const {
   std::vector<int32_t> tokens = prompt;
@@ -250,16 +413,7 @@ std::vector<int32_t> TinyTransformer::Generate(const std::vector<int32_t>& promp
        ++i) {
     SPINFER_TRACE_SCOPE_ARG("tt.decode_step", "step", i);
     const FloatMatrix logits = Forward(tokens, backend);
-    const int64_t last = logits.rows() - 1;
-    int32_t best = 0;
-    float best_score = logits.at(last, 0);
-    for (int64_t vtok = 1; vtok < config_.vocab; ++vtok) {
-      if (logits.at(last, vtok) > best_score) {
-        best_score = logits.at(last, vtok);
-        best = static_cast<int32_t>(vtok);
-      }
-    }
-    tokens.push_back(best);
+    tokens.push_back(GreedyToken(logits, logits.rows() - 1));
   }
   return tokens;
 }

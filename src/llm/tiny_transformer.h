@@ -5,6 +5,17 @@
 //
 // Numerics are exact enough to test: with the same pruned weights, the dense
 // and TCA-BME backends produce matching logits and identical greedy decodes.
+//
+// Two execution modes:
+//   * Forward/Generate — full-sequence recompute every step (the original
+//     integration proof; simple, O(steps * seq) matmul work).
+//   * Prefill/DecodeStep — the serving path: prefill writes every position's
+//     per-layer K/V into a PagedKvCache, then each decode iteration runs ONE
+//     SpMM with N = batch columns per weight matrix for the whole batch and
+//     per-sequence paged attention over the cached context. Every stage is
+//     per-column/per-sequence, so a sequence's tokens and logits are
+//     bit-identical for any batch composition, any thread count, and also
+//     match the full-recompute Generate path bit for bit.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +24,7 @@
 
 #include "src/core/cpu_backend.h"
 #include "src/format/tca_bme.h"
+#include "src/llm/kv_allocator.h"
 #include "src/numeric/matrix.h"
 #include "src/pruning/pruner.h"
 
@@ -35,6 +47,10 @@ enum class MatmulBackend {
   kTcaBmeCpu  // CpuSpmm on the TCA-BME-encoded weights
 };
 
+// Greedy sampling: the max-logit column of `logits` row `row` (ties break to
+// the lowest token id, matching Generate).
+int32_t GreedyToken(const FloatMatrix& logits, int64_t row);
+
 class TinyTransformer {
  public:
   // Deterministic random initialization (scaled Gaussian).
@@ -51,12 +67,36 @@ class TinyTransformer {
   std::vector<int32_t> Generate(const std::vector<int32_t>& prompt, int steps,
                                 MatmulBackend backend) const;
 
+  // --- Serving path (paged KV cache) ---------------------------------------
+
+  // KV geometry for a PagedKvCache serving this model.
+  PagedKvCacheConfig KvCacheConfig(int64_t block_tokens, int64_t num_blocks) const;
+
+  // Identical to Forward, additionally writing each position's per-layer K/V
+  // columns into `cache` slots [0, tokens.size()) of `seq_id` — which must
+  // already be registered with exactly tokens.size() slots. The caller takes
+  // the first generated token from the returned logits' last row.
+  FloatMatrix Prefill(const std::vector<int32_t>& tokens, MatmulBackend backend,
+                      PagedKvCache* cache, int64_t seq_id) const;
+
+  // One continuous-batching decode iteration. For sequence i (ragged contexts
+  // are fine), `last_tokens[i]` is its most recently produced token; the step
+  // appends that token's slot to the cache (exhaustion is a CHECK failure —
+  // the scheduler reserves capacity at admission), runs each weight matmul
+  // once with N = batch columns, attends per sequence over its full cached
+  // context, and writes the greedy next token per sequence to `next_tokens`.
+  // `logits_out`, when non-null, receives the (batch x vocab) logits.
+  void DecodeStep(const std::vector<int64_t>& seq_ids,
+                  const std::vector<int32_t>& last_tokens, MatmulBackend backend,
+                  PagedKvCache* cache, std::vector<int32_t>* next_tokens,
+                  FloatMatrix* logits_out = nullptr) const;
+
   const TinyConfig& config() const { return config_; }
   // Observability for the zero-allocation serving contract (tests, benches).
   // Grow count / capacity of the reusable matmul-path scratch: once a
-  // Forward at the serving shapes has warmed it, further Forwards at those
-  // (or smaller) shapes leave both unchanged — i.e. the matmul path performs
-  // zero heap allocations per step.
+  // Forward/DecodeStep at the serving shapes has warmed it, further calls at
+  // those (or smaller) shapes leave both unchanged — i.e. the matmul path
+  // performs zero heap allocations per step.
   int64_t MatmulScratchGrowCount() const;
   uint64_t MatmulScratchCapacityBytes() const;
   // Weight footprints: dense FP16 vs the encoded TCA-BME bytes.
@@ -73,23 +113,36 @@ class TinyTransformer {
     TcaBmeMatrix enc_wq, enc_wk, enc_wv, enc_wo, enc_fc1, enc_fc2;
   };
 
-  // Reusable buffers for one Forward pass. Shapes depend only on (seq,
-  // hidden, ffn), so every layer — and every subsequent call at seen shapes —
-  // reuses the same storage; nothing here is shrunk. `xh` stages the FP16
-  // conversion feeding each matmul.
+  // Reusable buffers for one Forward or DecodeStep pass. Shapes depend only
+  // on (seq-or-batch, hidden, ffn), so every layer — and every subsequent
+  // call at seen shapes — reuses the same storage; nothing here is shrunk.
+  // `xh` stages the FP16 conversion feeding the dense reference backend (the
+  // sparse backend quantizes on panel fill and never touches it). `scores`
+  // grows to the longest attended context.
   struct MatmulScratch {
     SpmmWorkspace ws;
     HalfMatrix xh;
     FloatMatrix normed, q, kk, v, attn_out, proj, ffn_in, hidden_act, ffn_out;
+    FloatMatrix act, logits;  // decode-step activation panel and logits
     std::vector<float> scores;
   };
 
-  // out = W*X on the selected backend. The sparse path draws all scratch
-  // from scratch_.ws; the dense reference path may allocate. `label` is a
-  // static string literal naming the matmul's trace span (e.g. "tt.matmul.wq").
+  // out = W*X on the selected backend, from FP32 activations: the sparse
+  // path quantizes to FP16 while filling the SpMM panel (CpuSpmmQuantInto),
+  // the dense reference path stages an explicit FP16 copy — both see the
+  // same FP16 activation bits. `label` is a static string literal naming the
+  // matmul's trace span (e.g. "tt.matmul.wq").
   void MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
-                  const HalfMatrix& x, MatmulBackend backend, const char* label,
+                  const FloatMatrix& x, MatmulBackend backend, const char* label,
                   FloatMatrix* out) const;
+
+  // Shared Forward body; when `cache` is non-null, per-layer K/V columns are
+  // written into `seq_id`'s slots (the prefill path).
+  FloatMatrix ForwardImpl(const std::vector<int32_t>& tokens, MatmulBackend backend,
+                          PagedKvCache* cache, int64_t seq_id) const;
+
+  // Embeds `token` at absolute position `pos` into column `col` of `act`.
+  void EmbedInto(int32_t token, int64_t pos, int64_t col, FloatMatrix* act) const;
 
   void EncodeAll();
 

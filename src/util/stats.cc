@@ -1,0 +1,38 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+
+namespace spinfer {
+
+double PercentileInPlace(std::vector<double>* v, double p) {
+  if (v->empty()) {
+    return 0.0;
+  }
+  std::sort(v->begin(), v->end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[idx];
+}
+
+LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms) {
+  LatencySummary s;
+  if (latencies_ms.empty()) {
+    return s;
+  }
+  double sum = 0.0;
+  for (double l : latencies_ms) {
+    sum += l;
+  }
+  s.mean_ms = sum / static_cast<double>(latencies_ms.size());
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto at = [&](double p) {
+    const size_t idx =
+        static_cast<size_t>(p * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  s.p50_ms = at(0.50);
+  s.p95_ms = at(0.95);
+  s.p99_ms = at(0.99);
+  return s;
+}
+
+}  // namespace spinfer

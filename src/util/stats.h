@@ -1,0 +1,30 @@
+// Latency statistics shared by the analytic serving simulator
+// (src/llm/serving.cc) and the executing serving engine
+// (src/llm/serving_engine.cc).
+//
+// Both report the same summary (mean, p50, p95, p99) with the same percentile
+// definition, so the engine-vs-simulator cross-check in the tests compares
+// like with like instead of two subtly different estimators.
+#pragma once
+
+#include <vector>
+
+namespace spinfer {
+
+struct LatencySummary {
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+// Percentile by sorted-rank index floor(p * (n-1)) — the nearest-rank variant
+// the serving simulator has always used. Sorts `*v` in place; empty input
+// returns 0.
+double PercentileInPlace(std::vector<double>* v, double p);
+
+// Mean plus p50/p95/p99 of `latencies_ms` (taken by value: the summary sorts
+// its own copy). Empty input returns all zeros.
+LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms);
+
+}  // namespace spinfer

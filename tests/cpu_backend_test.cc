@@ -156,6 +156,39 @@ TEST(CpuBackendTest, WorkspaceReusedAcrossCallsAndShapes) {
   EXPECT_GT(ws.capacity_bytes(), 0u);
 }
 
+TEST(CpuBackendTest, QuantIntoBitIdenticalToExplicitHalfStaging) {
+  // The fused FP32->FP16 quantizing entry points must produce exactly the
+  // bits of the two-step pipeline (stage x into a HalfMatrix, then run the
+  // half-input kernel): the batched decode path relies on this equivalence
+  // to stay bit-identical to the single-sequence path.
+  Rng rng(197);
+  const HalfMatrix w = HalfMatrix::RandomSparse(96, 128, 0.6, rng);
+  const TcaBmeMatrix enc = TcaBmeMatrix::Encode(w);
+  FloatMatrix x(128, 9);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Gaussian() * 0.5);
+  }
+  HalfMatrix xh(128, 9);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    xh.data()[i] = Half(x.data()[i]);
+  }
+
+  SpmmWorkspace ws_staged;
+  SpmmWorkspace ws_quant;
+  FloatMatrix staged;
+  FloatMatrix quant;
+  CpuSpmmInto(enc, xh, &ws_staged, &staged);
+  CpuSpmmQuantInto(enc, x, &ws_quant, &quant);
+  ExpectBitIdentical(quant, staged);
+
+  // Accumulate form: both start from the same non-zero output.
+  staged.Fill(2.5f);
+  quant.Fill(2.5f);
+  CpuSpmmAccumulateInto(enc, xh, &ws_staged, &staged);
+  CpuSpmmQuantAccumulateInto(enc, x, &ws_quant, &quant);
+  ExpectBitIdentical(quant, staged);
+}
+
 TEST(CpuBackendTest, AllZeroMatrix) {
   HalfMatrix w(64, 64);
   Rng rng(195);

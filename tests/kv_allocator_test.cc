@@ -81,6 +81,52 @@ TEST(KvAllocatorTest, ManySequencesChurn) {
   }
 }
 
+TEST(KvAllocatorTest, TruncateReleasesTailBlocksAndKeepsPrefix) {
+  KvAllocator alloc(SmallPool());
+  ASSERT_TRUE(alloc.AddSequence(1, 50));  // 4 blocks (ceil(50/16))
+  const std::vector<int32_t> before = *alloc.SequenceBlockList(1);
+  ASSERT_EQ(before.size(), 4u);
+
+  alloc.TruncateSequence(1, 20);  // back to 2 blocks
+  EXPECT_EQ(alloc.SequenceTokens(1), 20);
+  EXPECT_EQ(alloc.SequenceBlocks(1), 2);
+  EXPECT_EQ(alloc.free_blocks(), 100 - 2);
+  // The surviving blocks are the original prefix, in order — truncation must
+  // not shuffle the mapping of earlier tokens.
+  const std::vector<int32_t>* after = alloc.SequenceBlockList(1);
+  ASSERT_NE(after, nullptr);
+  ASSERT_EQ(after->size(), 2u);
+  EXPECT_EQ((*after)[0], before[0]);
+  EXPECT_EQ((*after)[1], before[1]);
+
+  // Truncate to a count inside the current last block: no block released.
+  alloc.TruncateSequence(1, 17);
+  EXPECT_EQ(alloc.SequenceBlocks(1), 2);
+  // Truncate to zero keeps the sequence registered but holds no blocks.
+  alloc.TruncateSequence(1, 0);
+  EXPECT_EQ(alloc.SequenceTokens(1), 0);
+  EXPECT_EQ(alloc.SequenceBlocks(1), 0);
+  EXPECT_EQ(alloc.free_blocks(), 100);
+  // Regrowth after a rewind works like fresh appends.
+  ASSERT_TRUE(alloc.AppendToken(1));
+  EXPECT_EQ(alloc.SequenceTokens(1), 1);
+  EXPECT_EQ(alloc.SequenceBlocks(1), 1);
+}
+
+TEST(KvAllocatorTest, BlockListIsStableUnderOtherSequencesChurn) {
+  KvAllocator alloc(SmallPool());
+  ASSERT_TRUE(alloc.AddSequence(7, 33));  // 3 blocks
+  const std::vector<int32_t> pinned = *alloc.SequenceBlockList(7);
+  for (int wave = 0; wave < 5; ++wave) {
+    ASSERT_TRUE(alloc.AddSequence(100 + wave, 64));
+    alloc.RemoveSequence(100 + wave);
+  }
+  const std::vector<int32_t>* now = alloc.SequenceBlockList(7);
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(*now, pinned);
+  EXPECT_EQ(alloc.SequenceBlockList(999), nullptr);  // unknown id
+}
+
 // Tie the allocator to the paper's memory story: the KV pool left on a
 // 24 GB RTX4090 beside OPT-13B weights admits far more concurrent
 // sequences under TCA-BME than under dense storage.

@@ -1,0 +1,206 @@
+// Property/fuzz tests for the paged KV cache: seeded random
+// alloc/append/truncate/free sequences checked against a shadow model.
+//
+// Invariants enforced after every operation:
+//   * Conservation: live blocks + free blocks == total blocks.
+//   * Isolation: no block belongs to two live sequences (or twice to one).
+//   * Token counts match the shadow model exactly; failed operations change
+//     nothing.
+//   * Data integrity: every live K/V row still holds the unique pattern
+//     written when its token was added — block recycling never lets one
+//     sequence's writes reach another's rows.
+//   * Full reclamation: draining all sequences returns every block.
+#include "src/llm/kv_allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/util/random.h"
+
+namespace spinfer {
+namespace {
+
+PagedKvCacheConfig SmallCache() {
+  PagedKvCacheConfig cfg;
+  cfg.layers = 2;
+  cfg.kv_dim = 4;
+  cfg.block_tokens = 4;
+  cfg.num_blocks = 24;
+  return cfg;
+}
+
+// Unique, exactly-representable float per (seq, token, layer, element); V
+// rows get +0.5 so K/V mixups are caught too.
+float PatternK(int64_t seq, int64_t token, int64_t layer, int64_t r) {
+  return static_cast<float>(((seq * 128 + token) * 2 + layer) * 4 + r);
+}
+float PatternV(int64_t seq, int64_t token, int64_t layer, int64_t r) {
+  return PatternK(seq, token, layer, r) + 0.5f;
+}
+
+void FillToken(PagedKvCache* cache, int64_t seq, int64_t token) {
+  for (int64_t layer = 0; layer < cache->config().layers; ++layer) {
+    float* k = cache->KRow(layer, seq, token);
+    float* v = cache->VRow(layer, seq, token);
+    for (int64_t r = 0; r < cache->config().kv_dim; ++r) {
+      k[r] = PatternK(seq, token, layer, r);
+      v[r] = PatternV(seq, token, layer, r);
+    }
+  }
+}
+
+class Shadow {
+ public:
+  explicit Shadow(const PagedKvCacheConfig& cfg) : cfg_(cfg) {}
+
+  void Check(const PagedKvCache& cache) const {
+    // Conservation + per-sequence bookkeeping.
+    int64_t live_blocks = 0;
+    std::set<int32_t> seen;
+    for (const auto& [seq, tokens] : tokens_) {
+      ASSERT_EQ(cache.SequenceTokens(seq), tokens);
+      const std::vector<int32_t>* blocks = cache.SequenceBlockList(seq);
+      ASSERT_NE(blocks, nullptr);
+      const int64_t expect_blocks =
+          (tokens + cfg_.block_tokens - 1) / cfg_.block_tokens;
+      ASSERT_EQ(static_cast<int64_t>(blocks->size()), expect_blocks);
+      live_blocks += expect_blocks;
+      for (int32_t b : *blocks) {
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, cfg_.num_blocks);
+        // Isolation: first claim wins; a duplicate means two live sequences
+        // (or two positions) share storage.
+        ASSERT_TRUE(seen.insert(b).second)
+            << "block " << b << " owned twice (seq " << seq << ")";
+      }
+    }
+    ASSERT_EQ(cache.used_blocks(), live_blocks);
+    ASSERT_EQ(cache.free_blocks(), cfg_.num_blocks - live_blocks);
+
+    // Data integrity of every live row.
+    for (const auto& [seq, tokens] : tokens_) {
+      for (int64_t t = 0; t < tokens; ++t) {
+        for (int64_t layer = 0; layer < cfg_.layers; ++layer) {
+          const float* k = cache.KRow(layer, seq, t);
+          const float* v = cache.VRow(layer, seq, t);
+          for (int64_t r = 0; r < cfg_.kv_dim; ++r) {
+            ASSERT_EQ(k[r], PatternK(seq, t, layer, r))
+                << "seq=" << seq << " token=" << t << " layer=" << layer;
+            ASSERT_EQ(v[r], PatternV(seq, t, layer, r))
+                << "seq=" << seq << " token=" << t << " layer=" << layer;
+          }
+        }
+      }
+    }
+  }
+
+  std::map<int64_t, int64_t> tokens_;
+  PagedKvCacheConfig cfg_;
+};
+
+TEST(PagedKvPropertyTest, RandomOpSequencesPreserveInvariants) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const PagedKvCacheConfig cfg = SmallCache();
+    PagedKvCache cache(cfg);
+    Shadow shadow(cfg);
+    Rng rng(seed);
+    int64_t next_seq = 0;
+
+    for (int op = 0; op < 400; ++op) {
+      const uint64_t kind = rng.Below(10);
+      if (kind < 3 || shadow.tokens_.empty()) {
+        // AddSequence with a random prompt (may exceed the pool).
+        const int64_t prompt = 1 + static_cast<int64_t>(rng.Below(30));
+        const int64_t seq = next_seq++;
+        const bool fits =
+            (prompt + cfg.block_tokens - 1) / cfg.block_tokens <=
+            cache.free_blocks();
+        const bool ok = cache.AddSequence(seq, prompt);
+        ASSERT_EQ(ok, fits) << "seed=" << seed << " op=" << op;
+        if (ok) {
+          shadow.tokens_[seq] = prompt;
+          for (int64_t t = 0; t < prompt; ++t) {
+            FillToken(&cache, seq, t);
+          }
+        }
+      } else if (kind < 6) {
+        // AppendToken on a random live sequence.
+        auto it = shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(
+                             rng.Below(static_cast<uint64_t>(shadow.tokens_.size()))));
+        const int64_t seq = it->first;
+        const bool needs_block = it->second % cfg.block_tokens == 0;
+        const bool fits = !needs_block || cache.free_blocks() > 0;
+        const bool ok = cache.AppendToken(seq);
+        ASSERT_EQ(ok, fits) << "seed=" << seed << " op=" << op;
+        if (ok) {
+          FillToken(&cache, seq, it->second);
+          it->second += 1;
+        } else {
+          ASSERT_EQ(cache.SequenceTokens(seq), it->second);
+        }
+      } else if (kind < 8) {
+        // TruncateSequence to a random smaller length (0 keeps the sequence
+        // registered with no tokens is not supported; keep >= 1).
+        auto it = shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(
+                             rng.Below(static_cast<uint64_t>(shadow.tokens_.size()))));
+        const int64_t keep =
+            1 + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(it->second)));
+        cache.TruncateSequence(it->first, keep);
+        it->second = keep;
+      } else {
+        // RemoveSequence.
+        auto it = shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(
+                             rng.Below(static_cast<uint64_t>(shadow.tokens_.size()))));
+        cache.RemoveSequence(it->first);
+        shadow.tokens_.erase(it);
+      }
+      shadow.Check(cache);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+
+    // Drain: every block comes back; no fragmentation is left behind.
+    while (!shadow.tokens_.empty()) {
+      cache.RemoveSequence(shadow.tokens_.begin()->first);
+      shadow.tokens_.erase(shadow.tokens_.begin());
+      shadow.Check(cache);
+    }
+    EXPECT_EQ(cache.free_blocks(), cfg.num_blocks);
+    EXPECT_EQ(cache.used_blocks(), 0);
+    EXPECT_EQ(cache.WastedTokenSlots(), 0);
+  }
+}
+
+// Growth across a block boundary must not move data already written — the
+// page table grows, the rows stay put.
+TEST(PagedKvPropertyTest, AppendAcrossBlockBoundaryKeepsEarlierRows) {
+  const PagedKvCacheConfig cfg = SmallCache();
+  PagedKvCache cache(cfg);
+  ASSERT_TRUE(cache.AddSequence(7, cfg.block_tokens));  // exactly one block
+  for (int64_t t = 0; t < cfg.block_tokens; ++t) {
+    FillToken(&cache, 7, t);
+  }
+  const float* before = cache.KRow(0, 7, 0);
+  ASSERT_TRUE(cache.AppendToken(7));  // forces a second block
+  FillToken(&cache, 7, cfg.block_tokens);
+  EXPECT_EQ(cache.KRow(0, 7, 0), before);
+  for (int64_t t = 0; t <= cfg.block_tokens; ++t) {
+    for (int64_t layer = 0; layer < cfg.layers; ++layer) {
+      for (int64_t r = 0; r < cfg.kv_dim; ++r) {
+        EXPECT_EQ(cache.KRow(layer, 7, t)[r], PatternK(7, t, layer, r));
+        EXPECT_EQ(cache.VRow(layer, 7, t)[r], PatternV(7, t, layer, r));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -94,6 +94,40 @@ TEST(SparseLinearTest, ForwardIntoMatchesForwardAndReusesOutput) {
   }
 }
 
+TEST(SparseLinearTest, ForwardQuantIntoMatchesForwardIntoWithBias) {
+  // ForwardQuantInto fuses the FP32->FP16 activation cast into the kernel;
+  // it must match the explicit-staging path bit for bit, bias included.
+  Rng rng(247);
+  const HalfMatrix w = HalfMatrix::RandomSparse(48, 80, 0.5, rng);
+  SparseLinear layer = SparseLinear::FromDense(w);
+  std::vector<float> bias(48);
+  for (size_t i = 0; i < bias.size(); ++i) {
+    bias[i] = 0.125f * static_cast<float>(i) - 1.0f;
+  }
+  layer.SetBias(bias);
+
+  FloatMatrix x(80, 6);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.Gaussian() * 0.5);
+  }
+  HalfMatrix xh(80, 6);
+  for (int64_t i = 0; i < x.size(); ++i) {
+    xh.data()[i] = Half(x.data()[i]);
+  }
+
+  FloatMatrix staged;
+  layer.ForwardInto(xh, &staged);
+  FloatMatrix quant;
+  for (int repeat = 0; repeat < 2; ++repeat) {  // second pass reuses scratch
+    layer.ForwardQuantInto(x, &quant);
+    ASSERT_EQ(quant.rows(), staged.rows());
+    ASSERT_EQ(quant.cols(), staged.cols());
+    for (int64_t i = 0; i < quant.size(); ++i) {
+      ASSERT_EQ(quant.data()[i], staged.data()[i]) << "repeat " << repeat;
+    }
+  }
+}
+
 TEST(SparseLinearTest, WrapsCheckpointMatrix) {
   Rng rng(245);
   const HalfMatrix w = HalfMatrix::RandomSparse(64, 64, 0.5, rng);
