@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "src/core/cpu_backend_inner.h"
+#include "src/core/cpu_spmv.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/cpu_features.h"
@@ -249,8 +250,17 @@ void CpuSpmmAccumulateIntoVariant(const TcaBmeMatrix& w, const HalfMatrix& x,
   AccumulateImpl(w, x, ws, out, v);
 }
 
+// Single-column calls (the batch-1 decode shape) route to the bitmap-direct
+// SpMV kernel: bit-identical on that shape by the shared-chain contract
+// (tests/cpu_spmv_test.cc drives both against each other), only faster. The
+// variant-pinned entry above stays unrouted on purpose — it is the N-blocked
+// reference those differential tests need.
 void CpuSpmmAccumulateInto(const TcaBmeMatrix& w, const HalfMatrix& x,
                            SpmmWorkspace* ws, FloatMatrix* out) {
+  if (x.cols() == 1) {
+    CpuSpmvAccumulateInto(w, x, ws, out);
+    return;
+  }
   AccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 
@@ -259,11 +269,19 @@ void CpuSpmmInto(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
   SPINFER_CHECK_EQ(w.cols(), x.rows());
   out->Reshape(w.rows(), x.cols());
   out->Fill(0.0f);
+  if (x.cols() == 1) {
+    CpuSpmvAccumulateInto(w, x, ws, out);
+    return;
+  }
   AccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 
 void CpuSpmmQuantAccumulateInto(const TcaBmeMatrix& w, const FloatMatrix& x,
                                 SpmmWorkspace* ws, FloatMatrix* out) {
+  if (x.cols() == 1) {
+    CpuSpmvQuantAccumulateInto(w, x, ws, out);
+    return;
+  }
   QuantAccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 
@@ -272,6 +290,10 @@ void CpuSpmmQuantInto(const TcaBmeMatrix& w, const FloatMatrix& x,
   SPINFER_CHECK_EQ(w.cols(), x.rows());
   out->Reshape(w.rows(), x.cols());
   out->Fill(0.0f);
+  if (x.cols() == 1) {
+    CpuSpmvQuantAccumulateInto(w, x, ws, out);
+    return;
+  }
   QuantAccumulateImpl(w, x, ws, out, ActiveCpuSpmmVariant());
 }
 

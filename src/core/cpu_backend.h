@@ -40,23 +40,34 @@ namespace spinfer {
 // loop blocks the same way so both variants share one traversal.
 inline constexpr int64_t kCpuSpmmNBlock = 128;
 
-// Reusable scratch for the SpMM call: the FP32 X panel (half->float is
-// exact, so converting the panel once per call changes no result bits).
-// Grown monotonically, never shrunk — a serving loop that has seen its
-// largest shapes performs zero heap allocations in this path afterwards.
-// Weight values are converted per BitmapTile into a stack-resident staging
-// array inside the kernel and need no heap scratch. Not thread-safe to share
-// across concurrent calls; give each serving thread its own.
+// Reusable scratch for the SpMM/SpMV calls: the FP32 X panel (half->float is
+// exact, so converting the panel once per call changes no result bits) and
+// the INT8 path's quantized activation vector (int16 codes, so the widening
+// multiply-adds read them directly). Grown monotonically, never shrunk — a
+// serving loop that has seen its largest shapes performs zero heap
+// allocations in this path afterwards. Weight values are converted per
+// BitmapTile into a stack-resident staging array inside the kernel and need
+// no heap scratch. Not thread-safe to share across concurrent calls; give
+// each serving thread its own.
 struct SpmmWorkspace {
-  AlignedBuffer<float> x_panel;   // K x N fp32 activation panel
+  AlignedBuffer<float> x_panel;     // K x N fp32 activation panel
+  AlignedBuffer<int16_t> xq_panel;  // K quantized activation codes (SpMV INT8)
 
-  int64_t grow_count() const { return x_panel.grow_count(); }
-  uint64_t capacity_bytes() const { return x_panel.capacity() * sizeof(float); }
+  int64_t grow_count() const {
+    return x_panel.grow_count() + xq_panel.grow_count();
+  }
+  uint64_t capacity_bytes() const {
+    return x_panel.capacity() * sizeof(float) +
+           xq_panel.capacity() * sizeof(int16_t);
+  }
 };
 
 // out = W * X, reshaping `out` to (w.rows(), x.cols()). All scratch comes
 // from `ws`; after `out` and `ws` have seen the call's shapes once, repeat
-// calls are allocation-free.
+// calls are allocation-free. Single-column calls (x.cols() == 1, the batch-1
+// decode shape) route to the bitmap-direct SpMV kernel (src/core/cpu_spmv.h)
+// transparently: it is bit-identical to the N-blocked path on that shape,
+// only faster.
 void CpuSpmmInto(const TcaBmeMatrix& w, const HalfMatrix& x, SpmmWorkspace* ws,
                  FloatMatrix* out);
 
@@ -99,7 +110,9 @@ CpuSpmmVariant ActiveCpuSpmmVariant();
 
 // Accumulate-form entry with the variant pinned; CHECK-fails if `v` is
 // unavailable. This is how the bit-identity tests drive both paths on one
-// machine.
+// machine. Deliberately NOT routed to SpMV at N == 1: this entry always runs
+// the N-blocked tiling, which makes it the reference the SpMV differential
+// tests compare against.
 void CpuSpmmAccumulateIntoVariant(const TcaBmeMatrix& w, const HalfMatrix& x,
                                   SpmmWorkspace* ws, FloatMatrix* out,
                                   CpuSpmmVariant v);

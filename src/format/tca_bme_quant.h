@@ -35,8 +35,25 @@ class TcaBmeQuantMatrix {
 
   int64_t rows() const { return rows_; }
   int64_t cols() const { return cols_; }
+  int64_t padded_rows() const { return padded_rows_; }
+  int64_t padded_cols() const { return padded_cols_; }
   int64_t nnz() const { return nnz_; }
   const TcaBmeConfig& config() const { return cfg_; }
+
+  // Tile-grid geometry, mirroring TcaBmeMatrix: the storage nesting
+  // (GroupTile row-major; TCTiles column-major within a GroupTile; quadrants
+  // TL, BL, TR, BR) is identical, so kernels walking both formats share one
+  // traversal. Bitmaps and scales are indexed by the same running BitmapTile
+  // order the encoder pushed them in.
+  int64_t gt_grid_rows() const { return padded_rows_ / cfg_.gt_rows; }
+  int64_t gt_grid_cols() const { return padded_cols_ / cfg_.gt_cols; }
+  int64_t num_group_tiles() const { return gt_grid_rows() * gt_grid_cols(); }
+  int tc_rows_per_gt() const { return cfg_.gt_rows / kTcTileDim; }
+  int tc_cols_per_gt() const { return cfg_.gt_cols / kTcTileDim; }
+  int tcs_per_gt() const { return tc_rows_per_gt() * tc_cols_per_gt(); }
+  int64_t BitmapIndex(int64_t gt, int tc, int quadrant) const {
+    return (gt * tcs_per_gt() + tc) * 4 + quadrant;
+  }
 
   const std::vector<uint32_t>& gtile_offsets() const { return gtile_offsets_; }
   const std::vector<uint64_t>& bitmaps() const { return bitmaps_; }

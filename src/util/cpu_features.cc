@@ -1,5 +1,6 @@
 #include "src/util/cpu_features.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -24,19 +25,39 @@ SimdLevel Resolve() {
   const CpuFeatures& f = GetCpuFeatures();
   // The AVX2 kernels also use F16C half conversions; every AVX2-era CPU has
   // all three, but dispatch verifies each flag it depends on.
-  SimdLevel level =
+  const SimdLevel hw =
       (f.avx2 && f.fma && f.f16c) ? SimdLevel::kAvx2 : SimdLevel::kPortable;
-  if (const char* env = std::getenv("SPINFER_SIMD")) {
-    if (std::strcmp(env, "portable") == 0 || std::strcmp(env, "scalar") == 0) {
-      level = SimdLevel::kPortable;
-    }
-    // "avx2" (or anything else) keeps the hardware-clamped level: the
-    // override can narrow dispatch but never select an unsupported tier.
-  }
-  return level;
+  return ApplySimdOverride(hw, std::getenv("SPINFER_SIMD"), stderr);
 }
 
 }  // namespace
+
+SimdLevel ApplySimdOverride(SimdLevel hw_level, const char* env,
+                            std::FILE* warn_to) {
+  if (env == nullptr || *env == '\0') {
+    return hw_level;
+  }
+  if (std::strcmp(env, "portable") == 0 || std::strcmp(env, "scalar") == 0) {
+    return SimdLevel::kPortable;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    // Request AVX2; falls back when the CPU lacks it — the override can
+    // narrow dispatch but never select an unsupported tier.
+    return hw_level;
+  }
+  // A typo like SPINFER_SIMD=portble used to silently keep the hardware
+  // level, so the user benchmarked AVX2 believing it was the portable path.
+  // Results are identical either way (the bit-identity contract), so a loud
+  // warning — not an abort — is the right failure mode.
+  if (warn_to != nullptr) {
+    std::fprintf(warn_to,
+                 "[spinfer] warning: unrecognized SPINFER_SIMD value \"%s\" "
+                 "ignored (expected \"portable\", \"scalar\", or \"avx2\"); "
+                 "dispatching at hardware level \"%s\"\n",
+                 env, SimdLevelName(hw_level));
+  }
+  return hw_level;
+}
 
 const CpuFeatures& GetCpuFeatures() {
   static const CpuFeatures features = Detect();

@@ -7,14 +7,18 @@
 //
 // Dispatch can be pinned for debugging and A/B testing with the environment
 // variable SPINFER_SIMD:
-//   SPINFER_SIMD=portable   always take the portable fallback
+//   SPINFER_SIMD=portable   always take the portable fallback ("scalar" is
+//                           accepted as a synonym)
 //   SPINFER_SIMD=avx2       request AVX2 (silently falls back when the CPU
 //                           lacks it — the override can widen testing, never
 //                           crash the process)
-// Every SIMD variant in the library is bit-identical to the portable path by
-// contract, so the override changes speed, never results.
+// Any other value is ignored with a warning on stderr (a typo must not
+// silently benchmark the wrong variant). Every SIMD variant in the library
+// is bit-identical to the portable path by contract, so the override changes
+// speed, never results.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 namespace spinfer {
@@ -38,6 +42,14 @@ enum class SimdLevel {
 // The level dispatch should use: hardware features clamped by the
 // SPINFER_SIMD override. Cached after the first call.
 SimdLevel ActiveSimdLevel();
+
+// The override policy, split out so tests can drive it without setenv races
+// or a fresh process per value: returns `hw_level` narrowed by `env` (the
+// SPINFER_SIMD value; nullptr/empty means unset). Unrecognized values keep
+// `hw_level` and print one warning line to `warn_to` (pass nullptr to
+// suppress). ActiveSimdLevel() calls this with stderr.
+SimdLevel ApplySimdOverride(SimdLevel hw_level, const char* env,
+                            std::FILE* warn_to);
 
 const char* SimdLevelName(SimdLevel level);
 

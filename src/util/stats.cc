@@ -1,17 +1,9 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace spinfer {
-
-double PercentileInPlace(std::vector<double>* v, double p) {
-  if (v->empty()) {
-    return 0.0;
-  }
-  std::sort(v->begin(), v->end());
-  const size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
-  return (*v)[idx];
-}
 
 LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms) {
   LatencySummary s;
@@ -25,9 +17,11 @@ LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms) {
   s.mean_ms = sum / static_cast<double>(latencies_ms.size());
   std::sort(latencies_ms.begin(), latencies_ms.end());
   const auto at = [&](double p) {
-    const size_t idx =
-        static_cast<size_t>(p * static_cast<double>(latencies_ms.size() - 1));
-    return latencies_ms[idx];
+    const double rank = p * static_cast<double>(latencies_ms.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, latencies_ms.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return latencies_ms[lo] + frac * (latencies_ms[hi] - latencies_ms[lo]);
   };
   s.p50_ms = at(0.50);
   s.p95_ms = at(0.95);

@@ -18,13 +18,16 @@ struct LatencySummary {
   double p99_ms = 0.0;
 };
 
-// Percentile by sorted-rank index floor(p * (n-1)) — the nearest-rank variant
-// the serving simulator has always used. Sorts `*v` in place; empty input
-// returns 0.
-double PercentileInPlace(std::vector<double>* v, double p);
-
 // Mean plus p50/p95/p99 of `latencies_ms` (taken by value: the summary sorts
 // its own copy). Empty input returns all zeros.
+//
+// Percentiles use linear interpolation between sorted ranks (the "C = 1" /
+// numpy-default definition): for rank r = p * (n-1), the result interpolates
+// between samples floor(r) and ceil(r). The previous nearest-lower-rank
+// definition (index floor(p * (n-1))) systematically understated tail
+// percentiles on small n — with 10 samples, p99 reported the 90th-percentile
+// sample. This is the library's single percentile implementation; keep it
+// that way so reports can never disagree on the definition.
 LatencySummary SummarizeLatenciesMs(std::vector<double> latencies_ms);
 
 }  // namespace spinfer

@@ -1,0 +1,82 @@
+#include "src/util/cpu_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace spinfer {
+namespace {
+
+// Runs ApplySimdOverride with a capture file for the warning channel and
+// returns (result, warning text).
+std::pair<SimdLevel, std::string> Apply(SimdLevel hw, const char* env) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  const SimdLevel got = ApplySimdOverride(hw, env, f);
+  std::string text;
+  std::rewind(f);
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    text += buf;
+  }
+  std::fclose(f);
+  return {got, text};
+}
+
+TEST(CpuFeaturesTest, UnsetOverrideKeepsHardwareLevel) {
+  EXPECT_EQ(Apply(SimdLevel::kAvx2, nullptr).first, SimdLevel::kAvx2);
+  EXPECT_EQ(Apply(SimdLevel::kPortable, nullptr).first, SimdLevel::kPortable);
+  EXPECT_EQ(Apply(SimdLevel::kAvx2, "").first, SimdLevel::kAvx2);
+}
+
+TEST(CpuFeaturesTest, PortableAndScalarNarrowDispatch) {
+  for (const char* env : {"portable", "scalar"}) {
+    const auto [level, warning] = Apply(SimdLevel::kAvx2, env);
+    EXPECT_EQ(level, SimdLevel::kPortable) << env;
+    EXPECT_TRUE(warning.empty()) << env << ": " << warning;
+  }
+}
+
+TEST(CpuFeaturesTest, Avx2RequestCannotExceedHardware) {
+  EXPECT_EQ(Apply(SimdLevel::kAvx2, "avx2").first, SimdLevel::kAvx2);
+  // On a machine without AVX2 the request falls back instead of selecting an
+  // unsupported tier.
+  const auto [level, warning] = Apply(SimdLevel::kPortable, "avx2");
+  EXPECT_EQ(level, SimdLevel::kPortable);
+  EXPECT_TRUE(warning.empty()) << warning;
+}
+
+TEST(CpuFeaturesTest, UnrecognizedValueWarnsAndKeepsHardwareLevel) {
+  // The motivating typo: SPINFER_SIMD=portble used to silently run AVX2
+  // while the user believed they were testing the portable path.
+  const auto [level, warning] = Apply(SimdLevel::kAvx2, "portble");
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  EXPECT_NE(warning.find("portble"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("unrecognized"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("avx2"), std::string::npos)
+      << "warning should name the level actually dispatched: " << warning;
+}
+
+TEST(CpuFeaturesTest, NullWarnStreamSuppressesOutputNotBehavior) {
+  EXPECT_EQ(ApplySimdOverride(SimdLevel::kAvx2, "bogus", nullptr),
+            SimdLevel::kAvx2);
+}
+
+TEST(CpuFeaturesTest, ActiveLevelIsConsistentWithDetectedFeatures) {
+  // ActiveSimdLevel() may be narrowed by the environment, but can never
+  // exceed what the hardware reports.
+  const CpuFeatures& f = GetCpuFeatures();
+  const SimdLevel hw =
+      (f.avx2 && f.fma && f.f16c) ? SimdLevel::kAvx2 : SimdLevel::kPortable;
+  EXPECT_LE(static_cast<int>(ActiveSimdLevel()), static_cast<int>(hw));
+}
+
+TEST(CpuFeaturesTest, SummaryMentionsDispatchLevel) {
+  const std::string s = CpuFeaturesSummary();
+  EXPECT_NE(s.find("dispatch: "), std::string::npos) << s;
+  EXPECT_NE(s.find(SimdLevelName(ActiveSimdLevel())), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -72,11 +72,12 @@ TEST(ServingTest, DeterministicForSeed) {
 }
 
 // Golden values for the latency summary, pinned so a refactor of the
-// percentile definition (floor(p * (n-1)) over the sorted latencies) or of
-// the iteration arithmetic cannot drift silently. The p99 column had no
-// coverage at all before this test. Values recorded from the implementation
-// at the time the shared util/stats summary was introduced; the tolerance is
-// float-noise only.
+// percentile definition (linear interpolation at rank p * (n-1) over the
+// sorted latencies — see SummarizeLatenciesMs) or of the iteration
+// arithmetic cannot drift silently. The p99 column had no coverage at all
+// before this test. Values re-recorded when the truncating nearest-lower-
+// rank index was replaced by interpolation; the tolerance is float-noise
+// only.
 TEST(ServingTest, LatencyPercentilesGolden) {
   ServingConfig cfg = BaseServing(Framework::kSpInfer);
   cfg.arrival_rate_rps = 6.0;  // enough load that the percentiles separate
@@ -88,9 +89,9 @@ TEST(ServingTest, LatencyPercentilesGolden) {
   EXPECT_LE(r.mean_latency_ms, r.p99_latency_ms);
   const double kRel = 1e-9;
   EXPECT_NEAR(r.mean_latency_ms, 1593.5784281230938, kRel * r.mean_latency_ms);
-  EXPECT_NEAR(r.p50_latency_ms, 1652.7100846148244, kRel * r.p50_latency_ms);
-  EXPECT_NEAR(r.p95_latency_ms, 1966.7048581377528, kRel * r.p95_latency_ms);
-  EXPECT_NEAR(r.p99_latency_ms, 2070.682584303313, kRel * r.p99_latency_ms);
+  EXPECT_NEAR(r.p50_latency_ms, 1653.7157548354928, kRel * r.p50_latency_ms);
+  EXPECT_NEAR(r.p95_latency_ms, 1967.142553102974, kRel * r.p95_latency_ms);
+  EXPECT_NEAR(r.p99_latency_ms, 2071.1734387136662, kRel * r.p99_latency_ms);
 }
 
 }  // namespace

@@ -1,0 +1,72 @@
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace spinfer {
+namespace {
+
+// The small-sample case that motivated replacing the truncating rank index:
+// with 10 samples 1..10, floor(p * (n-1)) reported p50 = 5, p95 = 9, and —
+// the real bug — p99 = 9, the same sample as p95 (the 90th-percentile
+// element of the sorted list). Interpolation separates the three and makes
+// p99 respond to the maximum.
+TEST(StatsTest, TenSamplePercentilesInterpolateBetweenRanks) {
+  std::vector<double> v;
+  for (int i = 1; i <= 10; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const LatencySummary s = SummarizeLatenciesMs(v);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 5.5);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 5.5);   // rank 4.5: between 5 and 6 (was 5)
+  EXPECT_DOUBLE_EQ(s.p95_ms, 9.55);  // rank 8.55: between 9 and 10 (was 9)
+  EXPECT_DOUBLE_EQ(s.p99_ms, 9.91);  // rank 8.91: between 9 and 10 (was 9)
+  EXPECT_LT(s.p95_ms, s.p99_ms);     // the old definition collapsed these
+}
+
+TEST(StatsTest, EmptyInputReturnsAllZeros) {
+  const LatencySummary s = SummarizeLatenciesMs({});
+  EXPECT_EQ(s.mean_ms, 0.0);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p95_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+}
+
+TEST(StatsTest, SingleSampleIsEveryPercentile) {
+  const LatencySummary s = SummarizeLatenciesMs({42.0});
+  EXPECT_DOUBLE_EQ(s.mean_ms, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 42.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 42.0);
+}
+
+TEST(StatsTest, UnsortedInputIsSortedInternally) {
+  const LatencySummary s = SummarizeLatenciesMs({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.p50_ms, 2.0);  // rank 1.0: exactly the middle sample
+  EXPECT_DOUBLE_EQ(s.mean_ms, 2.0);
+}
+
+TEST(StatsTest, ExactIntegerRankNeedsNoInterpolation) {
+  // n = 101 puts p50/p99 exactly on sample ranks; interpolation must then
+  // reproduce the nearest-rank answer bit for bit (frac == 0).
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const LatencySummary s = SummarizeLatenciesMs(v);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95_ms, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 99.0);
+}
+
+TEST(StatsTest, PercentilesAreMonotoneInP) {
+  const std::vector<double> v = {5.0, 80.0, 12.0, 7.0, 100.0, 3.0, 50.0};
+  const LatencySummary s = SummarizeLatenciesMs(v);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+  EXPECT_LE(s.p99_ms, 100.0);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -19,6 +19,28 @@ import sys
 
 WARN_RATIO = 1.30  # flag rows whose wall time moved by more than this factor
 
+# Benches the perf smoke is expected to produce. The table itself is a union
+# of whatever the two JSON files contain, but a bench absent from BOTH files
+# (e.g. perf_regression.cc lost a block in a refactor) would otherwise vanish
+# without a trace — this list makes that failure mode visible too.
+EXPECTED_BENCHES = (
+    "reference_gemm",
+    "spinfer_functional",
+    "tca_bme_encode",
+    "smbd_decode",
+    "cpu_spmm_n8",
+    "cpu_spmm_n64",
+    "cpu_spmm_n64_t2",
+    "cpu_spmm_n64_t4",
+    "cpu_spmv",
+    "cpu_spmv_portable",
+    "cpu_spmv_int8",
+    "tiny_transformer_decode_step",
+    "serving_decode_b1",
+    "serving_decode_b4",
+    "serving_decode_b8",
+)
+
 
 def load(path):
     try:
@@ -65,6 +87,13 @@ def render(baseline, current):
         for name, side, ms in one_sided:
             shown = "?" if ms is None else f"{ms:.3f} ms"
             lines.append(f"- `{name}`: {side} ({shown})")
+
+    missing = [n for n in EXPECTED_BENCHES if n not in baseline and n not in current]
+    if missing:
+        lines += ["", "Expected benches missing from BOTH files (did "
+                      "perf_regression lose a block?):", ""]
+        for name in missing:
+            lines.append(f"- `{name}`")
     return lines
 
 

@@ -47,10 +47,28 @@ class RenderTest(unittest.TestCase):
         out = "\n".join(bench_delta.render({"z": rec(0.0)}, {"z": rec(1.0)}))
         self.assertIn("| z | 0.000 | 1.000 | n/a |", out)
 
-    def test_empty_inputs_render_header_only(self):
+    def test_empty_inputs_report_every_expected_bench_missing(self):
         lines = bench_delta.render({}, {})
+        out = "\n".join(lines)
         self.assertTrue(any(line.startswith("### ") for line in lines))
-        self.assertFalse(any(line.startswith("- `") for line in lines))
+        self.assertIn("missing from BOTH files", out)
+        for name in bench_delta.EXPECTED_BENCHES:
+            self.assertIn(f"- `{name}`", out)
+
+    def test_expected_list_covers_spmv_family(self):
+        # The batch-1 decode fast path must stay in the perf smoke; losing
+        # these records would hide a routing regression.
+        for name in ("cpu_spmv", "cpu_spmv_portable", "cpu_spmv_int8"):
+            self.assertIn(name, bench_delta.EXPECTED_BENCHES)
+
+    def test_expected_bench_in_either_file_is_not_reported_missing(self):
+        base = {n: rec(1.0) for n in bench_delta.EXPECTED_BENCHES
+                if n != "cpu_spmv_int8"}
+        cur = dict(base)
+        cur["cpu_spmv_int8"] = rec(2.0)  # present on one side only
+        out = "\n".join(bench_delta.render(base, cur))
+        self.assertNotIn("missing from BOTH files", out)
+        self.assertIn("- `cpu_spmv_int8`: current only (2.000 ms)", out)
 
 
 if __name__ == "__main__":
