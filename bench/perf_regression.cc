@@ -33,6 +33,9 @@
 #include "src/format/tca_bme_quant.h"
 #include "src/core/spinfer_kernel.h"
 #include "src/format/tca_bme.h"
+#include "src/gpusim/device_spec.h"
+#include "src/llm/model_config.h"
+#include "src/llm/serving_engine.h"
 #include "src/llm/tiny_transformer.h"
 #include "src/numeric/matrix.h"
 #include "src/obs/chrome_trace.h"
@@ -308,6 +311,88 @@ int Main(int argc, char** argv) {
       std::printf("  derived: %31.1f tok/s %9.3f ms/token\n",
                   tokens / (wall_ms / 1000.0), wall_ms / tokens);
     }
+  }
+
+  // --- Serving v2: shared-prefix KV reuse and chunked prefill. -------------
+  // Acceptance-scale workload: 32 requests sharing a 512-token system prompt
+  // plus 4-token unique tails, arrivals 0.5 ms apart. Execution runs the
+  // tiny model; the virtual clock is priced as OPT-13B on an RTX 4090 — the
+  // regime where prompt prefill dominates per-iteration fixed costs, i.e.
+  // where prefix caching and chunking earn their keep. BENCH.json records
+  // the engine's real wall time per run; the virtual-time wins (TTFT ratio,
+  // worst decode stall) are derived stdout metrics and feed EXPERIMENTS.md.
+  {
+    TinyConfig big;
+    big.vocab = 256;
+    big.hidden = 128;
+    big.layers = 2;
+    big.heads = 4;
+    big.ffn = 256;
+    big.max_seq = 640;
+    TinyTransformer model(big, 1009);
+    model.PruneWeights(MagnitudePruner(), 0.6);
+
+    constexpr int64_t kSrvV2Requests = 32;
+    constexpr int64_t kSrvV2Prefix = 512;
+    Rng rng(1010);
+    std::vector<int32_t> prefix(static_cast<size_t>(kSrvV2Prefix));
+    for (auto& t : prefix) {
+      t = static_cast<int32_t>(rng.Below(static_cast<uint64_t>(big.vocab)));
+    }
+    std::vector<std::vector<int32_t>> prompts;
+    for (int64_t r = 0; r < kSrvV2Requests; ++r) {
+      std::vector<int32_t> p = prefix;
+      for (int t = 0; t < 4; ++t) {
+        p.push_back(
+            static_cast<int32_t>(rng.Below(static_cast<uint64_t>(big.vocab))));
+      }
+      prompts.push_back(std::move(p));
+    }
+    const auto run = [&](bool prefix_cache, int64_t chunk,
+                         ExecServingReport* out) {
+      ServingEngineConfig cfg;
+      cfg.max_batch = 8;
+      cfg.kv_block_tokens = 16;
+      cfg.kv_num_blocks = 512;
+      cfg.enable_prefix_cache = prefix_cache;
+      cfg.prefill_chunk_tokens = chunk;
+      cfg.cost.model = Opt13B();
+      cfg.cost.framework = Framework::kSpInfer;
+      cfg.cost.device = Rtx4090();
+      cfg.cost.sparsity = 0.6;
+      ServingEngine engine(&model, cfg);
+      for (int64_t r = 0; r < kSrvV2Requests; ++r) {
+        // The first request decodes long enough to hold (and keep indexed)
+        // the prefix blocks until the last wave of adopters has admitted.
+        engine.Submit(prompts[static_cast<size_t>(r)], r == 0 ? 64 : 6,
+                      static_cast<double>(r) * 0.0005);
+      }
+      *out = engine.Run();
+      g_sink = static_cast<float>(out->tokens_generated);
+    };
+
+    ExecServingReport v1;  // no cache, whole-prompt prefill: the v1 schedule
+    run(false, 0, &v1);
+    ExecServingReport cached;
+    bench("serving_prefix_cache", [&] { run(true, 0, &cached); });
+    std::printf(
+        "  derived: virtual ttft %10.3f -> %8.3f ms mean (%4.2fx), "
+        "%lld/%lld prompt blocks from cache\n",
+        v1.ttft.mean_ms, cached.ttft.mean_ms,
+        v1.ttft.mean_ms / cached.ttft.mean_ms,
+        static_cast<long long>(cached.prefix_hit_blocks),
+        static_cast<long long>(cached.prefix_hit_blocks +
+                               cached.prefix_miss_blocks));
+    // Chunk = 128: a CpuSpmm call traverses the whole sparse weight whatever
+    // the panel width, so smaller chunks buy the same virtual-stall bound at
+    // disproportionate real cost; 128 keeps the smoke cheap.
+    ExecServingReport chunked;
+    bench("serving_chunked_prefill", [&] { run(false, 128, &chunked); });
+    std::printf(
+        "  derived: virtual peak iteration %6.3f -> %8.3f ms (%4.2fx "
+        "decode-stall bound)\n",
+        v1.peak_iter_ms, chunked.peak_iter_ms,
+        v1.peak_iter_ms / chunked.peak_iter_ms);
   }
 
   WriteBenchJson(out_path, records);

@@ -70,14 +70,15 @@ AttentionCost PrefillAttentionCost(const ModelConfig& model, int64_t batch,
 void PagedAttentionDecode(const PagedKvCache& cache, int64_t layer,
                           int64_t seq_id, int64_t heads, const FloatMatrix& q,
                           int64_t col, FloatMatrix* out,
-                          std::vector<float>* scores) {
+                          std::vector<float>* scores, int64_t context) {
   const int64_t kv_dim = cache.config().kv_dim;
   SPINFER_CHECK_EQ(q.rows(), kv_dim);
   SPINFER_CHECK_EQ(out->rows(), kv_dim);
   SPINFER_CHECK(heads > 0 && kv_dim % heads == 0);
   const int64_t hd = kv_dim / heads;
-  const int64_t ctx = cache.SequenceTokens(seq_id);
+  const int64_t ctx = context < 0 ? cache.SequenceTokens(seq_id) : context;
   SPINFER_CHECK_MSG(ctx > 0, "sequence " << seq_id << " has no cached tokens");
+  SPINFER_CHECK(ctx <= cache.SequenceTokens(seq_id));
   const std::vector<int32_t>* blocks = cache.SequenceBlockList(seq_id);
   SPINFER_CHECK(blocks != nullptr);
   const int64_t bt = cache.config().block_tokens;

@@ -1,5 +1,8 @@
 #include "src/llm/kv_allocator.h"
 
+#include <algorithm>
+#include <cstring>
+
 #include "src/util/check.h"
 
 namespace spinfer {
@@ -15,40 +18,94 @@ KvAllocator::KvAllocator(const KvAllocatorConfig& config) : config_(config) {
   for (int64_t b = total_blocks_ - 1; b >= 0; --b) {
     free_list_.push_back(static_cast<int32_t>(b));
   }
+  ref_count_.assign(static_cast<size_t>(total_blocks_), 0);
 }
 
 bool KvAllocator::AddSequence(int64_t seq_id, int64_t prompt_tokens) {
+  static const std::vector<int32_t> kNoShared;
+  return AddSequenceSharing(seq_id, prompt_tokens, kNoShared);
+}
+
+bool KvAllocator::AddSequenceSharing(int64_t seq_id, int64_t prompt_tokens,
+                                     const std::vector<int32_t>& shared_blocks) {
   SPINFER_CHECK(prompt_tokens >= 0);
   SPINFER_CHECK_MSG(sequences_.find(seq_id) == sequences_.end(),
                     "sequence id already registered: " << seq_id);
   const int64_t need = BlocksFor(prompt_tokens);
-  if (need > free_blocks()) {
+  const int64_t shared = static_cast<int64_t>(shared_blocks.size());
+  SPINFER_CHECK_MSG(shared <= need, "sequence of " << prompt_tokens
+                                                   << " tokens cannot adopt "
+                                                   << shared << " blocks");
+  if (need - shared > free_blocks()) {
     return false;
   }
   Sequence seq;
   seq.tokens = prompt_tokens;
   seq.blocks.reserve(static_cast<size_t>(need));
-  for (int64_t i = 0; i < need; ++i) {
-    seq.blocks.push_back(free_list_.back());
+  for (int32_t b : shared_blocks) {
+    SPINFER_CHECK_MSG(b >= 0 && b < total_blocks_ && ref_count_[b] > 0,
+                      "cannot adopt non-live block " << b);
+    ++ref_count_[b];
+    seq.blocks.push_back(b);
+  }
+  for (int64_t i = shared; i < need; ++i) {
+    const int32_t b = free_list_.back();
     free_list_.pop_back();
+    ref_count_[b] = 1;
+    seq.blocks.push_back(b);
   }
   sequences_.emplace(seq_id, std::move(seq));
   return true;
 }
 
-bool KvAllocator::AppendToken(int64_t seq_id) {
+bool KvAllocator::AppendToken(int64_t seq_id, CowRemap* remap) {
   const auto it = sequences_.find(seq_id);
   SPINFER_CHECK_MSG(it != sequences_.end(), "unknown sequence: " << seq_id);
   Sequence& seq = it->second;
+  if (remap != nullptr) {
+    remap->happened = false;
+  }
   if (BlocksFor(seq.tokens + 1) > static_cast<int64_t>(seq.blocks.size())) {
     if (free_list_.empty()) {
       return false;
     }
-    seq.blocks.push_back(free_list_.back());
+    const int32_t b = free_list_.back();
     free_list_.pop_back();
+    ref_count_[b] = 1;
+    seq.blocks.push_back(b);
+    ++seq.tokens;
+    return true;
+  }
+  // The new slot lands inside the sequence's last mapped block. If that
+  // block is shared, writing would corrupt the other holders: remap the
+  // entry to a fresh private block (copy-on-write) first.
+  const int64_t block_index = seq.tokens / config_.block_tokens;
+  const int32_t old_block = seq.blocks[static_cast<size_t>(block_index)];
+  if (ref_count_[old_block] > 1) {
+    if (free_list_.empty()) {
+      return false;
+    }
+    const int32_t new_block = free_list_.back();
+    free_list_.pop_back();
+    ref_count_[new_block] = 1;
+    --ref_count_[old_block];
+    seq.blocks[static_cast<size_t>(block_index)] = new_block;
+    if (remap != nullptr) {
+      remap->happened = true;
+      remap->block_index = block_index;
+      remap->old_block = old_block;
+      remap->new_block = new_block;
+    }
   }
   ++seq.tokens;
   return true;
+}
+
+void KvAllocator::ReleaseBlock(int32_t block) {
+  SPINFER_CHECK(block >= 0 && block < total_blocks_ && ref_count_[block] > 0);
+  if (--ref_count_[block] == 0) {
+    free_list_.push_back(block);
+  }
 }
 
 void KvAllocator::RemoveSequence(int64_t seq_id) {
@@ -57,7 +114,7 @@ void KvAllocator::RemoveSequence(int64_t seq_id) {
     return;
   }
   for (int32_t b : it->second.blocks) {
-    free_list_.push_back(b);
+    ReleaseBlock(b);
   }
   sequences_.erase(it);
 }
@@ -71,7 +128,7 @@ void KvAllocator::TruncateSequence(int64_t seq_id, int64_t tokens) {
                                                 << seq.tokens << " to " << tokens);
   const int64_t keep = BlocksFor(tokens);
   while (static_cast<int64_t>(seq.blocks.size()) > keep) {
-    free_list_.push_back(seq.blocks.back());
+    ReleaseBlock(seq.blocks.back());
     seq.blocks.pop_back();
   }
   seq.tokens = tokens;
@@ -94,6 +151,11 @@ int64_t KvAllocator::SequenceBlocks(int64_t seq_id) const {
 const std::vector<int32_t>* KvAllocator::SequenceBlockList(int64_t seq_id) const {
   const auto it = sequences_.find(seq_id);
   return it == sequences_.end() ? nullptr : &it->second.blocks;
+}
+
+int32_t KvAllocator::BlockRefCount(int32_t block) const {
+  SPINFER_CHECK(block >= 0 && block < total_blocks_);
+  return ref_count_[block];
 }
 
 int64_t KvAllocator::WastedTokenSlots() const {
@@ -119,6 +181,29 @@ KvAllocatorConfig BookkeepingConfig(const PagedKvCacheConfig& cfg) {
   return acfg;
 }
 
+// FNV-1a offset basis doubles as the root of every hash chain (the "parent"
+// of a prompt's first block). Deterministic and platform-stable by
+// construction — std::hash would tie index behavior to the standard library.
+constexpr uint64_t kChainSeed = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t HashMix(uint64_t h, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Chained block hash: parent chain hash folded with the block's token ids.
+uint64_t ChainBlockHash(uint64_t parent, const int32_t* tokens, int64_t count) {
+  uint64_t h = HashMix(parent, 0x626c6f636bull);  // domain-separate from parent
+  for (int64_t i = 0; i < count; ++i) {
+    h = HashMix(h, static_cast<uint64_t>(static_cast<uint32_t>(tokens[i])));
+  }
+  return h;
+}
+
 }  // namespace
 
 PagedKvCache::PagedKvCache(const PagedKvCacheConfig& config)
@@ -137,12 +222,146 @@ bool PagedKvCache::AddSequence(int64_t seq_id, int64_t tokens) {
   return alloc_.AddSequence(seq_id, tokens);
 }
 
-bool PagedKvCache::AppendToken(int64_t seq_id) { return alloc_.AppendToken(seq_id); }
+PagedKvCache::PrefixMatch PagedKvCache::MatchPrefix(
+    const std::vector<int32_t>& prompt_tokens) const {
+  PrefixMatch match;
+  const int64_t bt = config_.block_tokens;
+  const int64_t len = static_cast<int64_t>(prompt_tokens.size());
+  // Cap at len-1 tokens: the last prompt position is always recomputed so
+  // its logits (which seed generation) come from a live forward pass.
+  const int64_t max_blocks = len > 0 ? (len - 1) / bt : 0;
+  uint64_t parent = kChainSeed;
+  for (int64_t b = 0; b < max_blocks; ++b) {
+    const uint64_t h = ChainBlockHash(parent, prompt_tokens.data() + b * bt, bt);
+    const auto it = index_.find(h);
+    if (it == index_.end()) {
+      break;
+    }
+    // Verify content, not just the 64-bit key: a collision (or a same-key
+    // entry from a different parent chain) must degrade to a miss.
+    const PrefixEntry& entry = it->second;
+    if (entry.parent != parent ||
+        !std::equal(entry.tokens.begin(), entry.tokens.end(),
+                    prompt_tokens.begin() + b * bt)) {
+      break;
+    }
+    match.blocks.push_back(entry.block);
+    match.tokens += bt;
+    parent = h;
+  }
+  return match;
+}
 
-void PagedKvCache::RemoveSequence(int64_t seq_id) { alloc_.RemoveSequence(seq_id); }
+bool PagedKvCache::AddSequenceSharing(int64_t seq_id, int64_t tokens,
+                                      const PrefixMatch& match) {
+  SPINFER_CHECK(match.tokens ==
+                static_cast<int64_t>(match.blocks.size()) * config_.block_tokens);
+  SPINFER_CHECK(match.tokens <= tokens);
+  return alloc_.AddSequenceSharing(seq_id, tokens, match.blocks);
+}
+
+void PagedKvCache::IndexPrefix(int64_t seq_id,
+                               const std::vector<int32_t>& prompt_tokens,
+                               int64_t filled) {
+  const std::vector<int32_t>* blocks = alloc_.SequenceBlockList(seq_id);
+  SPINFER_CHECK_MSG(blocks != nullptr, "unknown sequence: " << seq_id);
+  const int64_t bt = config_.block_tokens;
+  const int64_t len = static_cast<int64_t>(prompt_tokens.size());
+  SPINFER_CHECK(filled <= alloc_.SequenceTokens(seq_id) && filled <= len);
+  // Same len-1 cap as MatchPrefix: never index the block holding the final
+  // prompt position unless earlier tokens fill it anyway.
+  const int64_t indexable = std::min(filled, len > 0 ? len - 1 : 0) / bt;
+  uint64_t parent = kChainSeed;
+  for (int64_t b = 0; b < indexable; ++b) {
+    const uint64_t h = ChainBlockHash(parent, prompt_tokens.data() + b * bt, bt);
+    const int32_t block = (*blocks)[static_cast<size_t>(b)];
+    if (index_.find(h) == index_.end() && block_hash_.count(block) == 0) {
+      // Otherwise: first writer wins on the hash (sharing chains through the
+      // incumbent block), or this block is already filed under another
+      // chain. Either way keep walking — later blocks of this prompt may
+      // extend a prefix the incumbent stops at.
+      PrefixEntry entry;
+      entry.block = block;
+      entry.parent = parent;
+      entry.tokens.assign(prompt_tokens.begin() + b * bt,
+                          prompt_tokens.begin() + (b + 1) * bt);
+      index_.emplace(h, std::move(entry));
+      block_hash_.emplace(block, h);
+    }
+    parent = h;
+  }
+}
+
+void PagedKvCache::DeindexBlock(int32_t block) {
+  const auto it = block_hash_.find(block);
+  if (it == block_hash_.end()) {
+    return;
+  }
+  index_.erase(it->second);
+  block_hash_.erase(it);
+}
+
+void PagedKvCache::CopyBlockPrefix(int32_t old_block, int32_t new_block,
+                                   int64_t slots) {
+  if (slots <= 0) {
+    return;
+  }
+  const int64_t row_floats = config_.block_tokens * config_.kv_dim;
+  const size_t bytes = static_cast<size_t>(slots * config_.kv_dim) * sizeof(float);
+  for (int64_t layer = 0; layer < config_.layers; ++layer) {
+    const int64_t src = (layer * config_.num_blocks + old_block) * row_floats;
+    const int64_t dst = (layer * config_.num_blocks + new_block) * row_floats;
+    std::memcpy(k_pool_.data() + dst, k_pool_.data() + src, bytes);
+    std::memcpy(v_pool_.data() + dst, v_pool_.data() + src, bytes);
+  }
+}
+
+bool PagedKvCache::AppendToken(int64_t seq_id) {
+  const int64_t tokens_before = alloc_.SequenceTokens(seq_id);
+  CowRemap remap;
+  if (!alloc_.AppendToken(seq_id, &remap)) {
+    return false;
+  }
+  if (remap.happened) {
+    // The already-written slots of the shared block must follow the remap so
+    // the sequence keeps reading its own history bit-for-bit.
+    CopyBlockPrefix(remap.old_block, remap.new_block,
+                    tokens_before % config_.block_tokens);
+    ++cow_copies_;
+  }
+  // Whichever block now holds the new slot is about to receive a write its
+  // index entry (if any) does not describe — retire the entry. Shared
+  // holders were detached by the CoW above, so only this sequence sees the
+  // divergence.
+  const std::vector<int32_t>* blocks = alloc_.SequenceBlockList(seq_id);
+  DeindexBlock((*blocks)[static_cast<size_t>(tokens_before / config_.block_tokens)]);
+  return true;
+}
+
+void PagedKvCache::RemoveSequence(int64_t seq_id) {
+  const std::vector<int32_t>* blocks = alloc_.SequenceBlockList(seq_id);
+  if (blocks == nullptr) {
+    return;
+  }
+  const std::vector<int32_t> held = *blocks;
+  alloc_.RemoveSequence(seq_id);
+  for (int32_t b : held) {
+    if (alloc_.BlockRefCount(b) == 0) {
+      DeindexBlock(b);
+    }
+  }
+}
 
 void PagedKvCache::TruncateSequence(int64_t seq_id, int64_t tokens) {
+  const std::vector<int32_t>* blocks = alloc_.SequenceBlockList(seq_id);
+  SPINFER_CHECK_MSG(blocks != nullptr, "unknown sequence: " << seq_id);
+  const std::vector<int32_t> held = *blocks;
   alloc_.TruncateSequence(seq_id, tokens);
+  for (int32_t b : held) {
+    if (alloc_.BlockRefCount(b) == 0) {
+      DeindexBlock(b);
+    }
+  }
 }
 
 int64_t PagedKvCache::SlotIndex(int64_t layer, int64_t seq_id, int64_t token) const {

@@ -6,17 +6,21 @@
 // context up front. Two layers live here:
 //
 //   * KvAllocator — pure block bookkeeping: per-sequence block lists, O(1)
-//     alloc/free from a free list, token-granular append, and utilization
+//     alloc/free from a free list, token-granular append, per-block refcounts
+//     for prefix sharing (copy-on-write on divergent append), and utilization
 //     accounting the scheduler admits against. No data moves through it.
 //   * PagedKvCache — the executing substrate on top: the same block
-//     discipline plus real per-layer K/V storage, so TinyTransformer's
-//     KV-cache decode path reads and writes through the page tables the
-//     allocator maintains. One token's K (or V) at one layer is one
-//     contiguous `kv_dim`-float row inside its block.
+//     discipline plus real per-layer K/V storage and a content-hash index
+//     over full prompt-prefix blocks, so TinyTransformer's KV-cache decode
+//     path reads and writes through the page tables the allocator maintains
+//     and new arrivals can adopt identical prefix blocks instead of
+//     recomputing them. One token's K (or V) at one layer is one contiguous
+//     `kv_dim`-float row inside its block.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <vector>
 
 namespace spinfer {
@@ -30,6 +34,17 @@ struct KvAllocatorConfig {
   int64_t block_tokens = 16;
 };
 
+// Result of a copy-on-write triggered by AppendToken: the sequence's entry
+// `block_index` was remapped from shared `old_block` to freshly allocated
+// `new_block`. The storage layer must copy the already-written slots of
+// `old_block` into `new_block` before the new token's row is written.
+struct CowRemap {
+  bool happened = false;
+  int64_t block_index = 0;
+  int32_t old_block = 0;
+  int32_t new_block = 0;
+};
+
 class KvAllocator {
  public:
   explicit KvAllocator(const KvAllocatorConfig& config);
@@ -38,16 +53,29 @@ class KvAllocator {
   // false (allocating nothing) if the pool cannot hold it.
   bool AddSequence(int64_t seq_id, int64_t prompt_tokens);
 
+  // Like AddSequence, but the sequence adopts `shared_blocks` (each must be
+  // live) as its leading blocks — their refcounts are bumped instead of
+  // allocating — and only the remaining ceil(tokens/bt) - |shared| blocks
+  // come from the free list. Returns false (adopting nothing) if the free
+  // list cannot supply the fresh tail.
+  bool AddSequenceSharing(int64_t seq_id, int64_t prompt_tokens,
+                          const std::vector<int32_t>& shared_blocks);
+
   // Extends a sequence by one generated token; returns false if a new block
   // was needed and the pool is exhausted (the caller must evict/preempt).
-  bool AppendToken(int64_t seq_id);
+  // If the target slot lands in a block shared with another sequence
+  // (refcount > 1), the block is copied-on-write: a fresh block replaces it
+  // in this sequence's list and `remap` (if non-null) reports the swap so
+  // the storage layer can copy the already-written rows.
+  bool AppendToken(int64_t seq_id, CowRemap* remap = nullptr);
 
-  // Releases all of a sequence's blocks.
+  // Releases all of a sequence's blocks (refcount-aware: a block returns to
+  // the free list only when its last holder drops it).
   void RemoveSequence(int64_t seq_id);
 
   // Shrinks a sequence to `tokens` (<= its current count), returning any
-  // now-unused tail blocks to the free list. The serving benches rewind
-  // decode state with this; eviction uses RemoveSequence.
+  // now-unused tail blocks to the free list (refcount-aware). The serving
+  // benches rewind decode state with this; eviction uses RemoveSequence.
   void TruncateSequence(int64_t seq_id, int64_t tokens);
 
   // Whether `tokens` more tokens could be added for a hypothetical new
@@ -71,7 +99,12 @@ class KvAllocator {
   // t / block_tokens), or nullptr if the sequence is unknown. The pointer is
   // invalidated by the next mutating call for that sequence.
   const std::vector<int32_t>* SequenceBlockList(int64_t seq_id) const;
-  // Internal fragmentation: allocated-but-unused token slots.
+  // Holders of `block`: 0 = free, 1 = private, >1 = shared.
+  int32_t BlockRefCount(int32_t block) const;
+  // Internal fragmentation: allocated-but-unused token slots, summed per
+  // sequence. A block shared by k sequences contributes its slack k times —
+  // by design: the figure answers "how many token appends could the resident
+  // sequences absorb without new blocks", not "how many pool slots idle".
   int64_t WastedTokenSlots() const;
 
   // Blocks needed to hold `tokens` tokens (schedulers reserve against this).
@@ -87,9 +120,14 @@ class KvAllocator {
     return (tokens + config_.block_tokens - 1) / config_.block_tokens;
   }
 
+  // Drops one reference; pushes the block back on the free list at zero.
+  void ReleaseBlock(int32_t block);
+
   KvAllocatorConfig config_;
   int64_t total_blocks_ = 0;
   std::vector<int32_t> free_list_;
+  // Holder count per block id; 0 for free blocks.
+  std::vector<int32_t> ref_count_;
   std::map<int64_t, Sequence> sequences_;
 };
 
@@ -104,12 +142,21 @@ struct PagedKvCacheConfig {
 };
 
 // Block-paged K/V storage for the executing CPU serving path. Bookkeeping
-// (which blocks a sequence owns, free list, fragmentation counters) is
-// delegated to an internal KvAllocator; this class adds the actual float
-// pools and slot addressing. Values are stored as the FP32 activations the
-// transformer computed — storage is exact, so a decode that reads a cached
-// K/V row sees bit-for-bit the column that was written at prefill/append
-// time (the substrate of the batched-vs-single bit-identity tests).
+// (which blocks a sequence owns, free list, refcounts, fragmentation
+// counters) is delegated to an internal KvAllocator; this class adds the
+// actual float pools, slot addressing, and the prefix index. Values are
+// stored as the FP32 activations the transformer computed — storage is
+// exact, so a decode that reads a cached K/V row sees bit-for-bit the column
+// that was written at prefill/append time (the substrate of the
+// batched-vs-single bit-identity tests).
+//
+// Prefix index: full prompt-prefix blocks are keyed by a chained content
+// hash h_i = H(h_{i-1}, tokens of block i) and looked up by MatchPrefix.
+// Every hit is verified against the stored parent hash and token ids, so a
+// hash collision degrades to a miss, never to wrong KV. Because a shared
+// block's K/V equals bit-for-bit what the adopting sequence would have
+// written itself (same tokens, same positions, same weights, per-column
+// deterministic kernels), adoption preserves per-sequence bit-identity.
 class PagedKvCache {
  public:
   explicit PagedKvCache(const PagedKvCacheConfig& config);
@@ -118,11 +165,40 @@ class PagedKvCache {
   // fills the K/V rows of slots [0, tokens). Returns false if the pool
   // cannot hold it (nothing allocated).
   bool AddSequence(int64_t seq_id, int64_t tokens);
-  // Allocates one more slot; returns false on pool exhaustion.
+  // Allocates one more slot; returns false on pool exhaustion. If the slot's
+  // block was shared, its already-written rows are copied into a fresh
+  // private block first (copy-on-write, counted in cow_copies()). Appending
+  // into an indexed block removes that index entry: the block's content is
+  // about to diverge from the hash it was filed under.
   bool AppendToken(int64_t seq_id);
   void RemoveSequence(int64_t seq_id);
-  // Rewinds `seq_id` to `tokens` slots, freeing tail blocks.
+  // Rewinds `seq_id` to `tokens` slots, freeing tail blocks (refcount-aware).
   void TruncateSequence(int64_t seq_id, int64_t tokens);
+
+  // --- Shared-prefix interface ---------------------------------------------
+
+  // Longest indexed prefix of `prompt_tokens`, in whole blocks, capped at
+  // len-1 tokens so the final prompt position is always recomputed (its
+  // logits seed generation). `blocks` are the physical block ids to adopt in
+  // order; `tokens` == blocks.size() * block_tokens.
+  struct PrefixMatch {
+    int64_t tokens = 0;
+    std::vector<int32_t> blocks;
+  };
+  PrefixMatch MatchPrefix(const std::vector<int32_t>& prompt_tokens) const;
+
+  // AddSequence variant adopting `match.blocks` (from MatchPrefix against
+  // this cache) as the sequence's leading blocks; only the tail past
+  // `match.tokens` is freshly allocated. The caller fills slots
+  // [match.tokens, tokens) — slots before that already hold the prefix KV.
+  bool AddSequenceSharing(int64_t seq_id, int64_t tokens, const PrefixMatch& match);
+
+  // Files the full blocks covering prompt positions [0, min(filled, len-1))
+  // of `seq_id` under their chained content hashes, making them adoptable by
+  // future MatchPrefix calls. Only fully-written blocks are indexed (call
+  // after the covering slots hold real KV); first writer wins on hash ties.
+  void IndexPrefix(int64_t seq_id, const std::vector<int32_t>& prompt_tokens,
+                   int64_t filled);
 
   bool CanFit(int64_t tokens) const { return alloc_.CanFit(tokens); }
   int64_t SequenceTokens(int64_t seq_id) const { return alloc_.SequenceTokens(seq_id); }
@@ -130,6 +206,7 @@ class PagedKvCache {
   const std::vector<int32_t>* SequenceBlockList(int64_t seq_id) const {
     return alloc_.SequenceBlockList(seq_id);
   }
+  int32_t BlockRefCount(int32_t block) const { return alloc_.BlockRefCount(block); }
 
   // K/V row of one token slot: `kv_dim` contiguous floats. `token` must be
   // < SequenceTokens(seq_id). Resolves the sequence's block list per call;
@@ -153,19 +230,43 @@ class PagedKvCache {
   int64_t WastedTokenSlots() const { return alloc_.WastedTokenSlots(); }
   int64_t BlocksForTokens(int64_t tokens) const { return alloc_.BlocksForTokens(tokens); }
 
+  // Copy-on-write block copies performed since construction.
+  int64_t cow_copies() const { return cow_copies_; }
+  // Live prefix-index entries (one per indexed block).
+  int64_t indexed_blocks() const { return static_cast<int64_t>(index_.size()); }
+
   const PagedKvCacheConfig& config() const { return config_; }
   uint64_t StorageBytes() const {
     return 2ull * k_pool_.size() * sizeof(float);
   }
 
  private:
+  // One indexed full block: where it lives and exactly what it claims to
+  // hold, so lookups can verify instead of trusting 64-bit hashes.
+  struct PrefixEntry {
+    int32_t block = 0;
+    uint64_t parent = 0;          // chained hash of everything before it
+    std::vector<int32_t> tokens;  // the block_tokens token ids it covers
+  };
+
   int64_t SlotIndex(int64_t layer, int64_t seq_id, int64_t token) const;
+  // Copies the first `slots` rows of `old_block` into `new_block` across all
+  // layers (K and V pools).
+  void CopyBlockPrefix(int32_t old_block, int32_t new_block, int64_t slots);
+  // Removes the index entry for `block`, if any.
+  void DeindexBlock(int32_t block);
 
   PagedKvCacheConfig config_;
   KvAllocator alloc_;
   // [layer][block][slot][kv_dim] pools, allocated once at construction.
   std::vector<float> k_pool_;
   std::vector<float> v_pool_;
+  // Chained content hash -> indexed block. Keys collide only across distinct
+  // chains; entries verify (block tokens) on lookup so a collision is a miss.
+  std::unordered_map<uint64_t, PrefixEntry> index_;
+  // Reverse map for O(1) deindex on write/free: block id -> its hash key.
+  std::unordered_map<int32_t, uint64_t> block_hash_;
+  int64_t cow_copies_ = 0;
 };
 
 }  // namespace spinfer

@@ -18,14 +18,20 @@ namespace {
 struct ServingMetrics {
   obs::Counter* arrived;
   obs::Counter* rejected;
+  obs::Counter* cancelled;
   obs::Counter* completed;
   obs::Counter* tokens;
   obs::Counter* iterations;
+  obs::Counter* prefix_hit_blocks;
+  obs::Counter* prefix_miss_blocks;
+  obs::Counter* cow_copies;
   obs::Gauge* queue_depth;
   obs::Gauge* batch_size;
   obs::Gauge* kv_used_blocks;
   obs::Gauge* kv_utilization;
+  obs::Gauge* kv_wasted_slots;
   obs::Histogram* latency_ms;
+  obs::Histogram* ttft_ms;
 
   static ServingMetrics& Get() {
     static ServingMetrics m = [] {
@@ -33,16 +39,23 @@ struct ServingMetrics {
       ServingMetrics s;
       s.arrived = reg.GetCounter("srv.requests_arrived");
       s.rejected = reg.GetCounter("srv.requests_rejected");
+      s.cancelled = reg.GetCounter("srv.requests_cancelled");
       s.completed = reg.GetCounter("srv.requests_completed");
       s.tokens = reg.GetCounter("srv.tokens_generated");
       s.iterations = reg.GetCounter("srv.iterations");
+      s.prefix_hit_blocks = reg.GetCounter("srv.prefix_hit_blocks");
+      s.prefix_miss_blocks = reg.GetCounter("srv.prefix_miss_blocks");
+      s.cow_copies = reg.GetCounter("srv.cow_copies");
       s.queue_depth = reg.GetGauge("srv.queue_depth");
       s.batch_size = reg.GetGauge("srv.batch_size");
       s.kv_used_blocks = reg.GetGauge("srv.kv_used_blocks");
       s.kv_utilization = reg.GetGauge("srv.kv_utilization");
+      s.kv_wasted_slots = reg.GetGauge("srv.kv_wasted_slots");
       s.latency_ms = reg.GetHistogram(
           "srv.request_latency_ms",
           obs::Histogram::ExponentialBuckets(0.1, 2.0, 24));
+      s.ttft_ms = reg.GetHistogram(
+          "srv.ttft_ms", obs::Histogram::ExponentialBuckets(0.1, 2.0, 24));
       return s;
     }();
     return m;
@@ -73,23 +86,33 @@ const char* FinishReasonName(FinishReason r) {
       return "max_tokens";
     case FinishReason::kRejected:
       return "rejected";
+    case FinishReason::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
 
 std::string ExecServingReport::ToString() const {
-  char buf[512];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "arrived=%lld rejected=%lld completed=%lld tokens=%lld iters=%lld "
-      "peak_batch=%lld peak_kv_blocks=%lld sim_s=%.6f tps=%.6f "
-      "mean_batch=%.6f lat_ms{mean=%.6f p50=%.6f p95=%.6f p99=%.6f}",
+      "arrived=%lld rejected=%lld cancelled=%lld completed=%lld tokens=%lld "
+      "iters=%lld peak_batch=%lld peak_kv_blocks=%lld prefix_hit_blocks=%lld "
+      "prefix_miss_blocks=%lld cow_copies=%lld peak_iter_ms=%.6f sim_s=%.6f "
+      "tps=%.6f "
+      "mean_batch=%.6f ttft_ms{mean=%.6f p50=%.6f p95=%.6f p99=%.6f} "
+      "lat_ms{mean=%.6f p50=%.6f p95=%.6f p99=%.6f}",
       static_cast<long long>(arrived), static_cast<long long>(rejected),
-      static_cast<long long>(completed), static_cast<long long>(tokens_generated),
+      static_cast<long long>(cancelled), static_cast<long long>(completed),
+      static_cast<long long>(tokens_generated),
       static_cast<long long>(iterations), static_cast<long long>(peak_batch),
-      static_cast<long long>(peak_kv_blocks), sim_time_s, throughput_tps,
-      mean_batch, latency.mean_ms, latency.p50_ms, latency.p95_ms,
-      latency.p99_ms);
+      static_cast<long long>(peak_kv_blocks),
+      static_cast<long long>(prefix_hit_blocks),
+      static_cast<long long>(prefix_miss_blocks),
+      static_cast<long long>(cow_copies), peak_iter_ms, sim_time_s,
+      throughput_tps,
+      mean_batch, ttft.mean_ms, ttft.p50_ms, ttft.p95_ms, ttft.p99_ms,
+      latency.mean_ms, latency.p50_ms, latency.p95_ms, latency.p99_ms);
   return std::string(buf);
 }
 
@@ -100,6 +123,7 @@ ServingEngine::ServingEngine(const TinyTransformer* model,
       cache_(model->KvCacheConfig(cfg.kv_block_tokens, cfg.kv_num_blocks)) {
   SPINFER_CHECK(model != nullptr);
   SPINFER_CHECK(cfg.max_batch > 0);
+  SPINFER_CHECK(cfg.prefill_chunk_tokens >= 0);
 }
 
 int64_t ServingEngine::Submit(std::vector<int32_t> prompt, int64_t max_new_tokens,
@@ -114,6 +138,11 @@ int64_t ServingEngine::Submit(std::vector<int32_t> prompt, int64_t max_new_token
   records_.push_back(std::move(r));
   ServingMetrics::Get().arrived->Increment();
   return records_.back().id;
+}
+
+void ServingEngine::Cancel(int64_t id, double at_s) {
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  cancels_.emplace_back(at_s, id);
 }
 
 void ServingEngine::InjectPoissonArrivals(const PoissonTraffic& t) {
@@ -178,19 +207,88 @@ ExecServingReport ServingEngine::Run() {
   });
   std::deque<int64_t> queue(order.begin(), order.end());
 
+  const auto footprint_of = [this](const RequestRecord& r) {
+    return cache_.BlocksForTokens(static_cast<int64_t>(r.prompt.size()) +
+                                  r.max_new_tokens);
+  };
+
   std::vector<Active> running;
   std::vector<int64_t> dec_ids;
   std::vector<int32_t> dec_last;
   std::vector<int32_t> dec_next;
+  std::vector<int32_t> chunk_next;
+  std::vector<PrefillChunk> chunks;
+  std::vector<std::pair<double, int64_t>> due_cancels;
   std::vector<double> latencies_ms;
+  std::vector<double> ttfts_ms;
   double now_s = 0.0;
   double batch_time_integral = 0.0;
+  int64_t published_cow = 0;
+
+  const auto record_terminal_span = [&](const RequestRecord& r) {
+    // Per-request span on the virtual timeline (finish on eviction).
+    const obs::TraceArg args[] = {{"id", r.id},
+                                  {"generated",
+                                   static_cast<int64_t>(r.generated.size())}};
+    obs::Tracer::Global().Record(
+        "srv.request", static_cast<uint64_t>(r.arrival_s * 1e9),
+        static_cast<uint64_t>((now_s - r.arrival_s) * 1e9), args, 2);
+  };
 
   while (!queue.empty() || !running.empty()) {
+    // --- Cancellation: applied at iteration boundaries, in (at_s, id) order
+    // for determinism, once the virtual clock reaches the cancel time. -----
+    due_cancels.clear();
+    {
+      std::lock_guard<std::mutex> lock(submit_mu_);
+      for (size_t i = 0; i < cancels_.size();) {
+        if (cancels_[i].first <= now_s) {
+          due_cancels.push_back(cancels_[i]);
+          cancels_[i] = cancels_.back();
+          cancels_.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    }
+    std::sort(due_cancels.begin(), due_cancels.end());
+    for (const auto& [at_s, id] : due_cancels) {
+      if (id < 0 || id >= static_cast<int64_t>(records_.size())) {
+        continue;
+      }
+      RequestRecord& r = records_[static_cast<size_t>(id)];
+      if (r.reason != FinishReason::kNone) {
+        continue;  // already finished — cancellation lost the race
+      }
+      r.reason = FinishReason::kCancelled;
+      r.finish_s = now_s;
+      ++report.cancelled;
+      metrics.cancelled->Increment();
+      const auto run_it =
+          std::find_if(running.begin(), running.end(),
+                       [id](const Active& a) { return a.id == id; });
+      if (run_it != running.end()) {
+        cache_.RemoveSequence(id);  // refcount-aware: shared blocks survive
+        running.erase(run_it);
+      } else {
+        queue.erase(std::find(queue.begin(), queue.end(), id));
+      }
+      record_terminal_span(r);
+    }
+
     // --- Admission: strict FIFO; the head blocks until it fits. ------------
-    int64_t admitted = 0;
-    int64_t admitted_prompt_sum = 0;
-    const size_t running_before = running.size();
+    // Growth reserve: fresh blocks the running set may still demand growing
+    // to prompt + max_new. used_blocks + reserve <= total guarantees every
+    // future AppendToken finds a free block (the engine's appends never
+    // trigger copy-on-write: only full blocks are shared, so a sequence's
+    // divergent writes land in private tail blocks). With nothing shared
+    // this admission check is integer-for-integer the v1 sum-of-footprints
+    // commitment; with sharing it counts shared blocks once.
+    int64_t reserve = 0;
+    for (const Active& a : running) {
+      reserve += footprint_of(records_[static_cast<size_t>(a.id)]) -
+                 cache_.BlocksForTokens(cache_.SequenceTokens(a.id));
+    }
     while (!queue.empty()) {
       RequestRecord& r = records_[static_cast<size_t>(queue.front())];
       if (r.arrival_s > now_s) {
@@ -208,38 +306,44 @@ ExecServingReport ServingEngine::Run() {
         break;
       }
       const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
-      // Admit only if the pool can commit the request's full worst-case
-      // footprint. A sequence never allocates beyond its footprint, so the
-      // commitment cap means AppendToken can never fail mid-decode and no
-      // preemption machinery is needed.
-      const int64_t footprint =
-          cache_.BlocksForTokens(prompt_len + r.max_new_tokens);
-      if (committed_blocks_ + footprint > cache_.total_blocks()) {
+      PagedKvCache::PrefixMatch match;
+      if (cfg_.enable_prefix_cache) {
+        match = cache_.MatchPrefix(r.prompt);
+      }
+      const int64_t prompt_blocks = cache_.BlocksForTokens(prompt_len);
+      const int64_t fresh_blocks =
+          prompt_blocks - static_cast<int64_t>(match.blocks.size());
+      const int64_t growth = footprint_of(r) - prompt_blocks;
+      if (cache_.used_blocks() + fresh_blocks + reserve + growth >
+          cache_.total_blocks()) {
         break;
       }
       queue.pop_front();
-      committed_blocks_ += footprint;
-      SPINFER_CHECK(cache_.AddSequence(r.id, prompt_len));
+      SPINFER_CHECK(cache_.AddSequenceSharing(r.id, prompt_len, match));
+      reserve += growth;
       r.admit_s = now_s;
-      admission_order_.push_back(r.id);
-      {
-        SPINFER_TRACE_SCOPE_ARG("srv.prefill", "prompt", prompt_len);
-        const FloatMatrix logits = model_->Prefill(r.prompt, cfg_.backend,
-                                                   &cache_, r.id);
-        r.generated.push_back(GreedyToken(logits, logits.rows() - 1));
+      r.cached_prompt_tokens = match.tokens;
+      report.prefix_hit_blocks += static_cast<int64_t>(match.blocks.size());
+      report.prefix_miss_blocks += fresh_blocks;
+      if (cfg_.enable_prefix_cache) {
+        metrics.prefix_hit_blocks->Add(
+            static_cast<uint64_t>(match.blocks.size()));
+        metrics.prefix_miss_blocks->Add(static_cast<uint64_t>(fresh_blocks));
       }
-      running.push_back(Active{r.id});
-      ++admitted;
-      admitted_prompt_sum += prompt_len;
+      admission_order_.push_back(r.id);
+      // Prefill starts past the adopted prefix; the chunk scheduler below
+      // computes the rest (this same iteration when chunking is off).
+      running.push_back(Active{r.id, match.tokens});
     }
 
     if (running.empty()) {
       if (queue.empty()) {
         break;
       }
-      // Idle: jump the virtual clock to the next arrival. With an empty
-      // batch the head always admits or rejects, so its arrival must be in
-      // the future — anything else would spin this loop forever.
+      // Idle: jump the virtual clock to the next event. With an empty batch
+      // the head always admits or rejects, so its arrival must be in the
+      // future — anything else would spin this loop forever. A pending
+      // cancel for a not-yet-arrived request applies at that same boundary.
       const double next_arrival =
           records_[static_cast<size_t>(queue.front())].arrival_s;
       SPINFER_CHECK_MSG(next_arrival > now_s,
@@ -249,6 +353,32 @@ ExecServingReport ServingEngine::Run() {
       continue;
     }
 
+    // --- Build the mixed iteration: every prefill-complete sequence decodes
+    // one token; prefilling sequences get prompt chunks under the
+    // per-iteration token budget (0 = unlimited), in running order. --------
+    dec_ids.clear();
+    dec_last.clear();
+    chunks.clear();
+    int64_t chunk_tokens_sum = 0;
+    for (const Active& a : running) {
+      const RequestRecord& r = records_[static_cast<size_t>(a.id)];
+      const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
+      if (a.prefill_pos < prompt_len) {
+        int64_t take = prompt_len - a.prefill_pos;
+        if (cfg_.prefill_chunk_tokens > 0) {
+          take = std::min(take, cfg_.prefill_chunk_tokens - chunk_tokens_sum);
+        }
+        if (take <= 0) {
+          continue;  // budget spent; this sequence resumes next iteration
+        }
+        chunks.push_back(PrefillChunk{a.id, &r.prompt, a.prefill_pos, take});
+        chunk_tokens_sum += take;
+      } else {
+        dec_ids.push_back(a.id);
+        dec_last.push_back(r.generated.back());
+      }
+    }
+
     const int64_t batch = static_cast<int64_t>(running.size());
     ++report.iterations;
     metrics.iterations->Increment();
@@ -256,48 +386,75 @@ ExecServingReport ServingEngine::Run() {
     report.peak_kv_blocks = std::max(report.peak_kv_blocks, cache_.used_blocks());
     SPINFER_TRACE_SCOPE_ARG("srv.step", "batch", batch);
 
-    // --- Execute one decode token for every previously-running sequence.
-    // Newly admitted sequences got their first token from prefill above —
-    // the same "+1 token for every active sequence per iteration" accounting
-    // the analytic simulator uses.
-    if (running_before > 0) {
-      dec_ids.clear();
-      dec_last.clear();
-      for (size_t i = 0; i < running_before; ++i) {
-        const RequestRecord& r = records_[static_cast<size_t>(running[i].id)];
-        dec_ids.push_back(r.id);
-        dec_last.push_back(r.generated.back());
+    // --- Execute: ONE matmul per weight with N = decode + chunk columns. ---
+    model_->MixedStep(dec_ids, dec_last, chunks, cfg_.backend, &cache_,
+                      &dec_next, &chunk_next);
+    for (size_t i = 0; i < dec_ids.size(); ++i) {
+      records_[static_cast<size_t>(dec_ids[i])].generated.push_back(dec_next[i]);
+    }
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const int64_t id = chunks[c].seq_id;
+      Active& a = *std::find_if(running.begin(), running.end(),
+                                [id](const Active& x) { return x.id == id; });
+      a.prefill_pos += chunks[c].count;
+      RequestRecord& r = records_[static_cast<size_t>(id)];
+      if (a.prefill_pos == static_cast<int64_t>(r.prompt.size())) {
+        SPINFER_CHECK(chunk_next[c] >= 0);
+        r.generated.push_back(chunk_next[c]);
       }
-      model_->DecodeStep(dec_ids, dec_last, cfg_.backend, &cache_, &dec_next);
-      for (size_t i = 0; i < running_before; ++i) {
-        records_[static_cast<size_t>(running[i].id)].generated.push_back(
-            dec_next[i]);
+      if (cfg_.enable_prefix_cache) {
+        // Newly filled full blocks become adoptable by later arrivals.
+        cache_.IndexPrefix(id, r.prompt, a.prefill_pos);
       }
     }
 
     // --- Advance the virtual clock: expression-for-expression the analytic
-    // simulator's pricing. Every active sequence now holds g_pre + 1
-    // generated tokens, so its context contribution is
+    // simulator's pricing. Chunk columns are priced as prefill work; every
+    // producer (decoded or prefill-completed this iteration) now holds
+    // g_pre + 1 generated tokens, so its context contribution is
     // prompt + (generated - 1) + 1, the analytic `input_len + g_pre + 1`.
     double iter_us = 0.0;
-    if (admitted > 0) {
-      iter_us += PrefillTimeUs(cfg_.cost, admitted, admitted_prompt_sum / admitted);
+    if (!chunks.empty()) {
+      const int64_t n_chunks = static_cast<int64_t>(chunks.size());
+      iter_us += PrefillTimeUs(cfg_.cost, n_chunks, chunk_tokens_sum / n_chunks);
     }
+    int64_t producers = 0;
     int64_t context_sum = 0;
     for (const Active& a : running) {
       const RequestRecord& r = records_[static_cast<size_t>(a.id)];
+      if (a.prefill_pos < static_cast<int64_t>(r.prompt.size())) {
+        continue;  // mid-prefill: produced no token this iteration
+      }
+      ++producers;
       context_sum += static_cast<int64_t>(r.prompt.size()) +
                      (static_cast<int64_t>(r.generated.size()) - 1) + 1;
     }
-    iter_us += DecodeStepTimeUs(cfg_.cost, batch, context_sum / batch);
+    if (producers > 0) {
+      iter_us += DecodeStepTimeUs(cfg_.cost, producers, context_sum / producers);
+    }
+    report.peak_iter_ms = std::max(report.peak_iter_ms, iter_us / 1e3);
     now_s += iter_us / 1e6;
     batch_time_integral += static_cast<double>(batch) * iter_us / 1e6;
-    report.tokens_generated += batch;
-    metrics.tokens->Add(static_cast<uint64_t>(batch));
+    report.tokens_generated += producers;
+    metrics.tokens->Add(static_cast<uint64_t>(producers));
 
-    // --- Retire: EOS or token budget. --------------------------------------
+    // First-token timestamps for sequences whose prefill completed at this
+    // iteration's boundary (decode-phase sequences got theirs earlier).
+    for (const PrefillChunk& c : chunks) {
+      RequestRecord& r = records_[static_cast<size_t>(c.seq_id)];
+      if (c.start + c.count == static_cast<int64_t>(r.prompt.size())) {
+        r.first_token_s = now_s;
+        r.ttft_ms = (now_s - r.arrival_s) * 1e3;
+      }
+    }
+
+    // --- Retire: EOS or token budget (mid-prefill sequences stay). ---------
     for (auto it = running.begin(); it != running.end();) {
       RequestRecord& r = records_[static_cast<size_t>(it->id)];
+      if (it->prefill_pos < static_cast<int64_t>(r.prompt.size())) {
+        ++it;
+        continue;
+      }
       const bool eos =
           cfg_.eos_token >= 0 && r.generated.back() == cfg_.eos_token;
       if (!eos &&
@@ -309,19 +466,13 @@ ExecServingReport ServingEngine::Run() {
       r.finish_s = now_s;
       r.latency_ms = (now_s - r.arrival_s) * 1e3;
       latencies_ms.push_back(r.latency_ms);
+      ttfts_ms.push_back(r.ttft_ms);
       metrics.latency_ms->Record(r.latency_ms);
+      metrics.ttft_ms->Record(r.ttft_ms);
       metrics.completed->Increment();
       ++report.completed;
-      committed_blocks_ -= cache_.BlocksForTokens(
-          static_cast<int64_t>(r.prompt.size()) + r.max_new_tokens);
       cache_.RemoveSequence(r.id);
-      // Per-request span on the virtual timeline (finish on eviction).
-      const obs::TraceArg args[] = {{"id", r.id},
-                                    {"generated",
-                                     static_cast<int64_t>(r.generated.size())}};
-      obs::Tracer::Global().Record(
-          "srv.request", static_cast<uint64_t>(r.arrival_s * 1e9),
-          static_cast<uint64_t>((now_s - r.arrival_s) * 1e9), args, 2);
+      record_terminal_span(r);
       it = running.erase(it);
     }
 
@@ -329,12 +480,20 @@ ExecServingReport ServingEngine::Run() {
     metrics.batch_size->Set(static_cast<double>(running.size()));
     metrics.kv_used_blocks->Set(static_cast<double>(cache_.used_blocks()));
     metrics.kv_utilization->Set(cache_.Utilization());
+    metrics.kv_wasted_slots->Set(static_cast<double>(cache_.WastedTokenSlots()));
+    if (cache_.cow_copies() > published_cow) {
+      metrics.cow_copies->Add(
+          static_cast<uint64_t>(cache_.cow_copies() - published_cow));
+      published_cow = cache_.cow_copies();
+    }
   }
 
+  report.cow_copies = cache_.cow_copies();
   report.sim_time_s = now_s;
   report.throughput_tps =
       static_cast<double>(report.tokens_generated) / std::max(now_s, 1e-9);
   report.mean_batch = batch_time_integral / std::max(now_s, 1e-9);
+  report.ttft = SummarizeLatenciesMs(std::move(ttfts_ms));
   report.latency = SummarizeLatenciesMs(std::move(latencies_ms));
   return report;
 }

@@ -3,8 +3,9 @@
 // Where SimulateServing (src/llm/serving.h) only *prices* a serving
 // trajectory, this engine *runs* one: real requests with real token ids flow
 // through a thread-safe queue, an Orca-style iteration-level scheduler, a
-// block-paged KV cache (PagedKvCache), and TinyTransformer's batched decode
-// step — one SpMM with N = batch columns per weight matrix per iteration.
+// block-paged KV cache (PagedKvCache), and TinyTransformer's mixed
+// prefill+decode step — one SpMM with N = decode_batch + prefill_chunk
+// columns per weight matrix per iteration.
 //
 // Time model: execution is real, the clock is virtual. Each iteration's
 // duration is priced by the same cost model the analytic simulator uses
@@ -12,22 +13,31 @@
 // expression. Consequences, both load-bearing for the tests:
 //   * Reports are deterministic for a fixed seed — independent of thread
 //     count, machine speed, and tracing — because no wall clock feeds them.
-//   * With EOS disabled, uniform request shapes, and an ample KV pool, the
+//   * With EOS disabled, uniform request shapes, defaults for the v2 knobs
+//     (no chunking, no prefix cache, no cancels), and an ample KV pool, the
 //     engine's trajectory coincides with SimulateServing's, so the analytic
 //     report cross-checks the executing one to floating-point exactness.
 //
-// Scheduling policy (DESIGN.md §5): strict-FIFO admission at iteration
+// Scheduling policy (DESIGN.md §5, §7): strict-FIFO admission at iteration
 // granularity. A request is admitted only when a batch slot is free AND the
-// KV pool can commit BlocksForTokens(prompt + max_new) blocks for it — the
-// full worst-case footprint is reserved up front, so AppendToken can never
-// fail mid-decode and no preemption machinery is needed. The queue head
-// blocks admission while it waits (no skip-ahead), which is what makes
-// FIFO-completion and no-starvation testable properties.
+// KV pool can cover its prompt blocks now plus every running sequence's
+// worst-case growth to prompt + max_new — the growth-reserve form of the
+// full-footprint commitment, which collapses to the classic
+// sum-of-footprints check when nothing is shared but counts shared prefix
+// blocks once when it is. AppendToken can therefore never fail mid-decode
+// and no preemption machinery is needed. The queue head blocks admission
+// while it waits (no skip-ahead), which is what makes FIFO-completion and
+// no-starvation testable properties.
+//
+// v2 additions (all default-off; defaults reproduce the v1 engine bit for
+// bit): hash-based shared-prefix KV reuse (enable_prefix_cache), chunked
+// prefill (prefill_chunk_tokens), and client cancellation (Cancel).
 #pragma once
 
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/llm/engine.h"
@@ -46,6 +56,7 @@ enum class FinishReason {
   kEos,        // generated the configured EOS token
   kMaxTokens,  // hit its max_new_tokens budget
   kRejected,   // can never run (empty/oversized prompt, or footprint > pool)
+  kCancelled,  // client cancellation (ServingEngine::Cancel)
 };
 
 const char* FinishReasonName(FinishReason r);
@@ -57,6 +68,16 @@ struct ServingEngineConfig {
   // Token id that terminates a sequence early; -1 disables EOS eviction.
   int32_t eos_token = -1;
   MatmulBackend backend = MatmulBackend::kTcaBmeCpu;
+  // Chunked prefill: cap on prompt tokens computed per iteration across all
+  // prefilling sequences; a longer prompt spreads over several iterations,
+  // riding the decode batch's SpMM, so one long arrival stalls decode by at
+  // most one chunk. 0 = a whole prompt prefills in its admission iteration
+  // (the v1 schedule).
+  int64_t prefill_chunk_tokens = 0;
+  // Shared-prefix KV reuse: admission matches the prompt against the cache's
+  // prefix index and adopts identical full blocks (refcounted) instead of
+  // recomputing them; only the unmatched tail is prefetched. Off by default.
+  bool enable_prefix_cache = false;
   // Prices the virtual clock (PrefillTimeUs / DecodeStepTimeUs).
   EngineConfig cost;
 };
@@ -84,22 +105,39 @@ struct RequestRecord {
   std::vector<int32_t> generated;  // includes the EOS token when one fired
   double arrival_s = 0.0;  // virtual
   double admit_s = 0.0;    // virtual; 0 if never admitted
+  double first_token_s = 0.0;  // virtual; 0 if no token was produced
   double finish_s = 0.0;   // virtual
   double latency_ms = 0.0;  // finish - arrival; 0 for rejected
+  double ttft_ms = 0.0;     // first_token - arrival; 0 if no token produced
+  // Prompt tokens served from the shared-prefix cache at admission (0
+  // without a hit or with the cache disabled).
+  int64_t cached_prompt_tokens = 0;
   FinishReason reason = FinishReason::kNone;
 };
 
 struct ExecServingReport {
   int64_t arrived = 0;
   int64_t rejected = 0;
+  int64_t cancelled = 0;
   int64_t completed = 0;
   int64_t tokens_generated = 0;
   int64_t iterations = 0;
   int64_t peak_batch = 0;
   int64_t peak_kv_blocks = 0;
+  // Prefix-cache effectiveness: prompt blocks adopted from the index vs
+  // freshly allocated at admission, and copy-on-write block copies.
+  int64_t prefix_hit_blocks = 0;
+  int64_t prefix_miss_blocks = 0;
+  int64_t cow_copies = 0;
+  // Longest priced iteration (virtual). An iteration is every in-flight
+  // decode sequence's inter-token gap, so this IS the worst decode stall:
+  // unchunked, one long prefill pushes it to the whole prompt's cost;
+  // chunked, it is bounded by one chunk's prefill riding a decode step.
+  double peak_iter_ms = 0.0;
   double sim_time_s = 0.0;
   double throughput_tps = 0.0;  // generated tokens per virtual second
   double mean_batch = 0.0;      // time-weighted in-flight sequences
+  LatencySummary ttft;          // time-to-first-token over completed requests
   LatencySummary latency;
 
   // Deterministic rendering; the byte-stability tests compare these strings
@@ -122,9 +160,17 @@ class ServingEngine {
   // for a fixed traffic spec (see PoissonTraffic).
   void InjectPoissonArrivals(const PoissonTraffic& traffic);
 
-  // Runs the scheduler until every submitted request is finished (completed
-  // or rejected) and returns the report. Single-shot: one Run per engine.
-  // Must not race Submit.
+  // Requests cancellation of `id` at virtual time `at_s`. Takes effect at
+  // the first iteration boundary whose virtual time is >= at_s: a queued
+  // request is dropped, a running one is evicted and its (refcounted) KV
+  // blocks released; either way the record's terminal state is kCancelled.
+  // No-op for a request that already finished by then. Thread-safe; may be
+  // called before or during Run.
+  void Cancel(int64_t id, double at_s = 0.0);
+
+  // Runs the scheduler until every submitted request is finished (completed,
+  // rejected, or cancelled) and returns the report. Single-shot: one Run per
+  // engine. Must not race Submit.
   ExecServingReport Run();
 
   // Post-Run inspection. `results()` is indexed by request id.
@@ -137,6 +183,9 @@ class ServingEngine {
  private:
   struct Active {
     int64_t id = 0;
+    // Next prompt position to compute; == prompt length once prefill is
+    // done and the sequence decodes.
+    int64_t prefill_pos = 0;
   };
 
   // A request the pool could never hold, or that overflows the model's
@@ -149,12 +198,10 @@ class ServingEngine {
 
   std::mutex submit_mu_;
   std::vector<RequestRecord> records_;
+  // Pending Cancel calls as (at_s, id), drained by Run at iteration
+  // boundaries; guarded by submit_mu_.
+  std::vector<std::pair<double, int64_t>> cancels_;
   std::vector<int64_t> admission_order_;
-  // Sum of running sequences' worst-case footprints (blocks at
-  // prompt + max_new). Each sequence's allocation never exceeds its
-  // footprint, so keeping committed_blocks_ <= total_blocks guarantees
-  // AppendToken always finds a free block.
-  int64_t committed_blocks_ = 0;
   bool ran_ = false;
 };
 

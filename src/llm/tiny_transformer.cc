@@ -312,58 +312,122 @@ void TinyTransformer::DecodeStep(const std::vector<int64_t>& seq_ids,
                                  MatmulBackend backend, PagedKvCache* cache,
                                  std::vector<int32_t>* next_tokens,
                                  FloatMatrix* logits_out) const {
-  const int64_t batch = static_cast<int64_t>(seq_ids.size());
-  SPINFER_CHECK(batch > 0);
-  SPINFER_CHECK_EQ(static_cast<int64_t>(last_tokens.size()), batch);
+  SPINFER_CHECK(!seq_ids.empty());
+  // A decode-only MixedStep: identical code path, so the original contract
+  // (including bit-identity and the warmed zero-allocation property of the
+  // matmul scratch) is the general path's, not a parallel implementation's.
+  static const std::vector<PrefillChunk> kNoChunks;
+  MixedStep(seq_ids, last_tokens, kNoChunks, backend, cache, next_tokens,
+            /*chunk_next=*/nullptr, logits_out);
+}
+
+void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
+                                const std::vector<int32_t>& dec_last,
+                                const std::vector<PrefillChunk>& chunks,
+                                MatmulBackend backend, PagedKvCache* cache,
+                                std::vector<int32_t>* dec_next,
+                                std::vector<int32_t>* chunk_next,
+                                FloatMatrix* dec_logits_out) const {
+  const int64_t dec = static_cast<int64_t>(dec_ids.size());
+  SPINFER_CHECK_EQ(static_cast<int64_t>(dec_last.size()), dec);
   SPINFER_CHECK(cache != nullptr);
-  SPINFER_CHECK(next_tokens != nullptr);
+  SPINFER_CHECK(dec_next != nullptr || dec == 0);
+  SPINFER_CHECK(chunk_next != nullptr || chunks.empty());
   const int64_t h = config_.hidden;
 
-  SPINFER_TRACE_SCOPE_ARG("tt.decode", "batch", batch);
+  // Panel width: one column per decode sequence plus one per chunk token.
+  int64_t n = dec;
+  for (const PrefillChunk& c : chunks) {
+    SPINFER_CHECK(c.prompt != nullptr && c.count > 0 && c.start >= 0);
+    const int64_t len = static_cast<int64_t>(c.prompt->size());
+    SPINFER_CHECK(c.start + c.count <= len && len <= config_.max_seq);
+    SPINFER_CHECK_MSG(cache->SequenceTokens(c.seq_id) >= c.start + c.count,
+                      "chunk past the registered slots of sequence " << c.seq_id);
+    n += c.count;
+  }
+  SPINFER_CHECK(n > 0);
+
+  SPINFER_TRACE_SCOPE_ARG("tt.decode", "batch", n);
 
   MatmulScratch& s = scratch_;
-  // Append each sequence's new slot, then embed its last token at its
+  // Append each decode sequence's new slot, then embed its last token at its
   // absolute position. Admission reserved the blocks, so exhaustion here is
-  // a scheduler bug, not a runtime condition.
-  s.act.Reshape(h, batch);
-  std::vector<int64_t> positions(static_cast<size_t>(batch));
-  for (int64_t i = 0; i < batch; ++i) {
-    SPINFER_CHECK_MSG(cache->AppendToken(seq_ids[i]),
+  // a scheduler bug, not a runtime condition. Chunk columns embed prompt
+  // tokens at their absolute positions — the bits a full-sequence Forward
+  // would give those positions.
+  s.act.Reshape(h, n);
+  std::vector<int64_t> positions(static_cast<size_t>(dec));
+  for (int64_t i = 0; i < dec; ++i) {
+    SPINFER_CHECK_MSG(cache->AppendToken(dec_ids[i]),
                       "KV pool exhausted mid-decode; admission must reserve "
                       "blocks for a sequence's full max length");
-    positions[i] = cache->SequenceTokens(seq_ids[i]) - 1;
+    positions[i] = cache->SequenceTokens(dec_ids[i]) - 1;
     SPINFER_CHECK(positions[i] < config_.max_seq);
-    EmbedInto(last_tokens[i], positions[i], /*col=*/i, &s.act);
+    EmbedInto(dec_last[i], positions[i], /*col=*/i, &s.act);
+  }
+  {
+    int64_t col = dec;
+    for (const PrefillChunk& c : chunks) {
+      for (int64_t j = 0; j < c.count; ++j) {
+        EmbedInto((*c.prompt)[static_cast<size_t>(c.start + j)], c.start + j,
+                  col++, &s.act);
+      }
+    }
   }
 
   for (size_t layer_idx = 0; layer_idx < layers_.size(); ++layer_idx) {
     const Layer& l = layers_[layer_idx];
     SPINFER_TRACE_SCOPE_ARG("tt.layer", "layer",
                             static_cast<int64_t>(layer_idx));
-    // --- Attention block (pre-LN). One SpMM per weight with N = batch. ---
+    // --- Attention block (pre-LN). One SpMM per weight with N columns. ---
     CopyInto(s.act, &s.normed);
     LayerNormColumns(&s.normed);
     MatmulInto(l.wq, l.enc_wq, s.normed, backend, "tt.matmul.wq", &s.q);
     MatmulInto(l.wk, l.enc_wk, s.normed, backend, "tt.matmul.wk", &s.kk);
     MatmulInto(l.wv, l.enc_wv, s.normed, backend, "tt.matmul.wv", &s.v);
-    for (int64_t i = 0; i < batch; ++i) {
-      float* krow = cache->KRow(static_cast<int64_t>(layer_idx), seq_ids[i],
+    for (int64_t i = 0; i < dec; ++i) {
+      float* krow = cache->KRow(static_cast<int64_t>(layer_idx), dec_ids[i],
                                 positions[i]);
-      float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), seq_ids[i],
+      float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), dec_ids[i],
                                 positions[i]);
       for (int64_t r = 0; r < h; ++r) {
         krow[r] = s.kk.at(r, i);
         vrow[r] = s.v.at(r, i);
       }
     }
+    {
+      int64_t col = dec;
+      for (const PrefillChunk& c : chunks) {
+        for (int64_t j = 0; j < c.count; ++j, ++col) {
+          float* krow = cache->KRow(static_cast<int64_t>(layer_idx), c.seq_id,
+                                    c.start + j);
+          float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), c.seq_id,
+                                    c.start + j);
+          for (int64_t r = 0; r < h; ++r) {
+            krow[r] = s.kk.at(r, col);
+            vrow[r] = s.v.at(r, col);
+          }
+        }
+      }
+    }
 
-    s.attn_out.Reshape(h, batch);
+    s.attn_out.Reshape(h, n);
     {
       SPINFER_TRACE_SCOPE("tt.attention");
-      for (int64_t i = 0; i < batch; ++i) {
+      for (int64_t i = 0; i < dec; ++i) {
         PagedAttentionDecode(*cache, static_cast<int64_t>(layer_idx),
-                             seq_ids[i], config_.heads, s.q, /*col=*/i,
+                             dec_ids[i], config_.heads, s.q, /*col=*/i,
                              &s.attn_out, &s.scores);
+      }
+      int64_t col = dec;
+      for (const PrefillChunk& c : chunks) {
+        for (int64_t j = 0; j < c.count; ++j, ++col) {
+          // Causal horizon: prompt position p sees cached slots [0, p] even
+          // though later slots of this chunk are already written above.
+          PagedAttentionDecode(*cache, static_cast<int64_t>(layer_idx),
+                               c.seq_id, config_.heads, s.q, col, &s.attn_out,
+                               &s.scores, /*context=*/c.start + j + 1);
+        }
       }
     }
     MatmulInto(l.wo, l.enc_wo, s.attn_out, backend, "tt.matmul.wo", &s.proj);
@@ -384,25 +448,60 @@ void TinyTransformer::DecodeStep(const std::vector<int64_t>& seq_ids,
     }
   }
 
-  // Final LN + tied unembedding, one row of logits per batched sequence.
+  // Final LN + tied unembedding — but only for producer columns: every
+  // decode column, and the final column of each chunk that completes its
+  // prompt (whose logits seed generation). Mid-prompt columns exist to
+  // deposit K/V; their logits are never consumed.
   SPINFER_TRACE_SCOPE("tt.unembed");
   LayerNormColumns(&s.act);
-  s.logits.Reshape(batch, config_.vocab);
-  for (int64_t i = 0; i < batch; ++i) {
+  std::vector<int64_t> producer_cols;
+  producer_cols.reserve(static_cast<size_t>(dec) + chunks.size());
+  for (int64_t i = 0; i < dec; ++i) {
+    producer_cols.push_back(i);
+  }
+  {
+    int64_t col = dec;
+    for (const PrefillChunk& c : chunks) {
+      col += c.count;
+      if (c.start + c.count == static_cast<int64_t>(c.prompt->size())) {
+        producer_cols.push_back(col - 1);
+      }
+    }
+  }
+  const int64_t producers = static_cast<int64_t>(producer_cols.size());
+  s.logits.Reshape(producers, config_.vocab);
+  for (int64_t i = 0; i < producers; ++i) {
+    const int64_t col = producer_cols[static_cast<size_t>(i)];
     for (int64_t vtok = 0; vtok < config_.vocab; ++vtok) {
       float dot = 0.0f;
       for (int64_t r = 0; r < h; ++r) {
-        dot += embedding_.at(vtok, r).ToFloat() * s.act.at(r, i);
+        dot += embedding_.at(vtok, r).ToFloat() * s.act.at(r, col);
       }
       s.logits.at(i, vtok) = dot;
     }
   }
-  next_tokens->resize(static_cast<size_t>(batch));
-  for (int64_t i = 0; i < batch; ++i) {
-    (*next_tokens)[static_cast<size_t>(i)] = GreedyToken(s.logits, i);
+  if (dec_next != nullptr) {
+    dec_next->resize(static_cast<size_t>(dec));
+    for (int64_t i = 0; i < dec; ++i) {
+      (*dec_next)[static_cast<size_t>(i)] = GreedyToken(s.logits, i);
+    }
   }
-  if (logits_out != nullptr) {
-    CopyInto(s.logits, logits_out);
+  if (chunk_next != nullptr) {
+    chunk_next->assign(chunks.size(), -1);
+    int64_t row = dec;  // completing chunks' rows follow the decode rows
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const PrefillChunk& chunk = chunks[c];
+      if (chunk.start + chunk.count ==
+          static_cast<int64_t>(chunk.prompt->size())) {
+        (*chunk_next)[c] = GreedyToken(s.logits, row++);
+      }
+    }
+  }
+  if (dec_logits_out != nullptr) {
+    // Decode rows lead the logits panel, so rows [0, dec) are contiguous.
+    dec_logits_out->Reshape(dec, config_.vocab);
+    std::copy(s.logits.data(), s.logits.data() + dec * config_.vocab,
+              dec_logits_out->data());
   }
 }
 

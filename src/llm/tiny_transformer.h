@@ -51,6 +51,19 @@ enum class MatmulBackend {
 // the lowest token id, matching Generate).
 int32_t GreedyToken(const FloatMatrix& logits, int64_t row);
 
+// One scheduled slice of a prompt for MixedStep: positions
+// [start, start + count) of `*prompt` for `seq_id`, whose cache slots
+// [0, start) must already hold real K/V (earlier chunks or an adopted shared
+// prefix). The sequence must already be registered with >= start + count
+// slots. A chunk with start + count == prompt->size() completes the prompt
+// and produces the sequence's first generated token.
+struct PrefillChunk {
+  int64_t seq_id = 0;
+  const std::vector<int32_t>* prompt = nullptr;
+  int64_t start = 0;
+  int64_t count = 0;
+};
+
 class TinyTransformer {
  public:
   // Deterministic random initialization (scaled Gaussian).
@@ -90,6 +103,26 @@ class TinyTransformer {
                   const std::vector<int32_t>& last_tokens, MatmulBackend backend,
                   PagedKvCache* cache, std::vector<int32_t>* next_tokens,
                   FloatMatrix* logits_out = nullptr) const;
+
+  // One mixed continuous-batching iteration: a decode batch (as in
+  // DecodeStep) plus any number of prompt chunks, all through ONE matmul per
+  // weight with N = dec_ids.size() + sum(chunk counts) columns — prefill
+  // work rides the decode batch at the wide-N operating point instead of
+  // stalling it. Decode columns behave exactly as DecodeStep (with no
+  // chunks, this IS DecodeStep, bit for bit); chunk columns write their
+  // position's per-layer K/V into the cache and attend causally over slots
+  // [0, pos]. Per-column kernels make every sequence's results independent
+  // of the batch mix and of where chunk boundaries fall. `dec_next[i]`
+  // receives decode sequence i's next token; `chunk_next[c]` receives the
+  // first generated token of chunk c if it completes its prompt, else -1
+  // (may be null when `chunks` is empty). `dec_logits_out`, when non-null,
+  // receives the decode rows' logits (dec x vocab).
+  void MixedStep(const std::vector<int64_t>& dec_ids,
+                 const std::vector<int32_t>& dec_last,
+                 const std::vector<PrefillChunk>& chunks, MatmulBackend backend,
+                 PagedKvCache* cache, std::vector<int32_t>* dec_next,
+                 std::vector<int32_t>* chunk_next,
+                 FloatMatrix* dec_logits_out = nullptr) const;
 
   const TinyConfig& config() const { return config_; }
   // Observability for the zero-allocation serving contract (tests, benches).

@@ -179,6 +179,264 @@ TEST(PagedKvPropertyTest, RandomOpSequencesPreserveInvariants) {
   }
 }
 
+// --- Shared-prefix / refcount / copy-on-write fuzz --------------------------
+//
+// The sharing oracle needs content-derived patterns: a slot's expected value
+// depends on WHICH token sits at WHICH position, never on which sequence
+// wrote it — exactly the property that makes prefix blocks adoptable. On top
+// of the original invariants (minus exclusive ownership, which sharing
+// deliberately breaks) this checks:
+//   * Refcount conservation: every block's refcount equals the number of
+//     times live sequences hold it; distinct held blocks == used_blocks.
+//   * No write-after-share without a copy: appending into a shared block
+//     swaps in a fresh private block and bumps cow_copies; appending into a
+//     private block never does.
+//   * Full reclamation: draining returns every block and empties the index.
+
+// Expected K/V for position `pos` holding token id `tok` (writer-agnostic).
+float SharedPatternK(int32_t tok, int64_t pos, int64_t layer, int64_t r) {
+  return static_cast<float>(((static_cast<int64_t>(tok) * 64 + pos) * 2 + layer) * 4 +
+                            r);
+}
+float SharedPatternV(int32_t tok, int64_t pos, int64_t layer, int64_t r) {
+  return SharedPatternK(tok, pos, layer, r) + 0.5f;
+}
+
+void FillSharedToken(PagedKvCache* cache, int64_t seq, int64_t pos, int32_t tok) {
+  for (int64_t layer = 0; layer < cache->config().layers; ++layer) {
+    float* k = cache->KRow(layer, seq, pos);
+    float* v = cache->VRow(layer, seq, pos);
+    for (int64_t r = 0; r < cache->config().kv_dim; ++r) {
+      k[r] = SharedPatternK(tok, pos, layer, r);
+      v[r] = SharedPatternV(tok, pos, layer, r);
+    }
+  }
+}
+
+// Shadow for the sharing oracle: per-sequence token content.
+class SharedShadow {
+ public:
+  explicit SharedShadow(const PagedKvCacheConfig& cfg) : cfg_(cfg) {}
+
+  void Check(const PagedKvCache& cache) const {
+    // Refcount conservation: multiplicity across live sequences.
+    std::map<int32_t, int32_t> holders;
+    for (const auto& [seq, content] : content_) {
+      const int64_t tokens = static_cast<int64_t>(content.size());
+      ASSERT_EQ(cache.SequenceTokens(seq), tokens);
+      const std::vector<int32_t>* blocks = cache.SequenceBlockList(seq);
+      ASSERT_NE(blocks, nullptr);
+      const int64_t expect_blocks =
+          (tokens + cfg_.block_tokens - 1) / cfg_.block_tokens;
+      ASSERT_EQ(static_cast<int64_t>(blocks->size()), expect_blocks);
+      for (int32_t b : *blocks) {
+        ASSERT_GE(b, 0);
+        ASSERT_LT(b, cfg_.num_blocks);
+        ++holders[b];
+      }
+    }
+    int64_t distinct = 0;
+    for (const auto& [b, count] : holders) {
+      ASSERT_EQ(cache.BlockRefCount(b), count) << "block " << b;
+      ++distinct;
+    }
+    for (int32_t b = 0; b < cfg_.num_blocks; ++b) {
+      if (holders.find(b) == holders.end()) {
+        ASSERT_EQ(cache.BlockRefCount(b), 0) << "leaked refcount on block " << b;
+      }
+    }
+    ASSERT_EQ(cache.used_blocks(), distinct);
+    ASSERT_EQ(cache.free_blocks(), cfg_.num_blocks - distinct);
+
+    // Data integrity: every sequence reads its own content, bit for bit,
+    // through whatever physical blocks (shared or private) back it.
+    for (const auto& [seq, content] : content_) {
+      for (int64_t t = 0; t < static_cast<int64_t>(content.size()); ++t) {
+        for (int64_t layer = 0; layer < cfg_.layers; ++layer) {
+          const float* k = cache.KRow(layer, seq, t);
+          const float* v = cache.VRow(layer, seq, t);
+          for (int64_t r = 0; r < cfg_.kv_dim; ++r) {
+            ASSERT_EQ(k[r], SharedPatternK(content[static_cast<size_t>(t)], t,
+                                           layer, r))
+                << "seq=" << seq << " token=" << t << " layer=" << layer;
+            ASSERT_EQ(v[r], SharedPatternV(content[static_cast<size_t>(t)], t,
+                                           layer, r))
+                << "seq=" << seq << " token=" << t << " layer=" << layer;
+          }
+        }
+      }
+    }
+  }
+
+  std::map<int64_t, std::vector<int32_t>> content_;
+  PagedKvCacheConfig cfg_;
+};
+
+TEST(PagedKvPropertyTest, SharedBlockFuzzPreservesRefcountsAndData) {
+  for (uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    const PagedKvCacheConfig cfg = SmallCache();
+    PagedKvCache cache(cfg);
+    SharedShadow shadow(cfg);
+    Rng rng(seed);
+    int64_t next_seq = 0;
+    // A small pool of "system prompts" so arrivals actually share prefixes.
+    std::vector<std::vector<int32_t>> bases;
+    for (int64_t i = 0; i < 3; ++i) {
+      std::vector<int32_t> base(static_cast<size_t>(5 + 4 * i));
+      for (int32_t& tok : base) {
+        tok = static_cast<int32_t>(rng.Below(50));
+      }
+      bases.push_back(std::move(base));
+    }
+
+    for (int op = 0; op < 300; ++op) {
+      const uint64_t kind = rng.Below(10);
+      if (kind < 3 || shadow.content_.empty()) {
+        // Add with a shared-prefix match against the live index.
+        std::vector<int32_t> prompt = bases[rng.Below(bases.size())];
+        const int64_t tail = static_cast<int64_t>(rng.Below(7));
+        for (int64_t i = 0; i < tail; ++i) {
+          prompt.push_back(static_cast<int32_t>(rng.Below(50)));
+        }
+        const int64_t len = static_cast<int64_t>(prompt.size());
+        const PagedKvCache::PrefixMatch match = cache.MatchPrefix(prompt);
+        ASSERT_LE(match.tokens, len - 1);
+        ASSERT_EQ(match.tokens % cfg.block_tokens, 0);
+        const int64_t need =
+            (len + cfg.block_tokens - 1) / cfg.block_tokens -
+            static_cast<int64_t>(match.blocks.size());
+        const bool fits = need <= cache.free_blocks();
+        const int64_t seq = next_seq++;
+        ASSERT_EQ(cache.AddSequenceSharing(seq, len, match), fits)
+            << "seed=" << seed << " op=" << op;
+        if (fits) {
+          // Only the unmatched tail gets written; matched slots must already
+          // hold this prompt's content (Check verifies exactly that).
+          for (int64_t t = match.tokens; t < len; ++t) {
+            FillSharedToken(&cache, seq, t, prompt[static_cast<size_t>(t)]);
+          }
+          cache.IndexPrefix(seq, prompt, len);
+          shadow.content_[seq] = std::move(prompt);
+        }
+      } else if (kind < 6) {
+        // Append: must copy-on-write when the target block is shared.
+        auto it = shadow.content_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(
+                             static_cast<uint64_t>(shadow.content_.size()))));
+        const int64_t seq = it->first;
+        const int64_t tokens = static_cast<int64_t>(it->second.size());
+        const bool needs_block = tokens % cfg.block_tokens == 0;
+        int32_t target_block = -1;
+        bool shared_target = false;
+        if (!needs_block) {
+          target_block = (*cache.SequenceBlockList(seq))[static_cast<size_t>(
+              tokens / cfg.block_tokens)];
+          shared_target = cache.BlockRefCount(target_block) > 1;
+        }
+        const bool fits =
+            (needs_block || shared_target) ? cache.free_blocks() > 0 : true;
+        const int64_t cow_before = cache.cow_copies();
+        const bool ok = cache.AppendToken(seq);
+        ASSERT_EQ(ok, fits) << "seed=" << seed << " op=" << op;
+        if (ok) {
+          if (shared_target) {
+            // The write may not land in the shared block: a private copy
+            // must have been swapped in.
+            const int32_t now_block = (*cache.SequenceBlockList(
+                seq))[static_cast<size_t>(tokens / cfg.block_tokens)];
+            ASSERT_NE(now_block, target_block);
+            ASSERT_EQ(cache.cow_copies(), cow_before + 1);
+          } else {
+            ASSERT_EQ(cache.cow_copies(), cow_before);
+          }
+          const int32_t tok = static_cast<int32_t>(rng.Below(50));
+          FillSharedToken(&cache, seq, tokens, tok);
+          it->second.push_back(tok);
+        } else {
+          ASSERT_EQ(cache.SequenceTokens(seq), tokens);
+        }
+      } else if (kind < 8) {
+        // Truncate (drops refs on released tail blocks).
+        auto it = shadow.content_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(
+                             static_cast<uint64_t>(shadow.content_.size()))));
+        const int64_t keep = 1 + static_cast<int64_t>(rng.Below(
+                                     static_cast<uint64_t>(it->second.size())));
+        cache.TruncateSequence(it->first, keep);
+        it->second.resize(static_cast<size_t>(keep));
+      } else {
+        // Remove ("cancel"): shared blocks must survive for other holders.
+        auto it = shadow.content_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(
+                             static_cast<uint64_t>(shadow.content_.size()))));
+        cache.RemoveSequence(it->first);
+        shadow.content_.erase(it);
+      }
+      shadow.Check(cache);
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+
+    // Drain: every block comes back and the prefix index empties with them.
+    while (!shadow.content_.empty()) {
+      cache.RemoveSequence(shadow.content_.begin()->first);
+      shadow.content_.erase(shadow.content_.begin());
+      shadow.Check(cache);
+    }
+    EXPECT_EQ(cache.free_blocks(), cfg.num_blocks);
+    EXPECT_EQ(cache.used_blocks(), 0);
+    EXPECT_EQ(cache.WastedTokenSlots(), 0);
+    EXPECT_EQ(cache.indexed_blocks(), 0);
+  }
+}
+
+// Adopting a matched prefix then appending must never corrupt the sequences
+// the blocks were adopted from (the copy-on-write contract, deterministically).
+TEST(PagedKvPropertyTest, CopyOnWriteIsolatesDivergentAppends) {
+  const PagedKvCacheConfig cfg = SmallCache();
+  PagedKvCache cache(cfg);
+  // Seed sequence: 9 tokens = 2 full blocks + 1 partial; index its prefix.
+  std::vector<int32_t> prompt = {3, 1, 4, 1, 5, 9, 2, 6, 5};
+  ASSERT_TRUE(cache.AddSequence(0, static_cast<int64_t>(prompt.size())));
+  for (size_t t = 0; t < prompt.size(); ++t) {
+    FillSharedToken(&cache, 0, static_cast<int64_t>(t), prompt[t]);
+  }
+  cache.IndexPrefix(0, prompt, static_cast<int64_t>(prompt.size()));
+  EXPECT_EQ(cache.indexed_blocks(), 2);
+
+  // Adopter shares both full blocks, writes only its last token.
+  const PagedKvCache::PrefixMatch match = cache.MatchPrefix(prompt);
+  ASSERT_EQ(match.tokens, 8);
+  ASSERT_TRUE(cache.AddSequenceSharing(1, static_cast<int64_t>(prompt.size()), match));
+  FillSharedToken(&cache, 1, 8, prompt[8]);
+  EXPECT_EQ(cache.BlockRefCount(match.blocks[0]), 2);
+  EXPECT_EQ(cache.BlockRefCount(match.blocks[1]), 2);
+
+  // Truncate the adopter into the SHARED second block, then append a
+  // divergent token there: copy-on-write must fire and the seed sequence
+  // must keep reading its original content.
+  cache.TruncateSequence(1, 6);
+  ASSERT_TRUE(cache.AppendToken(1));
+  EXPECT_EQ(cache.cow_copies(), 1);
+  FillSharedToken(&cache, 1, 6, 42);
+  for (size_t t = 0; t < prompt.size(); ++t) {
+    for (int64_t layer = 0; layer < cfg.layers; ++layer) {
+      for (int64_t r = 0; r < cfg.kv_dim; ++r) {
+        EXPECT_EQ(cache.KRow(layer, 0, static_cast<int64_t>(t))[r],
+                  SharedPatternK(prompt[t], static_cast<int64_t>(t), layer, r));
+      }
+    }
+  }
+  // The adopter's retained slots survived the copy; its divergent slot reads
+  // back the new token.
+  for (int64_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(cache.KRow(0, 1, t)[0],
+              SharedPatternK(prompt[static_cast<size_t>(t)], t, 0, 0));
+  }
+  EXPECT_EQ(cache.KRow(0, 1, 6)[0], SharedPatternK(42, 6, 0, 0));
+}
+
 // Growth across a block boundary must not move data already written — the
 // page table grows, the rows stay put.
 TEST(PagedKvPropertyTest, AppendAcrossBlockBoundaryKeepsEarlierRows) {

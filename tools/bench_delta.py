@@ -39,6 +39,8 @@ EXPECTED_BENCHES = (
     "serving_decode_b1",
     "serving_decode_b4",
     "serving_decode_b8",
+    "serving_prefix_cache",
+    "serving_chunked_prefill",
 )
 
 
