@@ -67,56 +67,4 @@ AttentionCost PrefillAttentionCost(const ModelConfig& model, int64_t batch,
   return cost;
 }
 
-void PagedAttentionDecode(const PagedKvCache& cache, int64_t layer,
-                          int64_t seq_id, int64_t heads, const FloatMatrix& q,
-                          int64_t col, FloatMatrix* out,
-                          std::vector<float>* scores, int64_t context) {
-  const int64_t kv_dim = cache.config().kv_dim;
-  SPINFER_CHECK_EQ(q.rows(), kv_dim);
-  SPINFER_CHECK_EQ(out->rows(), kv_dim);
-  SPINFER_CHECK(heads > 0 && kv_dim % heads == 0);
-  const int64_t hd = kv_dim / heads;
-  const int64_t ctx = context < 0 ? cache.SequenceTokens(seq_id) : context;
-  SPINFER_CHECK_MSG(ctx > 0, "sequence " << seq_id << " has no cached tokens");
-  SPINFER_CHECK(ctx <= cache.SequenceTokens(seq_id));
-  const std::vector<int32_t>* blocks = cache.SequenceBlockList(seq_id);
-  SPINFER_CHECK(blocks != nullptr);
-  const int64_t bt = cache.config().block_tokens;
-  if (static_cast<int64_t>(scores->size()) < ctx) {
-    scores->resize(static_cast<size_t>(ctx));
-  }
-  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(hd));
-  for (int64_t head = 0; head < heads; ++head) {
-    const int64_t r0 = head * hd;
-    float max_score = -1e30f;
-    for (int64_t t = 0; t < ctx; ++t) {
-      const float* krow =
-          cache.KBlockBase(layer, (*blocks)[static_cast<size_t>(t / bt)]) +
-          (t % bt) * kv_dim;
-      float dot = 0.0f;
-      for (int64_t r = 0; r < hd; ++r) {
-        dot += q.at(r0 + r, col) * krow[r0 + r];
-      }
-      (*scores)[static_cast<size_t>(t)] = dot * inv_sqrt_d;
-      max_score = std::max(max_score, (*scores)[static_cast<size_t>(t)]);
-    }
-    float denom = 0.0f;
-    for (int64_t t = 0; t < ctx; ++t) {
-      float& s = (*scores)[static_cast<size_t>(t)];
-      s = std::exp(s - max_score);
-      denom += s;
-    }
-    for (int64_t r = 0; r < hd; ++r) {
-      float acc = 0.0f;
-      for (int64_t t = 0; t < ctx; ++t) {
-        const float* vrow =
-            cache.VBlockBase(layer, (*blocks)[static_cast<size_t>(t / bt)]) +
-            (t % bt) * kv_dim;
-        acc += (*scores)[static_cast<size_t>(t)] * vrow[r0 + r];
-      }
-      out->at(r0 + r, col) = acc / denom;
-    }
-  }
-}
-
 }  // namespace spinfer

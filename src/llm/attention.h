@@ -36,27 +36,7 @@ AttentionCost PrefillAttentionCost(const ModelConfig& model, int64_t batch,
 uint64_t KvCacheBytes(const ModelConfig& model, int64_t batch, int64_t context,
                       int num_gpus);
 
-// --- Executing paged attention (CPU serving path) ---------------------------
-//
-// Causal decode attention for ONE sequence at ONE layer: the query is column
-// `col` of `q` (a kv_dim x batch activation panel), keys/values are the
-// sequence's cached slots [0, context) in `cache` — including the slot for
-// the token being attended, whose K/V must already be written. `context` is
-// the number of cached slots visible to this query; pass -1 (the decode
-// default) for all of SequenceTokens. Chunked prefill passes an explicit
-// horizon so prompt position p attends over slots [0, p] even while later
-// slots of the same chunk are already written. The result is written into
-// column `col` of `out` (same shape as `q`).
-//
-// Numerics deliberately mirror TinyTransformer::Forward's in-batch attention
-// (max-subtracted softmax, identical accumulation order over the context), and
-// the computation touches only this sequence's pages and this column — so a
-// sequence's decode output is bit-identical regardless of which other
-// sequences share the batch. `scores` is caller-owned scratch, grown to the
-// context length.
-void PagedAttentionDecode(const PagedKvCache& cache, int64_t layer,
-                          int64_t seq_id, int64_t heads, const FloatMatrix& q,
-                          int64_t col, FloatMatrix* out,
-                          std::vector<float>* scores, int64_t context = -1);
+// The executing paged-attention kernels (the CPU serving path this cost
+// model prices) live in src/llm/paged_attention.h.
 
 }  // namespace spinfer

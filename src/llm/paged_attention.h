@@ -1,0 +1,119 @@
+// Fused, SIMD-dispatched, batched paged-attention decode kernel — the
+// executing counterpart of the analytic DecodeAttentionCost model
+// (src/llm/attention.h), built in the CPU-backend-v2 style.
+//
+// One call computes causal decode attention for a whole batch of
+// (sequence, query-column) work items at one layer: QK^T, the max-subtracted
+// softmax, and PV are fused into a single block-wise pass over each
+// sequence's paged KV blocks, so every K and V row is touched exactly once
+// per query head while L1-resident (the old per-element loop re-resolved the
+// V block pointer once per output element — O(hd * ctx) pointer walks per
+// head). The strided query column is hoisted into contiguous per-head
+// scratch, and the (item x head) work grid runs on the global ThreadPool
+// with disjoint output rows per task.
+//
+// Contracts, matching the rest of the CPU kernel family:
+//   * Bit-identity with the retained reference (PagedAttentionDecodeReference)
+//     and with TinyTransformer::Forward's in-batch attention: the fusion and
+//     the SIMD variants reschedule — never reorder — each output element's
+//     scalar accumulation chain (QK dots ascend the head dimension, softmax
+//     and PV ascend the context, separate mul/add roundings, -ffp-contract=off,
+//     no FMA). Serving token streams and virtual-time reports are therefore
+//     byte-identical to the pre-fusion engine.
+//   * Determinism: output bits do not depend on thread count (each work item
+//     owns its head's rows of its column) or on which SIMD variant ran.
+//   * Allocation-free when warm: all scratch lives in PagedAttentionScratch,
+//     grown geometrically so a decode loop whose context grows one token per
+//     step does not reallocate per step.
+//
+// Grouped-query attention: `kv_heads` may divide `heads`; query head h reads
+// the cached K/V rows of kv head h / (heads / kv_heads). Classic MHA is
+// kv_heads == heads. The cache's kv_dim must equal kv_heads * head_dim.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/cpu_backend.h"
+#include "src/llm/kv_allocator.h"
+#include "src/numeric/matrix.h"
+#include "src/util/aligned_buffer.h"
+
+namespace spinfer {
+
+// One query of a batched decode-attention call: column `col` of the q panel
+// belongs to sequence `seq_id` and attends over cached slots [0, context).
+// context == -1 (the decode default) means all of SequenceTokens(seq_id);
+// chunked prefill passes an explicit horizon so prompt position p attends
+// over slots [0, p] even while later slots of the same chunk are already
+// written. The attended slots — including the query's own — must hold real
+// K/V before the call.
+struct PagedAttentionItem {
+  int64_t seq_id = 0;
+  int64_t col = 0;
+  int64_t context = -1;
+};
+
+// Reusable scratch for PagedAttentionDecodeBatch. Buffers grow geometrically
+// and never shrink, so a serving loop stops allocating once it has seen its
+// largest (batch x heads, context) shape — even though decode contexts grow
+// every step. grow_count()/capacity_bytes() feed the zero-allocation
+// observability contract (TinyTransformer::MatmulScratchGrowCount).
+struct PagedAttentionScratch {
+  AlignedBuffer<float> q;       // staged contiguous query heads
+  AlignedBuffer<float> scores;  // per-work-item attention scores
+  AlignedBuffer<float> acc;     // per-work-item PV accumulators
+  // Per-item views resolved once per call (hot loops must not re-resolve
+  // block lists per token — see PagedKvCache::KRow).
+  std::vector<const std::vector<int32_t>*> block_lists;
+  std::vector<int64_t> contexts;
+
+  int64_t grow_count() const {
+    return static_cast<int64_t>(q.grow_count() + scores.grow_count() +
+                                acc.grow_count());
+  }
+  uint64_t capacity_bytes() const {
+    return (q.capacity() + scores.capacity() + acc.capacity()) * sizeof(float);
+  }
+};
+
+// Batched fused decode attention at one layer: for every item, attends column
+// item.col of `q` (a kv-projection panel with heads * head_dim rows) over
+// item.seq_id's cached context and writes the same column of `out` (same row
+// count as q). Dispatches to the best available SIMD variant.
+void PagedAttentionDecodeBatch(const PagedKvCache& cache, int64_t layer,
+                               int64_t heads, int64_t kv_heads,
+                               const FloatMatrix& q,
+                               const std::vector<PagedAttentionItem>& items,
+                               FloatMatrix* out, PagedAttentionScratch* scratch);
+
+// Variant-pinned entry for the bit-identity tests and benches; CHECK-fails
+// if `v` is unavailable (PagedAttentionVariantAvailable).
+void PagedAttentionDecodeBatchVariant(
+    const PagedKvCache& cache, int64_t layer, int64_t heads, int64_t kv_heads,
+    const FloatMatrix& q, const std::vector<PagedAttentionItem>& items,
+    FloatMatrix* out, PagedAttentionScratch* scratch, CpuSpmmVariant v);
+
+// Whether `v` can run here. The attention AVX2 unit needs avx2+fma at
+// runtime (it never touches F16C — the KV pools are FP32), so its gate is
+// its own, not CpuSpmmVariantAvailable's.
+bool PagedAttentionVariantAvailable(CpuSpmmVariant v);
+// The variant PagedAttentionDecodeBatch dispatches to; cached, honors the
+// SPINFER_SIMD override via ActiveSimdLevel().
+CpuSpmmVariant ActivePagedAttentionVariant();
+
+// The pre-fusion scalar kernel, retained as the differential reference: one
+// sequence, one column, single-threaded, no SIMD, no fusion — but with the
+// PV loop nest in the corrected t-outer/r-inner order (order-preserving; see
+// the bit-identity contract above) so V rows stream once per head instead of
+// once per output element. `scores` is caller-owned scratch, grown to the
+// context length. Numerics mirror TinyTransformer::Forward's in-batch
+// attention exactly.
+void PagedAttentionDecodeReference(const PagedKvCache& cache, int64_t layer,
+                                   int64_t seq_id, int64_t heads,
+                                   int64_t kv_heads, const FloatMatrix& q,
+                                   int64_t col, FloatMatrix* out,
+                                   std::vector<float>* scores,
+                                   int64_t context = -1);
+
+}  // namespace spinfer

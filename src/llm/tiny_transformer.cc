@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "src/core/cpu_backend.h"
-#include "src/llm/attention.h"
+#include "src/llm/paged_attention.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -137,13 +137,14 @@ void TinyTransformer::MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& en
 }
 
 int64_t TinyTransformer::MatmulScratchGrowCount() const {
-  return scratch_.ws.grow_count();
+  return scratch_.ws.grow_count() + scratch_.attn.grow_count();
 }
 
 uint64_t TinyTransformer::MatmulScratchCapacityBytes() const {
   const MatmulScratch& s = scratch_;
   uint64_t bytes = s.ws.capacity_bytes() + s.xh.capacity() * sizeof(Half) +
-                   s.scores.capacity() * sizeof(float);
+                   s.scores.capacity() * sizeof(float) + s.attn.capacity_bytes() +
+                   s.attn_items.capacity() * sizeof(PagedAttentionItem);
   for (const FloatMatrix* m :
        {&s.normed, &s.q, &s.kk, &s.v, &s.attn_out, &s.proj, &s.ffn_in,
         &s.hidden_act, &s.ffn_out, &s.act, &s.logits}) {
@@ -414,21 +415,23 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
     s.attn_out.Reshape(h, n);
     {
       SPINFER_TRACE_SCOPE("tt.attention");
+      // One fused batched call covers every column: decode columns attend
+      // their full cached context, chunk columns attend the causal horizon
+      // [0, pos] even though later slots of their chunk are already written
+      // above. This model is classic MHA, so kv_heads == heads.
+      s.attn_items.clear();
       for (int64_t i = 0; i < dec; ++i) {
-        PagedAttentionDecode(*cache, static_cast<int64_t>(layer_idx),
-                             dec_ids[i], config_.heads, s.q, /*col=*/i,
-                             &s.attn_out, &s.scores);
+        s.attn_items.push_back({dec_ids[i], /*col=*/i, /*context=*/-1});
       }
       int64_t col = dec;
       for (const PrefillChunk& c : chunks) {
         for (int64_t j = 0; j < c.count; ++j, ++col) {
-          // Causal horizon: prompt position p sees cached slots [0, p] even
-          // though later slots of this chunk are already written above.
-          PagedAttentionDecode(*cache, static_cast<int64_t>(layer_idx),
-                               c.seq_id, config_.heads, s.q, col, &s.attn_out,
-                               &s.scores, /*context=*/c.start + j + 1);
+          s.attn_items.push_back({c.seq_id, col, /*context=*/c.start + j + 1});
         }
       }
+      PagedAttentionDecodeBatch(*cache, static_cast<int64_t>(layer_idx),
+                                config_.heads, /*kv_heads=*/config_.heads, s.q,
+                                s.attn_items, &s.attn_out, &s.attn);
     }
     MatmulInto(l.wo, l.enc_wo, s.attn_out, backend, "tt.matmul.wo", &s.proj);
     for (int64_t i = 0; i < s.act.size(); ++i) {

@@ -25,6 +25,7 @@
 #include "src/core/cpu_backend.h"
 #include "src/format/tca_bme.h"
 #include "src/llm/kv_allocator.h"
+#include "src/llm/paged_attention.h"
 #include "src/numeric/matrix.h"
 #include "src/pruning/pruner.h"
 
@@ -158,6 +159,10 @@ class TinyTransformer {
     FloatMatrix normed, q, kk, v, attn_out, proj, ffn_in, hidden_act, ffn_out;
     FloatMatrix act, logits;  // decode-step activation panel and logits
     std::vector<float> scores;
+    // Batched paged-attention scratch + the per-step work list (decode
+    // columns, then chunk columns), rebuilt in place each MixedStep.
+    PagedAttentionScratch attn;
+    std::vector<PagedAttentionItem> attn_items;
   };
 
   // out = W*X on the selected backend, from FP32 activations: the sparse

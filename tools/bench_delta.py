@@ -36,9 +36,13 @@ EXPECTED_BENCHES = (
     "cpu_spmv_portable",
     "cpu_spmv_int8",
     "tiny_transformer_decode_step",
+    "paged_attention_ctx256",
+    "paged_attention_ctx2048",
+    "paged_attention_ctx2048_ref",
     "serving_decode_b1",
     "serving_decode_b4",
     "serving_decode_b8",
+    "serving_decode_b8_longctx",
     "serving_prefix_cache",
     "serving_chunked_prefill",
 )
