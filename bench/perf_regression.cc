@@ -11,6 +11,7 @@
 //
 // Usage: perf_regression [--threads=N] [--reps=R] [--out=BENCH.json]
 //                        [--trace=TRACE.json] [--metrics=METRICS.json]
+//                        [--timeline=TIMELINE.jsonl] [--prom=METRICS.prom]
 //
 // --trace: after each bench's (untraced) timing loop, one extra traced pass
 // runs under a `bench.<name>` span; the combined Chrome trace-event JSON is
@@ -19,11 +20,18 @@
 // --metrics: per-bench wall-time histograms (every rep), thread-pool
 // scheduling totals, and PerfCounters gauges, dumped as a registry JSON.
 // Kept out of BENCH.json so its flat name->record diff contract is untouched.
+// --timeline: the serving_obs_overhead engine's per-request event log,
+// written as JSONL (tools/request_timeline.py summarizes/validates it). The
+// same run's async spans join the --trace output as per-request "b"/"e"
+// pairs.
+// --prom: Prometheus text-exposition snapshot of the metrics registry after
+// all benches ran (tools/prom_lint.py validates it).
 //
 // This is a smoke harness, not a statistics engine: each point reports the
 // best of `reps` repetitions (default 5). Treat >1.3x movement on the same
 // machine as signal, anything less as noise.
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -41,6 +49,8 @@
 #include "src/numeric/matrix.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/perf_counters_bridge.h"
+#include "src/obs/prom_export.h"
+#include "src/obs/request_log.h"
 #include "src/pruning/magnitude.h"
 #include "src/util/check.h"
 #include "src/util/random.h"
@@ -76,12 +86,15 @@ volatile float g_sink = 0.0f;
 
 int Main(int argc, char** argv) {
   CliFlags flags(argc, argv);
-  flags.RestrictTo({"threads", "reps", "out", "trace", "metrics"});
+  flags.RestrictTo(
+      {"threads", "reps", "out", "trace", "metrics", "timeline", "prom"});
   ThreadPool::SetGlobalThreads(static_cast<int>(flags.GetInt("threads", 1)));
   const int reps = static_cast<int>(flags.GetInt("reps", 5));
   const std::string out_path = flags.GetString("out", "BENCH.json");
   const std::string trace_path = flags.GetString("trace", "");
   const std::string metrics_path = flags.GetString("metrics", "");
+  const std::string timeline_path = flags.GetString("timeline", "");
+  const std::string prom_path = flags.GetString("prom", "");
   const int threads = ThreadPool::Global().num_threads();
 
   PrintHeader("Perf-smoke regression (fixed shapes, wall clock)");
@@ -510,6 +523,83 @@ int Main(int argc, char** argv) {
         v1.peak_iter_ms / chunked.peak_iter_ms);
   }
 
+  // --- Serving observability overhead: full engine, instrumented vs not. ---
+  // Same model shape as the serving_decode_b* points, but through the
+  // ServingEngine scheduler so every obs recording site is on the timed
+  // path: 8 requests, 32-token prompts, 16 new tokens each.
+  // serving_engine_b8 is the uninstrumented baseline; serving_obs_overhead
+  // runs the identical workload with the request timeline, flight recorder,
+  // and SLO tracker all on — the pair bounds the cost of observability
+  // (acceptance: within 3%). The instrumented run's artifacts feed
+  // --timeline/--prom and the per-request async spans of --trace.
+  std::vector<obs::AsyncSpan> request_spans;
+  {
+    TinyConfig big;
+    big.vocab = 256;
+    big.hidden = 256;
+    big.layers = 4;
+    big.heads = 8;
+    big.ffn = 1024;
+    big.max_seq = 128;
+    TinyTransformer model(big, 1013);
+    model.PruneWeights(MagnitudePruner(), 0.6);
+    constexpr int64_t kObsSeqs = 8;
+    constexpr int64_t kObsPrompt = 32;
+    constexpr int64_t kObsMaxNew = 16;
+    Rng rng(1014);
+    std::vector<std::vector<int32_t>> prompts;
+    for (int64_t s = 0; s < kObsSeqs; ++s) {
+      std::vector<int32_t> p(static_cast<size_t>(kObsPrompt));
+      for (auto& t : p) {
+        t = static_cast<int32_t>(rng.Below(static_cast<uint64_t>(big.vocab)));
+      }
+      prompts.push_back(std::move(p));
+    }
+    std::unique_ptr<ServingEngine> obs_engine;
+    const auto run = [&](bool obs_on) {
+      ServingEngineConfig cfg;
+      cfg.max_batch = 8;
+      cfg.kv_block_tokens = 16;
+      cfg.kv_num_blocks = 64;
+      cfg.enable_prefix_cache = true;
+      cfg.cost.model = Opt13B();
+      cfg.cost.framework = Framework::kSpInfer;
+      cfg.cost.device = Rtx4090();
+      cfg.cost.sparsity = 0.6;
+      if (obs_on) {
+        cfg.obs.request_timeline = true;
+        cfg.obs.flight_recorder_iters = 64;
+        cfg.obs.slo_tracker = true;
+      }
+      auto engine = std::make_unique<ServingEngine>(&model, cfg);
+      for (int64_t s = 0; s < kObsSeqs; ++s) {
+        engine->Submit(prompts[static_cast<size_t>(s)], kObsMaxNew,
+                       static_cast<double>(s) * 0.0005);
+      }
+      const ExecServingReport rep = engine->Run();
+      g_sink = static_cast<float>(rep.tokens_generated);
+      if (obs_on) {
+        obs_engine = std::move(engine);  // keep the logs for the artifacts
+      }
+    };
+    bench("serving_engine_b8", [&] { run(false); });
+    const double base_ms = records.back().wall_ms;
+    bench("serving_obs_overhead", [&] { run(true); });
+    const double obs_ms = records.back().wall_ms;
+    std::printf("  derived: observability overhead %13.2f%%\n",
+                100.0 * (obs_ms - base_ms) / base_ms);
+
+    if (!timeline_path.empty()) {
+      SPINFER_CHECK_MSG(obs_engine->request_log()->WriteJsonl(timeline_path),
+                        "cannot write timeline output file");
+      std::printf("wrote %s (%zu timeline events)\n", timeline_path.c_str(),
+                  obs_engine->request_log()->events().size());
+    }
+    if (!trace_path.empty()) {
+      request_spans = obs_engine->request_log()->ChromeAsyncSpans();
+    }
+  }
+
   WriteBenchJson(out_path, records);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -517,10 +607,11 @@ int Main(int argc, char** argv) {
     obs::Tracer& tracer = obs::Tracer::Global();
     tracer.Stop();
     const std::vector<obs::TraceEvent> events = tracer.Drain();
-    SPINFER_CHECK_MSG(obs::ChromeTraceWriter::WriteFile(trace_path, events),
-                      "cannot write trace output file");
-    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
-                events.size());
+    SPINFER_CHECK_MSG(
+        obs::ChromeTraceWriter::WriteFile(trace_path, events, request_spans),
+        "cannot write trace output file");
+    std::printf("wrote %s (%zu trace events, %zu request spans)\n",
+                trace_path.c_str(), events.size(), request_spans.size());
   }
   if (!metrics_path.empty()) {
     ThreadPool::Global().PublishMetrics();
@@ -528,6 +619,13 @@ int Main(int argc, char** argv) {
         obs::MetricsRegistry::Global().WriteJsonFile(metrics_path),
         "cannot write metrics output file");
     std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    ThreadPool::Global().PublishMetrics();
+    SPINFER_CHECK_MSG(
+        obs::WritePromFile(prom_path, obs::MetricsRegistry::Global()),
+        "cannot write prom output file");
+    std::printf("wrote %s\n", prom_path.c_str());
   }
   return 0;
 }

@@ -9,10 +9,21 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
+#include "src/util/crash_dump.h"
 #include "src/util/random.h"
 
 namespace spinfer {
 namespace {
+
+// Constant-folds every request-observability site away under
+// SPINFER_TRACING_DISABLED: guards read `kServingObs && ptr`, so the whole
+// branch is dead code when the flag is set (and the ctor never allocates the
+// observers in the first place).
+#ifdef SPINFER_TRACING_DISABLED
+inline constexpr bool kServingObs = false;
+#else
+inline constexpr bool kServingObs = true;
+#endif
 
 // Cached global instruments (find-or-create once; recording is lock-free).
 struct ServingMetrics {
@@ -124,6 +135,28 @@ ServingEngine::ServingEngine(const TinyTransformer* model,
   SPINFER_CHECK(model != nullptr);
   SPINFER_CHECK(cfg.max_batch > 0);
   SPINFER_CHECK(cfg.prefill_chunk_tokens >= 0);
+  if (kServingObs) {
+    if (cfg.obs.request_timeline) {
+      request_log_ = std::make_unique<obs::RequestLog>(cfg.obs.wall_clock);
+    }
+    if (cfg.obs.flight_recorder_iters > 0) {
+      flight_recorder_ =
+          std::make_unique<obs::FlightRecorder>(cfg.obs.flight_recorder_iters);
+    }
+    if (cfg.obs.slo_tracker) {
+      obs::SloTrackerConfig slo;
+      slo.window_iters = cfg.obs.slo_window_iters;
+      slo_tracker_ = std::make_unique<obs::SloTracker>(slo);
+    }
+  }
+}
+
+ServingEngine::~ServingEngine() {
+  if (flight_recorder_ != nullptr) {
+    // Scoped uninstall: only clears the hook if it still points at our
+    // recorder, so a later engine's installation survives.
+    UninstallFlightRecorderCrashDump(flight_recorder_.get());
+  }
 }
 
 int64_t ServingEngine::Submit(std::vector<int32_t> prompt, int64_t max_new_tokens,
@@ -207,6 +240,29 @@ ExecServingReport ServingEngine::Run() {
   });
   std::deque<int64_t> queue(order.begin(), order.end());
 
+  // Observability is read-only on engine state: everything below that touches
+  // tl / flight_recorder_ / slo_tracker_ records what already happened and
+  // feeds nothing back. `kServingObs &&` folds the sites out under
+  // SPINFER_TRACING_DISABLED. Submitted events go out up front in queue
+  // (arrival, id) order — the single-writer discipline that keeps the JSONL
+  // byte-stable across thread counts.
+  obs::RequestLog* const tl = kServingObs ? request_log_.get() : nullptr;
+  obs::FlightRecorder* const fr =
+      kServingObs ? flight_recorder_.get() : nullptr;
+  obs::SloTracker* const slo = kServingObs ? slo_tracker_.get() : nullptr;
+  if (kServingObs && fr != nullptr && cfg_.obs.dump_flight_recorder_on_check) {
+    InstallFlightRecorderCrashDump(fr);
+  }
+  if (kServingObs && tl != nullptr) {
+    for (const int64_t id : queue) {
+      const RequestRecord& r = records_[static_cast<size_t>(id)];
+      tl->Append(r.id, obs::RequestEventKind::kSubmitted, -1, r.arrival_s,
+                 {{"prompt_tokens", static_cast<int64_t>(r.prompt.size())},
+                  {"max_new", r.max_new_tokens}});
+    }
+  }
+  std::vector<int64_t> fr_admitted_ids;
+
   const auto footprint_of = [this](const RequestRecord& r) {
     return cache_.BlocksForTokens(static_cast<int64_t>(r.prompt.size()) +
                                   r.max_new_tokens);
@@ -236,6 +292,13 @@ ExecServingReport ServingEngine::Run() {
   };
 
   while (!queue.empty() || !running.empty()) {
+    // 0-based index of the iteration this pass would execute; idle passes
+    // (clock jumps) share the index with the iteration that follows them.
+    const int64_t iter_idx = report.iterations;
+    int64_t fr_admitted = 0;
+    int64_t fr_rejected = 0;
+    fr_admitted_ids.clear();
+
     // --- Cancellation: applied at iteration boundaries, in (at_s, id) order
     // for determinism, once the virtual clock reaches the cancel time. -----
     due_cancels.clear();
@@ -267,13 +330,23 @@ ExecServingReport ServingEngine::Run() {
       const auto run_it =
           std::find_if(running.begin(), running.end(),
                        [id](const Active& a) { return a.id == id; });
-      if (run_it != running.end()) {
+      const bool was_running = run_it != running.end();
+      if (was_running) {
         cache_.RemoveSequence(id);  // refcount-aware: shared blocks survive
         running.erase(run_it);
       } else {
         queue.erase(std::find(queue.begin(), queue.end(), id));
       }
       record_terminal_span(r);
+      if (kServingObs && tl != nullptr) {
+        // A running victim is "evicted" (its KV blocks were reclaimed); a
+        // queued one was merely "cancelled".
+        tl->Append(id,
+                   was_running ? obs::RequestEventKind::kEvicted
+                               : obs::RequestEventKind::kCancelled,
+                   iter_idx, now_s,
+                   {{"generated", static_cast<int64_t>(r.generated.size())}});
+      }
     }
 
     // --- Admission: strict FIFO; the head blocks until it fits. ------------
@@ -299,7 +372,11 @@ ExecServingReport ServingEngine::Run() {
         r.reason = FinishReason::kRejected;
         r.finish_s = now_s;
         ++report.rejected;
+        ++fr_rejected;
         metrics.rejected->Increment();
+        if (kServingObs && tl != nullptr) {
+          tl->Append(r.id, obs::RequestEventKind::kRejected, iter_idx, now_s);
+        }
         continue;
       }
       if (static_cast<int64_t>(running.size()) >= cfg_.max_batch) {
@@ -331,6 +408,23 @@ ExecServingReport ServingEngine::Run() {
         metrics.prefix_miss_blocks->Add(static_cast<uint64_t>(fresh_blocks));
       }
       admission_order_.push_back(r.id);
+      ++fr_admitted;
+      if (kServingObs && fr != nullptr) {
+        fr_admitted_ids.push_back(r.id);
+      }
+      if (kServingObs && tl != nullptr) {
+        tl->Append(r.id, obs::RequestEventKind::kAdmitted, iter_idx, now_s,
+                   {{"fresh_blocks", fresh_blocks},
+                    {"shared_blocks",
+                     static_cast<int64_t>(match.blocks.size())}});
+        if (cfg_.enable_prefix_cache) {
+          tl->Append(
+              r.id, obs::RequestEventKind::kPrefixMatch, iter_idx, now_s,
+              {{"hit_blocks", static_cast<int64_t>(match.blocks.size())},
+               {"miss_blocks", fresh_blocks},
+               {"cached_tokens", match.tokens}});
+        }
+      }
       // Prefill starts past the adopted prefix; the chunk scheduler below
       // computes the rest (this same iteration when chunking is off).
       running.push_back(Active{r.id, match.tokens});
@@ -385,6 +479,35 @@ ExecServingReport ServingEngine::Run() {
     report.peak_batch = std::max(report.peak_batch, batch);
     report.peak_kv_blocks = std::max(report.peak_kv_blocks, cache_.used_blocks());
     SPINFER_TRACE_SCOPE_ARG("srv.step", "batch", batch);
+
+    if (kServingObs && tl != nullptr) {
+      for (const PrefillChunk& c : chunks) {
+        tl->Append(c.seq_id, obs::RequestEventKind::kChunkScheduled, iter_idx,
+                   now_s, {{"start", c.start}, {"tokens", c.count}});
+      }
+    }
+    // Flight-recorder composition is captured at execution time (post-
+    // admission, pre-retire): that is the working set a crash dump needs.
+    // Cost and the post-iteration clock are filled in after pricing.
+    obs::IterationSnapshot fr_snap;
+    if (kServingObs && fr != nullptr) {
+      fr_snap.iter = iter_idx;
+      fr_snap.batch = batch;
+      fr_snap.decode_seqs = static_cast<int64_t>(dec_ids.size());
+      fr_snap.prefill_seqs = static_cast<int64_t>(chunks.size());
+      fr_snap.chunk_tokens = chunk_tokens_sum;
+      fr_snap.admitted = fr_admitted;
+      fr_snap.rejected = fr_rejected;
+      fr_snap.queue_depth = static_cast<int64_t>(queue.size());
+      fr_snap.kv_used_blocks = cache_.used_blocks();
+      fr_snap.kv_total_blocks = cache_.total_blocks();
+      fr_snap.kv_wasted_slots = cache_.WastedTokenSlots();
+      fr_snap.batch_ids.reserve(running.size());
+      for (const Active& a : running) {
+        fr_snap.batch_ids.push_back(a.id);
+      }
+      fr_snap.admitted_ids = fr_admitted_ids;
+    }
 
     // --- Execute: ONE matmul per weight with N = decode + chunk columns. ---
     model_->MixedStep(dec_ids, dec_last, chunks, cfg_.backend, &cache_,
@@ -445,6 +568,31 @@ ExecServingReport ServingEngine::Run() {
       if (c.start + c.count == static_cast<int64_t>(r.prompt.size())) {
         r.first_token_s = now_s;
         r.ttft_ms = (now_s - r.arrival_s) * 1e3;
+        if (kServingObs && slo != nullptr) {
+          slo->RecordTtftMs(r.ttft_ms);
+        }
+      }
+    }
+    if (kServingObs && slo != nullptr) {
+      // Every decode-phase producer waited exactly this iteration for its
+      // token: the iteration cost IS the inter-token gap.
+      for (size_t i = 0; i < dec_ids.size(); ++i) {
+        slo->RecordTbtMs(iter_us / 1e3);
+      }
+    }
+    if (kServingObs && tl != nullptr) {
+      // One decode event per producer (decode-phase and prefill-completers
+      // alike), stamped at the post-iteration boundary where the token
+      // materializes.
+      for (const Active& a : running) {
+        const RequestRecord& r = records_[static_cast<size_t>(a.id)];
+        if (a.prefill_pos < static_cast<int64_t>(r.prompt.size())) {
+          continue;
+        }
+        tl->Append(a.id, obs::RequestEventKind::kDecodeIteration, iter_idx,
+                   now_s,
+                   {{"token", r.generated.back()},
+                    {"generated", static_cast<int64_t>(r.generated.size())}});
       }
     }
 
@@ -473,7 +621,21 @@ ExecServingReport ServingEngine::Run() {
       ++report.completed;
       cache_.RemoveSequence(r.id);
       record_terminal_span(r);
+      if (kServingObs && tl != nullptr) {
+        tl->Append(r.id, obs::RequestEventKind::kFinished, iter_idx, now_s,
+                   {{"generated", static_cast<int64_t>(r.generated.size())},
+                    {"eos", eos ? 1 : 0}});
+      }
       it = running.erase(it);
+    }
+
+    if (kServingObs && fr != nullptr) {
+      fr_snap.vt_s = now_s;
+      fr_snap.cost_ms = iter_us / 1e3;
+      fr->Record(std::move(fr_snap));
+    }
+    if (kServingObs && slo != nullptr) {
+      slo->EndIteration(cache_.Utilization(), &obs::MetricsRegistry::Global());
     }
 
     metrics.queue_depth->Set(static_cast<double>(queue.size()));

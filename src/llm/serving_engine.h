@@ -32,9 +32,18 @@
 // v2 additions (all default-off; defaults reproduce the v1 engine bit for
 // bit): hash-based shared-prefix KV reuse (enable_prefix_cache), chunked
 // prefill (prefill_chunk_tokens), and client cancellation (Cancel).
+//
+// Observability (ServingObsConfig, all default-off): a per-request event
+// timeline (obs::RequestLog), a scheduler flight recorder wired into
+// SPINFER_CHECK crash dumps (obs::FlightRecorder + src/util/crash_dump), and
+// a windowed SLO tracker publishing srv.slo.* gauges (obs::SloTracker). All
+// of it only *reads* engine state: token streams, reports, and the virtual
+// clock are bit-identical with observability on or off, and a
+// SPINFER_TRACING_DISABLED build compiles the recording sites out.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -43,6 +52,9 @@
 #include "src/llm/engine.h"
 #include "src/llm/kv_allocator.h"
 #include "src/llm/tiny_transformer.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/request_log.h"
+#include "src/obs/slo_tracker.h"
 #include "src/util/stats.h"
 
 namespace spinfer {
@@ -60,6 +72,31 @@ enum class FinishReason {
 };
 
 const char* FinishReasonName(FinishReason r);
+
+// Request-scoped observability. Everything is default-off, and enabling any
+// of it never changes token streams, reports, or the virtual clock
+// (tests/request_log_test.cc asserts bit-identity). Under
+// SPINFER_TRACING_DISABLED these knobs are ignored and the recording sites
+// compile out.
+struct ServingObsConfig {
+  // Structured per-request event timeline; read it after Run via
+  // ServingEngine::request_log() (WriteJsonl / ChromeAsyncSpans).
+  bool request_timeline = false;
+  // Ring capacity (scheduler iterations) of the flight recorder; 0 disables
+  // it. While enabled, Run installs the SPINFER_CHECK crash-dump hook so a
+  // check failure dumps the last N iterations to stderr (the engine
+  // uninstalls its own hook on destruction).
+  int64_t flight_recorder_iters = 0;
+  bool dump_flight_recorder_on_check = true;
+  // Sliding-window TTFT/TBT percentiles + KV occupancy, published to
+  // srv.slo.* gauges in the global MetricsRegistry every iteration.
+  bool slo_tracker = false;
+  int64_t slo_window_iters = 64;
+  // Wall clock for the timeline's wall_ns stamps (borrowed, must outlive the
+  // engine; nullptr = monotonic SteadyClock). Tests inject obs::FakeClock to
+  // make the JSONL byte-stable.
+  obs::Clock* wall_clock = nullptr;
+};
 
 struct ServingEngineConfig {
   int64_t max_batch = 8;
@@ -80,6 +117,8 @@ struct ServingEngineConfig {
   bool enable_prefix_cache = false;
   // Prices the virtual clock (PrefillTimeUs / DecodeStepTimeUs).
   EngineConfig cost;
+  // Request-scoped observability (timeline / flight recorder / SLO tracker).
+  ServingObsConfig obs;
 };
 
 // Poisson open-loop traffic for InjectPoissonArrivals. Arrival times are
@@ -150,6 +189,8 @@ class ServingEngine {
   // `model` is borrowed and must outlive the engine. The KV pool
   // (kv_num_blocks x kv_block_tokens slots per layer) is allocated here.
   ServingEngine(const TinyTransformer* model, const ServingEngineConfig& cfg);
+  // Uninstalls this engine's crash-dump hook (if it installed one).
+  ~ServingEngine();
 
   // Thread-safe enqueue; returns the request id (dense, starting at 0, in
   // submission order). `arrival_s` is the request's virtual arrival time.
@@ -180,6 +221,12 @@ class ServingEngine {
   const std::vector<int64_t>& admission_order() const { return admission_order_; }
   const PagedKvCache& kv_cache() const { return cache_; }
 
+  // Observability surfaces; nullptr when the corresponding ServingObsConfig
+  // knob is off (always nullptr under SPINFER_TRACING_DISABLED).
+  obs::RequestLog* request_log() const { return request_log_.get(); }
+  obs::FlightRecorder* flight_recorder() const { return flight_recorder_.get(); }
+  obs::SloTracker* slo_tracker() const { return slo_tracker_.get(); }
+
  private:
   struct Active {
     int64_t id = 0;
@@ -203,6 +250,12 @@ class ServingEngine {
   std::vector<std::pair<double, int64_t>> cancels_;
   std::vector<int64_t> admission_order_;
   bool ran_ = false;
+
+  // Constructed from cfg.obs in the ctor; null when off. Declared after the
+  // state they observe so they are destroyed first.
+  std::unique_ptr<obs::RequestLog> request_log_;
+  std::unique_ptr<obs::FlightRecorder> flight_recorder_;
+  std::unique_ptr<obs::SloTracker> slo_tracker_;
 };
 
 }  // namespace spinfer

@@ -54,12 +54,21 @@ void AppendMicros(uint64_t ns, std::string* out) {
 }  // namespace
 
 std::string ChromeTraceWriter::ToJson(const std::vector<TraceEvent>& events) {
+  return ToJson(events, {});
+}
+
+std::string ChromeTraceWriter::ToJson(
+    const std::vector<TraceEvent>& events,
+    const std::vector<AsyncSpan>& async_spans) {
   uint64_t base_ns = 0;
-  if (!events.empty()) {
-    base_ns = events[0].start_ns;
-    for (const TraceEvent& e : events) {
-      base_ns = std::min(base_ns, e.start_ns);
-    }
+  bool have_base = false;
+  for (const TraceEvent& e : events) {
+    base_ns = have_base ? std::min(base_ns, e.start_ns) : e.start_ns;
+    have_base = true;
+  }
+  for (const AsyncSpan& s : async_spans) {
+    base_ns = have_base ? std::min(base_ns, s.start_ns) : s.start_ns;
+    have_base = true;
   }
 
   std::set<uint32_t> tids;
@@ -118,13 +127,60 @@ std::string ChromeTraceWriter::ToJson(const std::vector<TraceEvent>& events) {
     out.push_back('}');
   }
 
+  // Async request spans: one "b"/"e" pair per span, matched by viewers on
+  // (cat, id). id is serialized as a decimal string (the spec's string form)
+  // so 64-bit ids survive JSON parsers that coerce numbers to doubles.
+  for (const AsyncSpan& s : async_spans) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    for (const char ph : {'b', 'e'}) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"ph\":\"%c\",\"pid\":0,\"tid\":0,\"id\":\"%" PRIu64
+                    "\",\"ts\":",
+                    ph, s.id);
+      out.append(buf);
+      AppendMicros((ph == 'b' ? s.start_ns : s.end_ns) - base_ns, &out);
+      out.append(",\"name\":\"");
+      AppendJsonEscaped(s.name.c_str(), &out);
+      out.append("\",\"cat\":\"");
+      AppendJsonEscaped(s.cat.c_str(), &out);
+      out.push_back('"');
+      if (ph == 'b' && !s.args.empty()) {
+        out.append(",\"args\":{");
+        for (size_t i = 0; i < s.args.size(); ++i) {
+          if (i > 0) {
+            out.push_back(',');
+          }
+          out.push_back('"');
+          AppendJsonEscaped(s.args[i].first.c_str(), &out);
+          out.append("\":");
+          std::snprintf(buf, sizeof(buf), "%" PRId64, s.args[i].second);
+          out.append(buf);
+        }
+        out.push_back('}');
+      }
+      out.push_back('}');
+      if (ph == 'b') {
+        out.push_back(',');
+      }
+    }
+  }
+
   out.append("]}\n");
   return out;
 }
 
 bool ChromeTraceWriter::WriteFile(const std::string& path,
                                   const std::vector<TraceEvent>& events) {
-  const std::string json = ToJson(events);
+  return WriteFile(path, events, {});
+}
+
+bool ChromeTraceWriter::WriteFile(const std::string& path,
+                                  const std::vector<TraceEvent>& events,
+                                  const std::vector<AsyncSpan>& async_spans) {
+  const std::string json = ToJson(events, async_spans);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return false;

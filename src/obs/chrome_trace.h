@@ -3,13 +3,17 @@
 // Output is the "JSON Object Format" understood by Perfetto and
 // chrome://tracing with no fixups: a top-level object holding
 // `displayTimeUnit` and a `traceEvents` array of "M" (thread-name metadata)
-// events followed by "X" (complete) events. Timestamps are emitted in
-// microseconds with fixed 3-decimal nanosecond precision, rebased so the
-// earliest span starts at ts 0 — which also makes the output a pure function
-// of the event list, so FakeClock-driven tests can assert it byte-for-byte.
+// events followed by "X" (complete) events and, when the caller supplies
+// AsyncSpans, "b"/"e" (nestable async begin/end) pairs. Timestamps are
+// emitted in microseconds with fixed 3-decimal nanosecond precision, rebased
+// so the earliest span (sync or async) starts at ts 0 — which also makes the
+// output a pure function of the event list, so FakeClock-driven tests can
+// assert it byte-for-byte.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/obs/trace.h"
@@ -17,15 +21,37 @@
 namespace spinfer {
 namespace obs {
 
+// One async interval keyed by an id rather than pinned to a thread — the
+// Chrome trace shape for request-scoped spans, whose lifetime crosses
+// scheduler iterations and threads. Viewers group spans by (cat, id), so all
+// phases of one request share its id and land on one timeline row. Built at
+// export time (RequestLog::ChromeAsyncSpans), never on a hot path, hence the
+// owning std::strings.
+struct AsyncSpan {
+  std::string name;
+  std::string cat = "spinfer";
+  uint64_t id = 0;
+  uint64_t start_ns = 0;
+  uint64_t end_ns = 0;
+  std::vector<std::pair<std::string, int64_t>> args;  // on the "b" event
+};
+
 class ChromeTraceWriter {
  public:
   // Deterministic serialization of `events` (kept in the order given; Drain
   // order is (tid, append), which viewers accept without sorting).
   static std::string ToJson(const std::vector<TraceEvent>& events);
+  // As above plus async spans, each emitted as an adjacent "b"/"e" pair in
+  // the order given (begin-before-end is the only ordering viewers require).
+  static std::string ToJson(const std::vector<TraceEvent>& events,
+                            const std::vector<AsyncSpan>& async_spans);
 
   // ToJson + write to `path`. Returns false if the file cannot be written.
   static bool WriteFile(const std::string& path,
                         const std::vector<TraceEvent>& events);
+  static bool WriteFile(const std::string& path,
+                        const std::vector<TraceEvent>& events,
+                        const std::vector<AsyncSpan>& async_spans);
 };
 
 }  // namespace obs

@@ -1,0 +1,117 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+void AppendIdList(const std::vector<int64_t>& ids, std::string* out) {
+  out->push_back('[');
+  char buf[32];
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) {
+      out->push_back(',');
+    }
+    std::snprintf(buf, sizeof(buf), "%" PRId64, ids[i]);
+    out->append(buf);
+  }
+  out->push_back(']');
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(int64_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.resize(static_cast<size_t>(capacity_));
+}
+
+void FlightRecorder::Record(IterationSnapshot snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[static_cast<size_t>(recorded_ % capacity_)] = std::move(snapshot);
+  ++recorded_;
+}
+
+int64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::vector<IterationSnapshot> FlightRecorder::Snapshots() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<IterationSnapshot> out;
+  const int64_t retained = recorded_ < capacity_ ? recorded_ : capacity_;
+  out.reserve(static_cast<size_t>(retained));
+  for (int64_t i = recorded_ - retained; i < recorded_; ++i) {
+    out.push_back(ring_[static_cast<size_t>(i % capacity_)]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::DumpLocked() const {
+  const int64_t retained = recorded_ < capacity_ ? recorded_ : capacity_;
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "[flight-recorder] %" PRId64 " of %" PRId64
+                " iterations retained (capacity %" PRId64 ")\n",
+                retained, recorded_, capacity_);
+  out.append(buf);
+  for (int64_t i = recorded_ - retained; i < recorded_; ++i) {
+    const IterationSnapshot& s = ring_[static_cast<size_t>(i % capacity_)];
+    std::snprintf(buf, sizeof(buf),
+                  "iter=%" PRId64 " vt_ms=%.6f cost_ms=%.6f batch=%" PRId64
+                  " decode=%" PRId64 " prefill=%" PRId64
+                  " chunk_tokens=%" PRId64 " admitted=%" PRId64
+                  " rejected=%" PRId64 " queue=%" PRId64 " kv=%" PRId64
+                  "/%" PRId64 " blocks wasted_slots=%" PRId64 " ids=",
+                  s.iter, s.vt_s * 1e3, s.cost_ms, s.batch, s.decode_seqs,
+                  s.prefill_seqs, s.chunk_tokens, s.admitted, s.rejected,
+                  s.queue_depth, s.kv_used_blocks, s.kv_total_blocks,
+                  s.kv_wasted_slots);
+    out.append(buf);
+    AppendIdList(s.batch_ids, &out);
+    out.append(" admitted_ids=");
+    AppendIdList(s.admitted_ids, &out);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump() const {
+  // try_lock, not lock: the crash-dump hook (src/util/crash_dump) calls this
+  // from CheckFailed, possibly while another thread sits inside Record — a
+  // blocking lock there would hang the abort path.
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    return "[flight-recorder] ring busy (writer crashed mid-record?); "
+           "no snapshot available\n";
+  }
+  return DumpLocked();
+}
+
+void FlightRecorder::DumpToStderr() const {
+  const std::string text = Dump();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  std::fflush(stderr);
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  const std::string text = Dump();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (written != text.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,78 @@
+// Scheduler flight recorder: a fixed-size ring of per-iteration snapshots.
+//
+// Post-mortem debugging of a serving crash needs the *recent history* of the
+// scheduler — what the batch looked like, how full the KV pool was, who was
+// admitted or bounced — not a point-in-time gauge. Logging every iteration
+// unconditionally is too expensive and too noisy; the flight recorder instead
+// keeps the last N IterationSnapshots in a preallocated ring (O(1) record,
+// bounded memory, oldest evicted first) and renders them on demand.
+//
+// Dump() is deterministic text (a pure function of the retained snapshots,
+// fixed formats throughout) so tests can golden it, and crash-safe: it
+// try_locks rather than locks, so a SPINFER_CHECK failure handler can dump
+// from under a thread that died while recording without deadlocking (see
+// src/util/crash_dump.h for the hook glue — it lives in spinfer_util because
+// this library is deliberately std-only).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spinfer {
+namespace obs {
+
+// Everything the scheduler knew about one iteration. Plain value type filled
+// by the engine loop; vectors are moved in, so steady-state recording only
+// reuses the evicted slot's capacity.
+struct IterationSnapshot {
+  int64_t iter = 0;          // 0-based scheduler iteration index
+  double vt_s = 0.0;         // virtual clock after this iteration
+  double cost_ms = 0.0;      // virtual cost charged for this iteration
+  int64_t batch = 0;         // sequences executed (decode + prefill chunks)
+  int64_t decode_seqs = 0;
+  int64_t prefill_seqs = 0;  // sequences that ran a prefill chunk
+  int64_t chunk_tokens = 0;  // prompt tokens prefetched this iteration
+  int64_t admitted = 0;      // admission verdicts made at the iteration start
+  int64_t rejected = 0;
+  int64_t queue_depth = 0;   // still waiting after admission
+  int64_t kv_used_blocks = 0;
+  int64_t kv_total_blocks = 0;
+  int64_t kv_wasted_slots = 0;  // fragmentation: allocated-but-unwritten slots
+  std::vector<int64_t> batch_ids;     // request ids executed, engine order
+  std::vector<int64_t> admitted_ids;  // request ids admitted this iteration
+};
+
+class FlightRecorder {
+ public:
+  // `capacity` (> 0) iterations are retained; older ones are overwritten.
+  explicit FlightRecorder(int64_t capacity);
+
+  void Record(IterationSnapshot snapshot);
+
+  int64_t capacity() const { return capacity_; }
+  // Total iterations ever recorded (>= retained count).
+  int64_t recorded() const;
+
+  // Retained snapshots, oldest first.
+  std::vector<IterationSnapshot> Snapshots() const;
+
+  // Deterministic multi-line rendering: a header line, then one line per
+  // retained iteration, oldest first. If the ring lock is held by a crashed
+  // writer the dump degrades to a single warning line instead of blocking.
+  std::string Dump() const;
+  void DumpToStderr() const;
+  bool DumpToFile(const std::string& path) const;
+
+ private:
+  std::string DumpLocked() const;  // requires mu_
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<IterationSnapshot> ring_;  // size capacity_, slot = n % capacity
+  int64_t recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace spinfer

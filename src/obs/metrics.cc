@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 
@@ -132,6 +133,44 @@ std::string Histogram::Summary() const {
   return out;
 }
 
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(DoubleBits(0.0), std::memory_order_relaxed);
+  min_bits_.store(DoubleBits(0.0), std::memory_order_relaxed);
+  max_bits_.store(DoubleBits(0.0), std::memory_order_relaxed);
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.upper_bounds_ != upper_bounds_) {
+    // Merging across layouts would silently misfile samples; an exporter bug,
+    // not a data condition. Cheap enough to check every merge.
+    std::fprintf(stderr, "Histogram::MergeFrom: bucket layouts differ\n");
+    std::abort();
+  }
+  const uint64_t n = other.Count();
+  if (n == 0) {
+    return;
+  }
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].fetch_add(other.BucketCount(i), std::memory_order_relaxed);
+  }
+  sum_bits_.store(DoubleBits(Sum() + other.Sum()), std::memory_order_relaxed);
+  const bool was_empty = Count() == 0;
+  count_.fetch_add(n, std::memory_order_relaxed);
+  if (was_empty) {
+    min_bits_.store(DoubleBits(other.Min()), std::memory_order_relaxed);
+    max_bits_.store(DoubleBits(other.Max()), std::memory_order_relaxed);
+    return;
+  }
+  UpdateExtremum(&min_bits_, other.Min(),
+                 [](double a, double b) { return a < b; });
+  UpdateExtremum(&max_bits_, other.Max(),
+                 [](double a, double b) { return a > b; });
+}
+
 std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
                                                   int count) {
   std::vector<double> bounds;
@@ -188,6 +227,30 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
     slot = std::make_unique<Histogram>(std::move(upper_bounds));
   }
   return slot.get();
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const Counter&)>& fn) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, c] : impl_->counters) {
+    fn(name, *c);
+  }
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, g] : impl_->gauges) {
+    fn(name, *g);
+  }
+}
+
+void MetricsRegistry::VisitHistograms(
+    const std::function<void(const std::string&, const Histogram&)>& fn) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (const auto& [name, h] : impl_->histograms) {
+    fn(name, *h);
+  }
 }
 
 std::string MetricsRegistry::ToString() const {

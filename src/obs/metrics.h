@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,6 +65,22 @@ class Histogram {
 
   const std::vector<double>& upper_bounds() const { return upper_bounds_; }
 
+  // Samples landed in bucket `i`: i < upper_bounds().size() is the bucket
+  // with that upper bound, i == upper_bounds().size() is the overflow bucket.
+  // Exporters (Prometheus text exposition) cumulate these into `le` series.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  size_t NumBuckets() const { return buckets_.size(); }
+
+  // Window primitives for the SLO tracker's epoch ring (src/obs/slo_tracker).
+  // Both require quiesced writers — same contract as the snapshot methods.
+  // Reset drops every sample; MergeFrom adds `other`'s samples (bucket
+  // counts, count, sum, extrema) into this histogram. The bucket layouts
+  // must match.
+  void Reset();
+  void MergeFrom(const Histogram& other);
+
   // upper_bounds = {start, start*factor, ...} (count entries), for latency
   // histograms spanning several decades.
   static std::vector<double> ExponentialBuckets(double start, double factor,
@@ -89,6 +106,18 @@ class MetricsRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds);
+
+  // Read-only visitation in name-sorted order, under the registry lock.
+  // The callbacks must not call back into the registry (deadlock); they may
+  // read the instruments (snapshot semantics — see the header comment). This
+  // is the export surface Prometheus serialization (src/obs/prom_export)
+  // walks without the registry having to know any exposition format.
+  void VisitCounters(
+      const std::function<void(const std::string&, const Counter&)>& fn) const;
+  void VisitGauges(
+      const std::function<void(const std::string&, const Gauge&)>& fn) const;
+  void VisitHistograms(
+      const std::function<void(const std::string&, const Histogram&)>& fn) const;
 
   // Human-readable dump, one `name kind value` line per instrument, sorted
   // by name.

@@ -1,0 +1,137 @@
+#include "src/obs/prom_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+bool IsPromChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+// %.9g: round-trips every bucket bound and gauge this codebase produces
+// without decaying to the 6-digit default that merges adjacent exponential
+// bounds. Prometheus parses scientific notation, so the 'g' fallback is fine.
+void AppendDouble(double v, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendU64(uint64_t v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out->append(buf);
+}
+
+void AppendHeader(const std::string& prom_name, const char* type,
+                  const std::string& source_name, std::string* out) {
+  out->append("# HELP ");
+  out->append(prom_name);
+  out->append(" spinfer metric ");
+  out->append(source_name);
+  out->push_back('\n');
+  out->append("# TYPE ");
+  out->append(prom_name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string PromMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 8);
+  if (name.rfind("spinfer", 0) != 0) {
+    out = "spinfer_";
+  }
+  for (const char c : name) {
+    out.push_back(IsPromChar(c) ? c : '_');
+  }
+  if (out == "spinfer_" || out.empty()) {
+    return "spinfer_unnamed";
+  }
+  // Leading digit after the prefix is impossible ("spinfer_" prefix), but a
+  // bare name starting with a digit would be: it got the prefix above.
+  return out;
+}
+
+std::string PromExport(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(1024);
+
+  registry.VisitCounters([&out](const std::string& name, const Counter& c) {
+    const std::string prom = PromMetricName(name) + "_total";
+    AppendHeader(prom, "counter", name, &out);
+    out.append(prom);
+    out.push_back(' ');
+    AppendU64(c.Value(), &out);
+    out.push_back('\n');
+  });
+
+  registry.VisitGauges([&out](const std::string& name, const Gauge& g) {
+    const std::string prom = PromMetricName(name);
+    AppendHeader(prom, "gauge", name, &out);
+    out.append(prom);
+    out.push_back(' ');
+    AppendDouble(g.Value(), &out);
+    out.push_back('\n');
+  });
+
+  registry.VisitHistograms([&out](const std::string& name,
+                                  const Histogram& h) {
+    const std::string prom = PromMetricName(name);
+    AppendHeader(prom, "histogram", name, &out);
+    // Prometheus buckets are cumulative ("samples <= le"), ours are disjoint;
+    // accumulate while walking the shared upper-bound list.
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = h.upper_bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += h.BucketCount(i);
+      out.append(prom);
+      out.append("_bucket{le=\"");
+      AppendDouble(bounds[i], &out);
+      out.append("\"} ");
+      AppendU64(cumulative, &out);
+      out.push_back('\n');
+    }
+    out.append(prom);
+    out.append("_bucket{le=\"+Inf\"} ");
+    AppendU64(h.Count(), &out);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_sum ");
+    AppendDouble(h.Sum(), &out);
+    out.push_back('\n');
+    out.append(prom);
+    out.append("_count ");
+    AppendU64(h.Count(), &out);
+    out.push_back('\n');
+  });
+
+  return out;
+}
+
+bool WritePromFile(const std::string& path, const MetricsRegistry& registry) {
+  const std::string text = PromExport(registry);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  if (written != text.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,40 @@
+// Prometheus text-exposition (format version 0.0.4) over a MetricsRegistry.
+//
+// Turns the registry's counters/gauges/histograms into the plain-text format
+// every Prometheus-compatible scraper ingests, without the registry knowing
+// any exposition details (it only exposes Visit*). Mapping:
+//   * instrument names are sanitized to [a-zA-Z0-9_:] and prefixed
+//     "spinfer_" ("srv.ttft_ms" -> "spinfer_srv_ttft_ms");
+//   * counters additionally get the conventional "_total" suffix;
+//   * histograms expand to cumulative `le`-labelled buckets (upper bounds
+//     from Histogram::upper_bounds, then le="+Inf"), plus _sum and _count.
+// Output is name-sorted (the registry visits in sorted order) and
+// fixed-format, so a quiesced registry serializes byte-identically — tests
+// golden it, and tools/prom_lint.py validates it in CI.
+//
+// This is a pull-style snapshot writer: serving code keeps publishing into
+// the registry at its own cadence, and whoever answers the scrape (or the
+// bench harness via --prom=FILE) calls PromExport at scrape time.
+#pragma once
+
+#include <string>
+
+namespace spinfer {
+namespace obs {
+
+class MetricsRegistry;
+
+// "srv.ttft ms" -> "spinfer_srv_ttft_ms": invalid chars to '_', "spinfer_"
+// prepended (unless already present), empty input -> "spinfer_unnamed".
+std::string PromMetricName(const std::string& name);
+
+// Serializes every instrument in `registry`. Deterministic for quiesced
+// instruments; concurrent writers yield torn-but-valid snapshots (same
+// contract as MetricsRegistry::ToString).
+std::string PromExport(const MetricsRegistry& registry);
+
+// PromExport + write to `path`. Returns false if the file cannot be written.
+bool WritePromFile(const std::string& path, const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,189 @@
+#include "src/obs/request_log.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+SteadyClock* DefaultWallClock() {
+  static SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+int64_t SecondsToNs(double s) {
+  // llround, not a cast: the same rounding everywhere keeps vt_ns identical
+  // across compilers for the byte-stability golden.
+  return static_cast<int64_t>(std::llround(s * 1e9));
+}
+
+void AppendInt(const char* key, int64_t value, std::string* out) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRId64, key, value);
+  out->append(buf);
+}
+
+}  // namespace
+
+const char* RequestEventKindName(RequestEventKind kind) {
+  switch (kind) {
+    case RequestEventKind::kSubmitted:
+      return "submitted";
+    case RequestEventKind::kAdmitted:
+      return "admitted";
+    case RequestEventKind::kPrefixMatch:
+      return "prefix_match";
+    case RequestEventKind::kChunkScheduled:
+      return "chunk_scheduled";
+    case RequestEventKind::kDecodeIteration:
+      return "decode";
+    case RequestEventKind::kFinished:
+      return "finished";
+    case RequestEventKind::kEvicted:
+      return "evicted";
+    case RequestEventKind::kCancelled:
+      return "cancelled";
+    case RequestEventKind::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+bool RequestEventKindIsTerminal(RequestEventKind kind) {
+  switch (kind) {
+    case RequestEventKind::kFinished:
+    case RequestEventKind::kEvicted:
+    case RequestEventKind::kCancelled:
+    case RequestEventKind::kRejected:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RequestLog::RequestLog(Clock* wall_clock)
+    : wall_clock_(wall_clock != nullptr ? wall_clock : DefaultWallClock()) {}
+
+void RequestLog::Append(int64_t request_id, RequestEventKind kind, int64_t iter,
+                        double vt_s,
+                        std::initializer_list<RequestEventArg> args) {
+  RequestEvent e;
+  e.request_id = request_id;
+  e.kind = kind;
+  e.iter = iter;
+  e.vt_ns = SecondsToNs(vt_s);
+  e.wall_ns = wall_clock_->NowNs();
+  for (const RequestEventArg& a : args) {
+    if (e.num_args == kRequestEventMaxArgs) {
+      break;
+    }
+    e.args[e.num_args++] = a;
+  }
+  events_.push_back(e);
+}
+
+std::string RequestLog::ToJsonl() const {
+  std::string out;
+  out.reserve(events_.size() * 96);
+  char buf[128];
+  for (const RequestEvent& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"req\":%" PRId64 ",\"ev\":\"%s\",\"iter\":%" PRId64
+                  ",\"vt_ns\":%" PRId64 ",\"wall_ns\":%" PRIu64,
+                  e.request_id, RequestEventKindName(e.kind), e.iter, e.vt_ns,
+                  e.wall_ns);
+    out.append(buf);
+    for (uint32_t i = 0; i < e.num_args; ++i) {
+      AppendInt(e.args[i].name != nullptr ? e.args[i].name : "arg",
+                e.args[i].value, &out);
+    }
+    out.append("}\n");
+  }
+  return out;
+}
+
+bool RequestLog::WriteJsonl(const std::string& path) const {
+  const std::string jsonl = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(jsonl.data(), 1, jsonl.size(), f);
+  if (written != jsonl.size()) {
+    std::fclose(f);
+    return false;
+  }
+  return std::fclose(f) == 0;
+}
+
+std::vector<AsyncSpan> RequestLog::ChromeAsyncSpans() const {
+  // Per request we need the three anchor events; one linear pass collects
+  // them, then spans are emitted in ascending request-id order (std::map) so
+  // the export is byte-stable regardless of interleaving between requests.
+  struct Anchors {
+    bool has_submit = false, has_admit = false, has_terminal = false;
+    int64_t submit_ns = 0, admit_ns = 0, terminal_ns = 0;
+    RequestEventKind terminal = RequestEventKind::kFinished;
+    std::vector<std::pair<std::string, int64_t>> terminal_args;
+  };
+  std::map<int64_t, Anchors> by_req;
+  for (const RequestEvent& e : events_) {
+    Anchors& a = by_req[e.request_id];
+    if (e.kind == RequestEventKind::kSubmitted && !a.has_submit) {
+      a.has_submit = true;
+      a.submit_ns = e.vt_ns;
+    } else if (e.kind == RequestEventKind::kAdmitted && !a.has_admit) {
+      a.has_admit = true;
+      a.admit_ns = e.vt_ns;
+    } else if (RequestEventKindIsTerminal(e.kind) && !a.has_terminal) {
+      a.has_terminal = true;
+      a.terminal_ns = e.vt_ns;
+      a.terminal = e.kind;
+      for (uint32_t i = 0; i < e.num_args; ++i) {
+        a.terminal_args.emplace_back(
+            e.args[i].name != nullptr ? e.args[i].name : "arg",
+            e.args[i].value);
+      }
+    }
+  }
+
+  std::vector<AsyncSpan> spans;
+  for (const auto& [req, a] : by_req) {
+    if (!a.has_submit || !a.has_terminal) {
+      continue;  // still in flight when the log was captured
+    }
+    AsyncSpan request;
+    request.name = std::string("request/") + RequestEventKindName(a.terminal);
+    request.cat = "srv.request";
+    request.id = static_cast<uint64_t>(req);
+    request.start_ns = static_cast<uint64_t>(a.submit_ns);
+    request.end_ns = static_cast<uint64_t>(a.terminal_ns);
+    request.args = a.terminal_args;
+    spans.push_back(std::move(request));
+    if (!a.has_admit) {
+      continue;  // rejected / cancelled-in-queue: no queued/exec phases
+    }
+    AsyncSpan queued;
+    queued.name = "queued";
+    queued.cat = "srv.request";
+    queued.id = static_cast<uint64_t>(req);
+    queued.start_ns = static_cast<uint64_t>(a.submit_ns);
+    queued.end_ns = static_cast<uint64_t>(a.admit_ns);
+    spans.push_back(std::move(queued));
+    AsyncSpan exec;
+    exec.name = "exec";
+    exec.cat = "srv.request";
+    exec.id = static_cast<uint64_t>(req);
+    exec.start_ns = static_cast<uint64_t>(a.admit_ns);
+    exec.end_ns = static_cast<uint64_t>(a.terminal_ns);
+    spans.push_back(std::move(exec));
+  }
+  return spans;
+}
+
+}  // namespace obs
+}  // namespace spinfer

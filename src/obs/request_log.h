@@ -1,0 +1,108 @@
+// Structured per-request event timeline for the serving engine.
+//
+// Where src/obs/trace.h records anonymous *spans* (one timed interval on one
+// thread), this log records *request-scoped events*: typed scheduler
+// decisions (submitted, admitted, prefix-hit/miss, chunk-scheduled,
+// decode-iteration, finished/evicted/cancelled/rejected) keyed by request id.
+// It exists to answer "why was THIS request slow?" — the question aggregate
+// counters and thread-local spans structurally cannot.
+//
+// Every event carries two timestamps:
+//   * vt_ns — the engine's deterministic virtual clock (the one that prices
+//     iterations and makes reports byte-stable). All analysis tools
+//     (tools/request_timeline.py, the Chrome async export) run on this axis.
+//   * wall_ns — a real (or injected Fake) obs::Clock read at record time, for
+//     correlating the virtual schedule against wall hiccups in production.
+//
+// Determinism contract: appends happen only from the scheduler loop (single
+// writer, no locks), every field is derived from engine state that is itself
+// byte-stable across thread counts, and serialization is fixed-format — so
+// under FakeClock the JSONL output is byte-identical at --threads=1/2/8
+// (tests/request_log_test.cc). Recording never touches engine computations:
+// token streams and reports are bit-identical with the timeline on or off.
+//
+// Export surfaces:
+//   * ToJsonl()/WriteJsonl(): one JSON object per line, fixed key order —
+//     the machine-readable log tools/request_timeline.py consumes.
+//   * ChromeAsyncSpans(): per-request async ("b"/"e") spans on the virtual
+//     timeline, viewable in Perfetto on one row per request id next to the
+//     engine's sync spans (ChromeTraceWriter's async overload).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/obs/chrome_trace.h"
+#include "src/obs/clock.h"
+
+namespace spinfer {
+namespace obs {
+
+enum class RequestEventKind : uint8_t {
+  kSubmitted,        // entered the queue (vt = arrival time)
+  kAdmitted,         // scheduler granted a batch slot + KV reservation
+  kPrefixMatch,      // prefix-cache verdict at admission (hit/miss blocks)
+  kChunkScheduled,   // a prefill chunk of this prompt ran this iteration
+  kDecodeIteration,  // produced one token this iteration
+  kFinished,         // terminal: EOS or max-tokens
+  kEvicted,          // terminal: evicted mid-run (cancellation)
+  kCancelled,        // terminal: cancelled while still queued
+  kRejected,         // terminal: never servable
+};
+
+// Stable lowercase name used in the JSONL `ev` field ("submitted", ...).
+const char* RequestEventKindName(RequestEventKind kind);
+bool RequestEventKindIsTerminal(RequestEventKind kind);
+
+inline constexpr int kRequestEventMaxArgs = 3;
+
+struct RequestEventArg {
+  const char* name = nullptr;  // static literal
+  int64_t value = 0;
+};
+
+struct RequestEvent {
+  int64_t request_id = 0;
+  RequestEventKind kind = RequestEventKind::kSubmitted;
+  int64_t iter = -1;     // scheduler iteration (0-based); -1 = pre-scheduling
+  int64_t vt_ns = 0;     // virtual time, integer ns (llround of seconds*1e9)
+  uint64_t wall_ns = 0;  // wall clock at record time
+  uint32_t num_args = 0;
+  RequestEventArg args[kRequestEventMaxArgs];
+};
+
+class RequestLog {
+ public:
+  // `wall_clock` is borrowed and must outlive the log; nullptr selects a
+  // process-wide SteadyClock. Tests inject FakeClock for byte-stable output.
+  explicit RequestLog(Clock* wall_clock = nullptr);
+
+  // Appends one event. Single-writer (the scheduler loop); `args` beyond
+  // kRequestEventMaxArgs are dropped.
+  void Append(int64_t request_id, RequestEventKind kind, int64_t iter,
+              double vt_s, std::initializer_list<RequestEventArg> args = {});
+
+  const std::vector<RequestEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  // One JSON object per line, '\n'-terminated, fixed key order:
+  //   {"req":N,"ev":"...","iter":N,"vt_ns":N,"wall_ns":N,<kind args...>}
+  // A pure function of the event list — byte-stable wherever the events are.
+  std::string ToJsonl() const;
+  bool WriteJsonl(const std::string& path) const;
+
+  // Per-request async spans on the virtual timeline, grouped per request id:
+  // "request" (submitted -> terminal), "queued" (submitted -> admitted) and
+  // "exec" (admitted -> terminal) when the request was admitted. Requests
+  // with no terminal event (log captured mid-run) are skipped.
+  std::vector<AsyncSpan> ChromeAsyncSpans() const;
+
+ private:
+  Clock* wall_clock_;
+  std::vector<RequestEvent> events_;
+};
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,132 @@
+#include "src/obs/slo_tracker.h"
+
+#include <cstdio>
+
+namespace spinfer {
+namespace obs {
+
+namespace {
+
+std::vector<double> DefaultBounds() {
+  return Histogram::ExponentialBuckets(0.05, 2.0, 24);
+}
+
+}  // namespace
+
+SloTracker::SloTracker(const SloTrackerConfig& config) : config_(config) {
+  if (config_.epochs < 1) {
+    config_.epochs = 1;
+  }
+  if (config_.window_iters < config_.epochs) {
+    config_.window_iters = config_.epochs;
+  }
+  if (config_.bucket_bounds_ms.empty()) {
+    config_.bucket_bounds_ms = DefaultBounds();
+  }
+  iters_per_epoch_ =
+      (config_.window_iters + config_.epochs - 1) / config_.epochs;
+  ttft_epochs_.reserve(static_cast<size_t>(config_.epochs));
+  tbt_epochs_.reserve(static_cast<size_t>(config_.epochs));
+  for (int64_t i = 0; i < config_.epochs; ++i) {
+    ttft_epochs_.push_back(
+        std::make_unique<Histogram>(config_.bucket_bounds_ms));
+    tbt_epochs_.push_back(std::make_unique<Histogram>(config_.bucket_bounds_ms));
+  }
+  scratch_ = std::make_unique<Histogram>(config_.bucket_bounds_ms);
+}
+
+void SloTracker::RecordTtftMs(double ms) { ttft_epochs_[head_]->Record(ms); }
+
+void SloTracker::RecordTbtMs(double ms) { tbt_epochs_[head_]->Record(ms); }
+
+void SloTracker::MergeWindow(
+    const std::vector<std::unique_ptr<Histogram>>& epochs,
+    Histogram* into) const {
+  into->Reset();
+  for (const auto& e : epochs) {
+    into->MergeFrom(*e);
+  }
+}
+
+double SloTracker::TtftQuantileMs(double q) const {
+  MergeWindow(ttft_epochs_, scratch_.get());
+  return scratch_->Quantile(q);
+}
+
+double SloTracker::TbtQuantileMs(double q) const {
+  MergeWindow(tbt_epochs_, scratch_.get());
+  return scratch_->Quantile(q);
+}
+
+uint64_t SloTracker::WindowTtftCount() const {
+  uint64_t n = 0;
+  for (const auto& e : ttft_epochs_) {
+    n += e->Count();
+  }
+  return n;
+}
+
+uint64_t SloTracker::WindowTbtCount() const {
+  uint64_t n = 0;
+  for (const auto& e : tbt_epochs_) {
+    n += e->Count();
+  }
+  return n;
+}
+
+void SloTracker::EndIteration(double kv_occupancy, MetricsRegistry* registry) {
+  ++iterations_;
+  if (iterations_ % iters_per_epoch_ == 0) {
+    head_ = (head_ + 1) % ttft_epochs_.size();
+    ttft_epochs_[head_]->Reset();
+    tbt_epochs_[head_]->Reset();
+  }
+  if (registry == nullptr) {
+    return;
+  }
+  if (registry != cached_registry_) {
+    cached_registry_ = registry;
+    g_ttft_p50_ = registry->GetGauge("srv.slo.ttft_p50_ms");
+    g_ttft_p95_ = registry->GetGauge("srv.slo.ttft_p95_ms");
+    g_ttft_p99_ = registry->GetGauge("srv.slo.ttft_p99_ms");
+    g_tbt_p50_ = registry->GetGauge("srv.slo.tbt_p50_ms");
+    g_tbt_p95_ = registry->GetGauge("srv.slo.tbt_p95_ms");
+    g_tbt_p99_ = registry->GetGauge("srv.slo.tbt_p99_ms");
+    g_kv_occupancy_ = registry->GetGauge("srv.slo.kv_occupancy");
+    g_ttft_count_ = registry->GetGauge("srv.slo.window_ttft_count");
+    g_tbt_count_ = registry->GetGauge("srv.slo.window_tbt_count");
+  }
+  MergeWindow(ttft_epochs_, scratch_.get());
+  g_ttft_p50_->Set(scratch_->Quantile(0.50));
+  g_ttft_p95_->Set(scratch_->Quantile(0.95));
+  g_ttft_p99_->Set(scratch_->Quantile(0.99));
+  g_ttft_count_->Set(static_cast<double>(scratch_->Count()));
+  MergeWindow(tbt_epochs_, scratch_.get());
+  g_tbt_p50_->Set(scratch_->Quantile(0.50));
+  g_tbt_p95_->Set(scratch_->Quantile(0.95));
+  g_tbt_p99_->Set(scratch_->Quantile(0.99));
+  g_tbt_count_->Set(static_cast<double>(scratch_->Count()));
+  g_kv_occupancy_->Set(kv_occupancy);
+}
+
+std::string SloTracker::ToString() const {
+  char buf[256];
+  MergeWindow(ttft_epochs_, scratch_.get());
+  std::snprintf(buf, sizeof(buf),
+                "ttft{count=%llu p50=%.3f p95=%.3f p99=%.3f}",
+                static_cast<unsigned long long>(scratch_->Count()),
+                scratch_->Quantile(0.50), scratch_->Quantile(0.95),
+                scratch_->Quantile(0.99));
+  std::string out = buf;
+  MergeWindow(tbt_epochs_, scratch_.get());
+  std::snprintf(buf, sizeof(buf),
+                " tbt{count=%llu p50=%.3f p95=%.3f p99=%.3f}",
+                static_cast<unsigned long long>(scratch_->Count()),
+                scratch_->Quantile(0.50), scratch_->Quantile(0.95),
+                scratch_->Quantile(0.99));
+  out += buf;
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spinfer

@@ -1,0 +1,97 @@
+// Windowed SLO tracker: sliding TTFT/TBT percentiles + KV occupancy gauges.
+//
+// Serving SLOs are stated over recent traffic ("p99 TTFT over the last
+// minute"), not over process lifetime — a cumulative histogram buries a
+// regression under hours of healthy samples. Exact sliding windows need a
+// sample deque; instead this uses the standard epoch-ring approximation: the
+// window is split into E epoch histograms, new samples land in the head
+// epoch, the ring rotates every window/E iterations (resetting the slot that
+// falls out), and window queries merge the live epochs into a scratch
+// histogram. Samples therefore expire with epoch granularity — the window
+// covers between (E-1)/E and E/E of the nominal length — which is the usual
+// trade for O(buckets) memory and O(1) expiry.
+//
+// The tracker is driven by the scheduler loop (single writer): Record* feeds
+// samples, EndIteration advances the window clock and publishes the
+// srv.slo.* gauges into a MetricsRegistry (from which the Prometheus
+// exporter picks them up). Iteration count, not wall time, is the window
+// clock so behaviour is deterministic under the engine's virtual time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace spinfer {
+namespace obs {
+
+struct SloTrackerConfig {
+  // Nominal window length in scheduler iterations; rounded up to a multiple
+  // of `epochs`.
+  int64_t window_iters = 64;
+  int64_t epochs = 4;
+  // Histogram layout for both TTFT and TBT, in ms. Empty selects
+  // ExponentialBuckets(0.05, 2.0, 24) (~50µs .. ~7min).
+  std::vector<double> bucket_bounds_ms;
+};
+
+class SloTracker {
+ public:
+  explicit SloTracker(const SloTrackerConfig& config = {});
+
+  // Latency samples, in ms. Single-writer with EndIteration.
+  void RecordTtftMs(double ms);
+  void RecordTbtMs(double ms);
+
+  // Called once at the end of every scheduler iteration: rotates the epoch
+  // ring when due, then (if `registry` is non-null) publishes
+  //   srv.slo.ttft_p50_ms / ttft_p95_ms / ttft_p99_ms
+  //   srv.slo.tbt_p50_ms  / tbt_p95_ms  / tbt_p99_ms
+  //   srv.slo.kv_occupancy (the fraction passed in)
+  //   srv.slo.window_ttft_count / window_tbt_count
+  // Gauge pointers are resolved once per registry and cached.
+  void EndIteration(double kv_occupancy, MetricsRegistry* registry);
+
+  // Windowed queries (merge the live epochs; 0 when the window is empty).
+  double TtftQuantileMs(double q) const;
+  double TbtQuantileMs(double q) const;
+  uint64_t WindowTtftCount() const;
+  uint64_t WindowTbtCount() const;
+
+  int64_t iterations() const { return iterations_; }
+
+  // "ttft{count=.. p50=.. p95=.. p99=..} tbt{...}" over the current window.
+  std::string ToString() const;
+
+ private:
+  void MergeWindow(const std::vector<std::unique_ptr<Histogram>>& epochs,
+                   Histogram* into) const;
+
+  SloTrackerConfig config_;
+  int64_t iters_per_epoch_ = 0;
+  int64_t iterations_ = 0;
+  size_t head_ = 0;  // epoch receiving new samples
+  std::vector<std::unique_ptr<Histogram>> ttft_epochs_;
+  std::vector<std::unique_ptr<Histogram>> tbt_epochs_;
+  // Scratch merge targets for window queries; mutable because quantile reads
+  // are logically const.
+  mutable std::unique_ptr<Histogram> scratch_;
+
+  // Cached gauges, resolved against the registry first seen by EndIteration.
+  MetricsRegistry* cached_registry_ = nullptr;
+  Gauge* g_ttft_p50_ = nullptr;
+  Gauge* g_ttft_p95_ = nullptr;
+  Gauge* g_ttft_p99_ = nullptr;
+  Gauge* g_tbt_p50_ = nullptr;
+  Gauge* g_tbt_p95_ = nullptr;
+  Gauge* g_tbt_p99_ = nullptr;
+  Gauge* g_kv_occupancy_ = nullptr;
+  Gauge* g_ttft_count_ = nullptr;
+  Gauge* g_tbt_count_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace spinfer

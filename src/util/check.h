@@ -15,6 +15,21 @@ namespace spinfer {
 // Used by the SPINFER_CHECK family; not intended to be called directly.
 [[noreturn]] void CheckFailed(const char* file, int line, const std::string& msg);
 
+// Hook invoked by CheckFailed after the diagnostic is printed and before
+// abort(). The intended use is post-mortem state dumps — the flight recorder
+// (src/obs/flight_recorder.h, installed via src/util/crash_dump.h) writes the
+// last N scheduler iterations to stderr from here. Contract:
+//   * The handler runs at most once per process: a SPINFER_CHECK failing
+//     *inside* the handler (re-entrancy) skips straight to abort instead of
+//     recursing, and a second thread failing concurrently does not run it
+//     again. Handlers therefore need not be re-entrant themselves.
+//   * The process still aborts after the handler returns; a handler cannot
+//     rescue a failed check.
+//   * nullptr uninstalls. Thread-safe; returns the previously installed
+//     handler so callers can chain or restore it.
+using CheckFailureHandler = void (*)();
+CheckFailureHandler SetCheckFailureHandler(CheckFailureHandler handler);
+
 }  // namespace spinfer
 
 #define SPINFER_CHECK(cond)                                                      \

@@ -1,0 +1,45 @@
+#include "src/util/crash_dump.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "src/obs/flight_recorder.h"
+#include "src/util/check.h"
+
+namespace spinfer {
+
+namespace {
+
+std::atomic<obs::FlightRecorder*> g_crash_recorder{nullptr};
+
+void DumpRecorderOnCheckFailure() {
+  obs::FlightRecorder* recorder =
+      g_crash_recorder.load(std::memory_order_acquire);
+  if (recorder == nullptr) {
+    return;
+  }
+  std::fputs("[spinfer] SPINFER_CHECK failed; dumping flight recorder:\n",
+             stderr);
+  recorder->DumpToStderr();
+}
+
+}  // namespace
+
+obs::FlightRecorder* InstallFlightRecorderCrashDump(
+    obs::FlightRecorder* recorder) {
+  obs::FlightRecorder* prev =
+      g_crash_recorder.exchange(recorder, std::memory_order_acq_rel);
+  if (recorder != nullptr) {
+    SetCheckFailureHandler(&DumpRecorderOnCheckFailure);
+  }
+  // On uninstall the handler stays registered but no-ops (recorder == null);
+  // cheaper to reason about than racing handler swaps during shutdown.
+  return prev;
+}
+
+void UninstallFlightRecorderCrashDump(obs::FlightRecorder* expected) {
+  g_crash_recorder.compare_exchange_strong(expected, nullptr,
+                                           std::memory_order_acq_rel);
+}
+
+}  // namespace spinfer

@@ -1,0 +1,33 @@
+// Glue between SPINFER_CHECK failures and the obs flight recorder.
+//
+// This lives in spinfer_util, not spinfer_obs, on purpose: spinfer_obs is
+// deliberately std-only so every library can link it without cycles, and
+// spinfer_util already PUBLIC-links spinfer_obs — so the one place that may
+// know about *both* SetCheckFailureHandler (util) and FlightRecorder (obs)
+// is here.
+//
+// InstallFlightRecorderCrashDump(recorder) registers a check-failure handler
+// that dumps `recorder` to stderr right before abort(), so a crashing serving
+// run leaves its last N scheduler iterations (batch composition, KV
+// occupancy, admission verdicts) in the log. The recorder pointer is held in
+// a process-wide atomic: passing nullptr (or a different recorder) replaces
+// it, and ServingEngine uninstalls its own recorder on destruction so the
+// handler never dereferences a dead engine.
+#pragma once
+
+namespace spinfer {
+namespace obs {
+class FlightRecorder;
+}  // namespace obs
+
+// Installs (or, with nullptr, uninstalls) the crash-dump hook. The recorder
+// is borrowed; the caller must uninstall before destroying it. Returns the
+// previously installed recorder (nullptr if none).
+obs::FlightRecorder* InstallFlightRecorderCrashDump(
+    obs::FlightRecorder* recorder);
+
+// Uninstalls only if `expected` is the currently installed recorder — the
+// owner-scoped cleanup form, safe when several engines raced to install.
+void UninstallFlightRecorderCrashDump(obs::FlightRecorder* expected);
+
+}  // namespace spinfer

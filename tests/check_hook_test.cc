@@ -1,0 +1,97 @@
+// SPINFER_CHECK failure hook (SetCheckFailureHandler).
+//
+// The contract under test (src/util/check.h): the installed handler runs
+// after the diagnostic and before abort(); it runs at most once per process,
+// so a SPINFER_CHECK failing *inside* the handler skips straight to abort
+// instead of recursing; installation returns the previous handler; nullptr
+// uninstalls. Everything abort()s, so the positive paths are death tests —
+// each EXPECT_DEATH child re-executes the statement in a fresh process, which
+// is also what isolates the once-per-process latch between tests.
+//
+// gtest on Linux matches death output with POSIX ERE (no lookarounds), so
+// "did not re-enter" is asserted structurally: the correct output *ends* at
+// the nested diagnostic ("...\n$"), while a re-entered handler would print
+// its HOOK-REENTERED marker after it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace spinfer {
+namespace {
+
+void PrintingHandler() {
+  std::fprintf(stderr, "HOOK-RAN\n");
+  std::fflush(stderr);
+}
+
+int g_nested_entries = 0;
+
+void NestedFailureHandler() {
+  ++g_nested_entries;
+  if (g_nested_entries > 1) {
+    // Only reachable if CheckFailed re-entered the handler — the contract
+    // violation this test exists to catch.
+    std::fprintf(stderr, "HOOK-REENTERED\n");
+    std::fflush(stderr);
+    return;
+  }
+  std::fprintf(stderr, "HOOK-FIRST\n");
+  std::fflush(stderr);
+  SPINFER_CHECK_MSG(false, "nested failure inside handler");
+}
+
+TEST(CheckHookDeathTest, HandlerRunsAfterDiagnosticBeforeAbort) {
+  // Diagnostic first, then the handler's marker: ".*" spans both in order
+  // (gtest's POSIX regex is compiled without REG_NEWLINE, so '.' crosses
+  // line boundaries).
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHandler(&PrintingHandler);
+        SPINFER_CHECK_MSG(false, "boom for hook test");
+      },
+      "boom for hook test.*HOOK-RAN");
+}
+
+TEST(CheckHookDeathTest, NestedCheckInsideHandlerAbortsWithoutReentry) {
+  // Expected child stderr, in full:
+  //   [spinfer] ...: check failed: false: outer failure
+  //   HOOK-FIRST
+  //   [spinfer] ...: check failed: false: nested failure inside handler
+  // then abort. The "\n$" anchor proves the handler did not run again (no
+  // HOOK-REENTERED, no second HOOK-FIRST after the nested diagnostic).
+  EXPECT_DEATH(
+      {
+        g_nested_entries = 0;
+        SetCheckFailureHandler(&NestedFailureHandler);
+        SPINFER_CHECK_MSG(false, "outer failure");
+      },
+      "outer failure.*HOOK-FIRST.*nested failure inside handler\n$");
+}
+
+TEST(CheckHookDeathTest, UninstalledHandlerDoesNotRun) {
+  // Install then uninstall: the death output is the diagnostic alone — the
+  // "\n$" anchor would fail if HOOK-RAN were printed before abort.
+  EXPECT_DEATH(
+      {
+        SetCheckFailureHandler(&PrintingHandler);
+        SetCheckFailureHandler(nullptr);
+        SPINFER_CHECK_MSG(false, "no hook expected");
+      },
+      "no hook expected\n$");
+}
+
+TEST(CheckHookTest, InstallReturnsPreviousHandler) {
+  // Pure install/uninstall bookkeeping — no failure triggered, no death.
+  CheckFailureHandler prev0 = SetCheckFailureHandler(&PrintingHandler);
+  CheckFailureHandler prev1 = SetCheckFailureHandler(&NestedFailureHandler);
+  EXPECT_EQ(prev1, &PrintingHandler);
+  CheckFailureHandler prev2 = SetCheckFailureHandler(nullptr);
+  EXPECT_EQ(prev2, &NestedFailureHandler);
+  // Restore whatever was installed before this test (normally nullptr).
+  SetCheckFailureHandler(prev0);
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -142,6 +142,153 @@ TEST(Histogram, SummaryMentionsAllFields) {
   }
 }
 
+TEST(Histogram, ResetDropsEverySample) {
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(0.5);
+  h.Record(3.0);
+  h.Record(100.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  for (size_t i = 0; i < h.NumBuckets(); ++i) {
+    EXPECT_EQ(h.BucketCount(i), 0u);
+  }
+  // A reset histogram seeds extrema afresh — min must not be stuck at the
+  // 0.0 initializer once new samples arrive.
+  h.Record(5.0);
+  EXPECT_EQ(h.Min(), 5.0);
+  EXPECT_EQ(h.Max(), 5.0);
+}
+
+TEST(Histogram, MergeFromAddsCountsSumAndExtrema) {
+  Histogram a({1.0, 2.0, 4.0});
+  Histogram b({1.0, 2.0, 4.0});
+  a.Record(0.5);
+  a.Record(3.0);
+  b.Record(1.5);
+  b.Record(10.0);  // overflow bucket
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.Sum(), 15.0);
+  EXPECT_EQ(a.Min(), 0.5);
+  EXPECT_EQ(a.Max(), 10.0);
+  EXPECT_EQ(a.BucketCount(1), 1u);  // b's 1.5 landed in (1,2]
+  EXPECT_EQ(a.BucketCount(3), 1u);  // b's 10.0 landed in overflow
+  // Merging an empty histogram is a no-op.
+  Histogram empty({1.0, 2.0, 4.0});
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.Count(), 4u);
+}
+
+TEST(Histogram, MergeIntoEmptySeedsExtremaFromSource) {
+  Histogram dst({1.0, 2.0});
+  Histogram src({1.0, 2.0});
+  src.Record(0.25);
+  src.Record(1.75);
+  dst.MergeFrom(src);
+  EXPECT_EQ(dst.Count(), 2u);
+  // The empty destination must adopt src's extrema, not keep the 0.0
+  // initializer as its min.
+  EXPECT_EQ(dst.Min(), 0.25);
+  EXPECT_EQ(dst.Max(), 1.75);
+}
+
+TEST(Histogram, MergeResetCyclesSupportWindowedUse) {
+  // The SLO tracker's access pattern: epochs merge into a scratch, the
+  // oldest epoch resets, repeat. Totals must stay exact throughout.
+  Histogram e0({1.0, 10.0});
+  Histogram e1({1.0, 10.0});
+  Histogram scratch({1.0, 10.0});
+  for (int round = 0; round < 5; ++round) {
+    e0.Record(0.5);
+    e1.Record(5.0);
+    scratch.Reset();
+    scratch.MergeFrom(e0);
+    scratch.MergeFrom(e1);
+    EXPECT_EQ(scratch.Count(), e0.Count() + e1.Count());
+    EXPECT_EQ(scratch.Min(), 0.5);
+    EXPECT_EQ(scratch.Max(), 5.0);
+    if (round % 2 == 1) {
+      e0.Reset();
+    }
+  }
+}
+
+TEST(Histogram, MergeFromMismatchedLayoutAborts) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  EXPECT_DEATH(a.MergeFrom(b), "bucket layouts differ");
+}
+
+TEST(MetricsRegistry, ConcurrentWritersOnSharedInstrumentsLoseNothing) {
+  // The TSan-facing test: many threads hammering the same named instruments
+  // through the registry while a reader snapshots concurrently. Counter sums
+  // must be exact; the reader must merely not crash or race.
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTest();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t] {
+      // Deliberately re-looks-up by name to also exercise the registry map
+      // lock against concurrent find-or-create.
+      for (int i = 0; i < kOps; ++i) {
+        reg.GetCounter("mt.counter")->Increment();
+        reg.GetGauge("mt.gauge")->Set(static_cast<double>(t));
+        reg.GetHistogram("mt.hist", {1.0, 8.0, 64.0})
+            ->Record(static_cast<double>(i % 100));
+      }
+    });
+  }
+  std::thread reader([&reg] {
+    for (int i = 0; i < 50; ++i) {
+      (void)reg.ToString();
+      (void)reg.ToJson();
+      (void)reg.GetHistogram("mt.hist", {1.0, 8.0, 64.0})->Quantile(0.95);
+    }
+  });
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  reader.join();
+  EXPECT_EQ(reg.GetCounter("mt.counter")->Value(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(reg.GetHistogram("mt.hist", {})->Count(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  const double g = reg.GetGauge("mt.gauge")->Value();
+  EXPECT_GE(g, 0.0);
+  EXPECT_LT(g, static_cast<double>(kThreads));
+  reg.ResetForTest();
+}
+
+TEST(MetricsRegistry, VisitorsSeeNameSortedInstruments) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.ResetForTest();
+  reg.GetCounter("v.b")->Add(2);
+  reg.GetCounter("v.a")->Add(1);
+  reg.GetGauge("v.g")->Set(1.5);
+  reg.GetHistogram("v.h", {1.0})->Record(0.5);
+  std::vector<std::string> counter_names;
+  reg.VisitCounters([&](const std::string& name, const Counter& c) {
+    counter_names.push_back(name + "=" + std::to_string(c.Value()));
+  });
+  EXPECT_EQ(counter_names, (std::vector<std::string>{"v.a=1", "v.b=2"}));
+  int gauges = 0;
+  reg.VisitGauges([&](const std::string&, const Gauge&) { ++gauges; });
+  EXPECT_EQ(gauges, 1);
+  uint64_t hist_count = 0;
+  reg.VisitHistograms([&](const std::string& name, const Histogram& h) {
+    EXPECT_EQ(name, "v.h");
+    hist_count = h.Count();
+  });
+  EXPECT_EQ(hist_count, 1u);
+  reg.ResetForTest();
+}
+
 TEST(MetricsRegistry, FindOrCreateReturnsStablePointers) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   reg.ResetForTest();

@@ -1,0 +1,104 @@
+// Prometheus text exposition (src/obs/prom_export).
+//
+// Asserts the three format obligations scrapers rely on: sanitized
+// "spinfer_"-prefixed names ("_total" on counters), cumulative le-labelled
+// histogram buckets ending in +Inf with _sum/_count, and byte-deterministic
+// name-sorted output (goldened literally against a registry built by hand).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/prom_export.h"
+
+namespace spinfer {
+namespace {
+
+TEST(PromExportTest, SanitizesAndPrefixesNames) {
+  EXPECT_EQ(obs::PromMetricName("srv.ttft_ms"), "spinfer_srv_ttft_ms");
+  EXPECT_EQ(obs::PromMetricName("srv.slo.kv occupancy"),
+            "spinfer_srv_slo_kv_occupancy");
+  EXPECT_EQ(obs::PromMetricName("already:fine_123"),
+            "spinfer_already:fine_123");
+  EXPECT_EQ(obs::PromMetricName("spinfer_native"), "spinfer_native");
+  EXPECT_EQ(obs::PromMetricName(""), "spinfer_unnamed");
+  EXPECT_EQ(obs::PromMetricName("9lives"), "spinfer_9lives");
+}
+
+TEST(PromExportTest, ExportGoldenIsByteExact) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  reg.GetCounter("t.requests")->Add(7);
+  reg.GetGauge("t.occupancy")->Set(0.25);
+  obs::Histogram* h = reg.GetHistogram("t.lat_ms", {1.0, 2.0, 4.0});
+  h->Record(0.5);   // bucket le=1
+  h->Record(1.5);   // bucket le=2
+  h->Record(3.0);   // bucket le=4
+  h->Record(100.0); // overflow -> only +Inf
+
+  const std::string expected =
+      "# HELP spinfer_t_requests_total spinfer metric t.requests\n"
+      "# TYPE spinfer_t_requests_total counter\n"
+      "spinfer_t_requests_total 7\n"
+      "# HELP spinfer_t_occupancy spinfer metric t.occupancy\n"
+      "# TYPE spinfer_t_occupancy gauge\n"
+      "spinfer_t_occupancy 0.25\n"
+      "# HELP spinfer_t_lat_ms spinfer metric t.lat_ms\n"
+      "# TYPE spinfer_t_lat_ms histogram\n"
+      "spinfer_t_lat_ms_bucket{le=\"1\"} 1\n"
+      "spinfer_t_lat_ms_bucket{le=\"2\"} 2\n"
+      "spinfer_t_lat_ms_bucket{le=\"4\"} 3\n"
+      "spinfer_t_lat_ms_bucket{le=\"+Inf\"} 4\n"
+      "spinfer_t_lat_ms_sum 105\n"
+      "spinfer_t_lat_ms_count 4\n";
+  EXPECT_EQ(obs::PromExport(reg), expected);
+  reg.ResetForTest();
+}
+
+TEST(PromExportTest, BucketsAreCumulativeAndCountMatchesInf) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  obs::Histogram* h =
+      reg.GetHistogram("c.lat", obs::Histogram::ExponentialBuckets(0.1, 2, 8));
+  for (int i = 0; i < 100; ++i) {
+    h->Record(0.05 * i);
+  }
+  const std::string text = obs::PromExport(reg);
+  // Every bucket line's value must be non-decreasing down the series, and
+  // the +Inf bucket must equal _count.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  int bucket_lines = 0;
+  while ((pos = text.find("_bucket{le=", pos)) != std::string::npos) {
+    const size_t space = text.find("} ", pos);
+    const uint64_t v = std::stoull(text.substr(space + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++bucket_lines;
+    pos = space;
+  }
+  EXPECT_EQ(bucket_lines, 9);  // 8 bounds + +Inf
+  EXPECT_EQ(prev, h->Count());
+  EXPECT_NE(text.find("spinfer_c_lat_count 100\n"), std::string::npos);
+  reg.ResetForTest();
+}
+
+TEST(PromExportTest, WritePromFileRoundTrips) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  reg.GetCounter("w.count")->Add(3);
+  const std::string path = testing::TempDir() + "/metrics.prom";
+  ASSERT_TRUE(obs::WritePromFile(path, reg));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string read_back(4096, '\0');
+  const size_t n = std::fread(read_back.data(), 1, read_back.size(), f);
+  std::fclose(f);
+  read_back.resize(n);
+  EXPECT_EQ(read_back, obs::PromExport(reg));
+  reg.ResetForTest();
+}
+
+}  // namespace
+}  // namespace spinfer

@@ -1,0 +1,113 @@
+// Windowed SLO tracker (src/obs/slo_tracker).
+//
+// The property that matters: the tracker reports percentiles over *recent*
+// traffic. Samples must (a) be visible immediately, (b) survive for at least
+// window - window/epochs iterations, and (c) be gone after the full window
+// has rotated past them — a regression buried by lifetime-cumulative
+// histograms is the failure mode this type exists to prevent. Publication
+// lands in named gauges so the Prometheus exporter picks the SLO surface up
+// with no extra wiring.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/slo_tracker.h"
+
+namespace spinfer {
+namespace {
+
+obs::SloTrackerConfig SmallWindow() {
+  obs::SloTrackerConfig cfg;
+  cfg.window_iters = 8;  // 4 epochs x 2 iterations
+  cfg.epochs = 4;
+  return cfg;
+}
+
+TEST(SloTrackerTest, SamplesVisibleImmediatelyAndQuantilesTrack) {
+  obs::SloTracker slo(SmallWindow());
+  for (int i = 0; i < 100; ++i) {
+    slo.RecordTtftMs(10.0);
+    slo.RecordTbtMs(1.0);
+  }
+  EXPECT_EQ(slo.WindowTtftCount(), 100u);
+  EXPECT_EQ(slo.WindowTbtCount(), 100u);
+  EXPECT_NEAR(slo.TtftQuantileMs(0.5), 10.0, 10.0 * 0.5);
+  EXPECT_NEAR(slo.TbtQuantileMs(0.5), 1.0, 1.0 * 0.5);
+}
+
+TEST(SloTrackerTest, OldSamplesExpireAfterFullWindowRotation) {
+  obs::SloTracker slo(SmallWindow());
+  slo.RecordTtftMs(500.0);  // one slow request at the start
+  // After < window - epoch_len iterations the sample must still be counted.
+  for (int i = 0; i < 5; ++i) {
+    slo.EndIteration(0.0, nullptr);
+  }
+  EXPECT_EQ(slo.WindowTtftCount(), 1u);
+  // After the remaining rotations of the full window it must be gone.
+  for (int i = 0; i < 8; ++i) {
+    slo.EndIteration(0.0, nullptr);
+  }
+  EXPECT_EQ(slo.WindowTtftCount(), 0u);
+  EXPECT_EQ(slo.TtftQuantileMs(0.99), 0.0);
+}
+
+TEST(SloTrackerTest, WindowedP99RecoversAfterRegressionPasses) {
+  obs::SloTracker slo(SmallWindow());
+  // A burst of terrible TTFTs...
+  for (int i = 0; i < 50; ++i) {
+    slo.RecordTtftMs(400.0);
+  }
+  EXPECT_GT(slo.TtftQuantileMs(0.99), 100.0);
+  // ...then a full window of healthy traffic: the p99 must recover, which a
+  // cumulative histogram would not do.
+  for (int iter = 0; iter < 8; ++iter) {
+    for (int i = 0; i < 10; ++i) {
+      slo.RecordTtftMs(5.0);
+    }
+    slo.EndIteration(0.0, nullptr);
+  }
+  EXPECT_LT(slo.TtftQuantileMs(0.99), 50.0);
+}
+
+TEST(SloTrackerTest, PublishesGaugesIntoRegistry) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  obs::SloTracker slo(SmallWindow());
+  for (int i = 0; i < 20; ++i) {
+    slo.RecordTtftMs(10.0);
+    slo.RecordTbtMs(2.0);
+  }
+  slo.EndIteration(0.75, &reg);
+  EXPECT_NEAR(reg.GetGauge("srv.slo.kv_occupancy")->Value(), 0.75, 1e-12);
+  EXPECT_EQ(reg.GetGauge("srv.slo.window_ttft_count")->Value(), 20.0);
+  EXPECT_EQ(reg.GetGauge("srv.slo.window_tbt_count")->Value(), 20.0);
+  EXPECT_GT(reg.GetGauge("srv.slo.ttft_p99_ms")->Value(), 0.0);
+  EXPECT_GT(reg.GetGauge("srv.slo.tbt_p50_ms")->Value(), 0.0);
+  // Published values match the tracker's own window queries.
+  EXPECT_NEAR(reg.GetGauge("srv.slo.ttft_p50_ms")->Value(),
+              slo.TtftQuantileMs(0.50), 1e-12);
+  reg.ResetForTest();
+}
+
+TEST(SloTrackerTest, ToStringSummarizesBothSeries) {
+  obs::SloTracker slo(SmallWindow());
+  slo.RecordTtftMs(10.0);
+  slo.RecordTbtMs(1.0);
+  const std::string s = slo.ToString();
+  EXPECT_NE(s.find("ttft{count=1"), std::string::npos) << s;
+  EXPECT_NE(s.find("tbt{count=1"), std::string::npos) << s;
+}
+
+TEST(SloTrackerTest, DegenerateConfigsAreClamped) {
+  obs::SloTrackerConfig cfg;
+  cfg.window_iters = 0;
+  cfg.epochs = 0;
+  obs::SloTracker slo(cfg);  // must not divide by zero or allocate nothing
+  slo.RecordTtftMs(1.0);
+  slo.EndIteration(0.0, nullptr);
+  EXPECT_GE(slo.iterations(), 1);
+}
+
+}  // namespace
+}  // namespace spinfer

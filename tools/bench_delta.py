@@ -45,6 +45,8 @@ EXPECTED_BENCHES = (
     "serving_decode_b8_longctx",
     "serving_prefix_cache",
     "serving_chunked_prefill",
+    "serving_engine_b8",
+    "serving_obs_overhead",
 )
 
 

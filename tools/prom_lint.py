@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (format 0.0.4) snapshot.
+
+Checks the invariants a scraper relies on for the .prom files written by
+src/obs/prom_export.cc:
+  - every sample's metric name matches [a-zA-Z_:][a-zA-Z0-9_:]*
+  - '# TYPE <name> <counter|gauge|histogram|...>' precedes that name's
+    samples, and HELP/TYPE appear at most once per metric
+  - sample values parse as floats (including +Inf/-Inf/NaN)
+  - counter sample names end in '_total'
+  - histograms expose cumulative, non-decreasing '<name>_bucket{le="..."}'
+    series ending in le="+Inf", plus '<name>_sum' and '<name>_count', with
+    bucket(+Inf) == count
+
+Stdlib-only on purpose: this must run on a bare CI runner and in the CTest
+wiring (tools/CMakeLists.txt) with no pip installs.
+
+Usage:
+  prom_lint.py METRICS.prom   # prints 'OK: N metrics' or violations; exit 1
+"""
+
+import argparse
+import os
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# <name>{labels} <value>  — labels optional; value is the rest of the line.
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)\s*$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _parse_value(text):
+    """Prometheus float syntax: returns a float or None on parse failure."""
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def _parse_labels(text):
+    """Parses 'k1="v1",k2="v2"' into a dict, or None on malformed input."""
+    labels = {}
+    if not text:
+        return labels
+    for part in text.split(","):
+        m = LABEL_RE.match(part.strip())
+        if m is None:
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def _base_name(sample_name, metric_type):
+    """Maps a sample name back to the metric family it belongs to."""
+    if metric_type == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def lint(text):
+    """Returns (errors, metric_count) for one exposition document."""
+    errors = []
+    types = {}          # family name -> declared type
+    declared = {"HELP": set(), "TYPE": set()}
+    # family -> {"buckets": [(le_str, value)], "sum": v, "count": v}
+    histograms = {}
+    samples_seen = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                errors.append(f"{where}: bad metric name in {kind}: {name!r}")
+                continue
+            if name in declared[kind]:
+                errors.append(f"{where}: duplicate {kind} for {name}")
+            declared[kind].add(name)
+            if kind == "TYPE":
+                if len(parts) < 4 or parts[3] not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"):
+                    errors.append(f"{where}: bad TYPE for {name}: {line!r}")
+                    continue
+                types[name] = parts[3]
+                if parts[3] == "histogram":
+                    histograms[name] = {"buckets": [], "sum": None,
+                                        "count": None}
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"{where}: unparseable sample: {line!r}")
+            continue
+        sample_name, _, label_text, value_text = m.groups()
+        value = _parse_value(value_text)
+        if value is None:
+            errors.append(f"{where}: bad sample value: {value_text!r}")
+            continue
+        labels = _parse_labels(label_text or "")
+        if labels is None:
+            errors.append(f"{where}: malformed labels: {label_text!r}")
+            continue
+        samples_seen += 1
+
+        family = None
+        for candidate_type in ("histogram",):
+            base = _base_name(sample_name, candidate_type)
+            if types.get(base) == candidate_type:
+                family = base
+                break
+        if family is None:
+            family = sample_name
+        if family not in types:
+            errors.append(
+                f"{where}: sample {sample_name} has no preceding TYPE")
+            continue
+
+        metric_type = types[family]
+        if metric_type == "counter":
+            if not sample_name.endswith("_total"):
+                errors.append(
+                    f"{where}: counter sample {sample_name} must end "
+                    f"in '_total'")
+            if value < 0:
+                errors.append(f"{where}: counter {sample_name} is negative")
+        elif metric_type == "histogram":
+            h = histograms[family]
+            if sample_name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(
+                        f"{where}: histogram bucket without 'le' label")
+                else:
+                    h["buckets"].append((labels["le"], value))
+            elif sample_name.endswith("_sum"):
+                h["sum"] = value
+            elif sample_name.endswith("_count"):
+                h["count"] = value
+            else:
+                errors.append(
+                    f"{where}: unexpected histogram sample {sample_name}")
+
+    for name, h in sorted(histograms.items()):
+        buckets = h["buckets"]
+        if not buckets:
+            errors.append(f"{name}: histogram has no buckets")
+            continue
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"{name}: last bucket must be le=\"+Inf\", "
+                          f"got le={buckets[-1][0]!r}")
+        prev_le, prev_count = None, None
+        for le_str, count in buckets:
+            le = _parse_value(le_str)
+            if le is None:
+                errors.append(f"{name}: unparseable le bound {le_str!r}")
+                continue
+            if prev_le is not None and le <= prev_le:
+                errors.append(
+                    f"{name}: le bounds not increasing ({prev_le} -> {le})")
+            if prev_count is not None and count < prev_count:
+                errors.append(
+                    f"{name}: bucket counts not cumulative "
+                    f"({prev_count} -> {count})")
+            prev_le, prev_count = le, count
+        if h["count"] is None or h["sum"] is None:
+            errors.append(f"{name}: histogram missing _sum or _count")
+        elif buckets[-1][0] == "+Inf" and buckets[-1][1] != h["count"]:
+            errors.append(
+                f"{name}: bucket(+Inf)={buckets[-1][1]} != "
+                f"_count={h['count']}")
+
+    for name in types:
+        if name not in declared["HELP"]:
+            errors.append(f"{name}: TYPE without HELP")
+    if samples_seen == 0 and not errors:
+        errors.append("document contains no samples")
+    return errors, len(types)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Lint a Prometheus text-exposition snapshot.")
+    parser.add_argument("snapshot", help="path to the .prom file")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        print(f"prom_lint: cannot read {args.snapshot}: {err}",
+              file=sys.stderr)
+        return 1
+
+    errors, n_metrics = lint(text)
+    if errors:
+        for err in errors[:20]:
+            print(f"prom_lint: {err}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"prom_lint: ... and {len(errors) - 20} more",
+                  file=sys.stderr)
+        return 1
+    print(f"OK: {n_metrics} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os._exit(0)

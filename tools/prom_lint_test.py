@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Self-test for prom_lint.py (stdlib-only; run directly or via CTest)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import prom_lint
+
+GOOD = """\
+# HELP spinfer_requests_total spinfer metric srv.requests
+# TYPE spinfer_requests_total counter
+spinfer_requests_total 42
+# HELP spinfer_kv_occupancy spinfer metric srv.slo.kv_occupancy
+# TYPE spinfer_kv_occupancy gauge
+spinfer_kv_occupancy 0.25
+# HELP spinfer_ttft_ms spinfer metric srv.ttft_ms
+# TYPE spinfer_ttft_ms histogram
+spinfer_ttft_ms_bucket{le="1"} 1
+spinfer_ttft_ms_bucket{le="2"} 3
+spinfer_ttft_ms_bucket{le="4"} 3
+spinfer_ttft_ms_bucket{le="+Inf"} 4
+spinfer_ttft_ms_sum 105
+spinfer_ttft_ms_count 4
+"""
+
+
+class LintTest(unittest.TestCase):
+    def test_well_formed_document_passes(self):
+        errors, n = prom_lint.lint(GOOD)
+        self.assertEqual(errors, [])
+        self.assertEqual(n, 3)
+
+    def test_sample_before_type_rejected(self):
+        errors, _ = prom_lint.lint("spinfer_orphan 1\n")
+        self.assertTrue(any("no preceding TYPE" in e for e in errors))
+
+    def test_bad_metric_name_rejected(self):
+        doc = "# HELP 9bad x\n# TYPE 9bad gauge\n"
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("bad metric name" in e for e in errors))
+
+    def test_counter_requires_total_suffix(self):
+        doc = ("# HELP spinfer_reqs x\n# TYPE spinfer_reqs counter\n"
+               "spinfer_reqs 1\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("_total" in e for e in errors))
+
+    def test_unparseable_value_rejected(self):
+        doc = ("# HELP spinfer_g x\n# TYPE spinfer_g gauge\n"
+               "spinfer_g banana\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("bad sample value" in e for e in errors))
+
+    def test_inf_and_nan_values_accepted(self):
+        doc = ("# HELP spinfer_g x\n# TYPE spinfer_g gauge\n"
+               "spinfer_g +Inf\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertEqual(errors, [])
+
+    def test_histogram_must_end_in_inf_bucket(self):
+        doc = ("# HELP spinfer_h x\n# TYPE spinfer_h histogram\n"
+               'spinfer_h_bucket{le="1"} 1\n'
+               "spinfer_h_sum 0.5\nspinfer_h_count 1\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any('le="+Inf"' in e for e in errors))
+
+    def test_histogram_buckets_must_be_cumulative(self):
+        doc = ("# HELP spinfer_h x\n# TYPE spinfer_h histogram\n"
+               'spinfer_h_bucket{le="1"} 5\n'
+               'spinfer_h_bucket{le="2"} 3\n'
+               'spinfer_h_bucket{le="+Inf"} 5\n'
+               "spinfer_h_sum 9\nspinfer_h_count 5\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("not cumulative" in e for e in errors))
+
+    def test_inf_bucket_must_equal_count(self):
+        doc = ("# HELP spinfer_h x\n# TYPE spinfer_h histogram\n"
+               'spinfer_h_bucket{le="+Inf"} 4\n'
+               "spinfer_h_sum 9\nspinfer_h_count 5\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("!= _count" in e for e in errors))
+
+    def test_histogram_missing_sum_or_count_rejected(self):
+        doc = ("# HELP spinfer_h x\n# TYPE spinfer_h histogram\n"
+               'spinfer_h_bucket{le="+Inf"} 0\n')
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("missing _sum or _count" in e for e in errors))
+
+    def test_type_without_help_rejected(self):
+        errors, _ = prom_lint.lint("# TYPE spinfer_g gauge\nspinfer_g 1\n")
+        self.assertTrue(any("TYPE without HELP" in e for e in errors))
+
+    def test_duplicate_type_rejected(self):
+        doc = ("# HELP spinfer_g x\n# TYPE spinfer_g gauge\n"
+               "# TYPE spinfer_g gauge\nspinfer_g 1\n")
+        errors, _ = prom_lint.lint(doc)
+        self.assertTrue(any("duplicate TYPE" in e for e in errors))
+
+    def test_empty_document_rejected(self):
+        errors, _ = prom_lint.lint("")
+        self.assertTrue(any("no samples" in e for e in errors))
+
+
+class MainTest(unittest.TestCase):
+    def test_roundtrip_exit_codes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            good = os.path.join(tmp, "good.prom")
+            with open(good, "w", encoding="utf-8") as f:
+                f.write(GOOD)
+            self.assertEqual(prom_lint.main([good]), 0)
+
+            bad = os.path.join(tmp, "bad.prom")
+            with open(bad, "w", encoding="utf-8") as f:
+                f.write("spinfer_orphan 1\n")
+            self.assertEqual(prom_lint.main([bad]), 1)
+            self.assertEqual(
+                prom_lint.main([os.path.join(tmp, "missing.prom")]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

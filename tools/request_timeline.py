@@ -1,0 +1,283 @@
+#!/usr/bin/env python3
+"""Summarize a per-request timeline JSONL file written by RequestLog.
+
+Each input line is one event:
+  {"req":N,"ev":"<kind>","iter":N,"vt_ns":N,"wall_ns":N, ...args}
+with the kinds emitted by src/obs/request_log.cc: submitted, admitted,
+prefix_match, chunk_scheduled, decode, finished, evicted, cancelled,
+rejected. Timestamps are virtual-time nanoseconds (the engine's deterministic
+clock), so every figure below is byte-stable across thread counts.
+
+The report prints one row per request — outcome, TTFT (submit to first
+decoded token), mean TBT (gap between consecutive decoded tokens), the
+queue/compute split (submit-to-admit vs admit-to-terminal), generated token
+count, and the prefix-cache hit ratio — followed by an aggregate summary.
+
+Stdlib-only on purpose: this must run on a bare CI runner and in the CTest
+wiring (tools/CMakeLists.txt) with no pip installs.
+
+Usage:
+  request_timeline.py TIMELINE.jsonl            # per-request table + summary
+  request_timeline.py TIMELINE.jsonl --validate # schema-check; exit 1 on errors
+"""
+
+import argparse
+import json
+import os
+import sys
+
+KNOWN_EVENTS = (
+    "submitted", "admitted", "prefix_match", "chunk_scheduled", "decode",
+    "finished", "evicted", "cancelled", "rejected",
+)
+TERMINAL_EVENTS = ("finished", "evicted", "cancelled", "rejected")
+REQUIRED_KEYS = ("req", "ev", "iter", "vt_ns", "wall_ns")
+
+
+def parse_jsonl(text):
+    """Parses JSONL text into (events, errors). Events keep their 1-based
+    line number under the '_line' key for error reporting."""
+    events, errors = [], []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line (writer never emits one)")
+            continue
+        try:
+            ev = json.loads(line)
+        except ValueError as err:
+            errors.append(f"line {lineno}: invalid JSON: {err}")
+            continue
+        if not isinstance(ev, dict):
+            errors.append(f"line {lineno}: expected a JSON object")
+            continue
+        ev["_line"] = lineno
+        events.append(ev)
+    return events, errors
+
+
+def validate(events):
+    """Returns a list of human-readable violations (empty if valid)."""
+    errors = []
+    per_req = {}
+    for ev in events:
+        where = f"line {ev.get('_line', '?')}"
+        bad = False
+        for key in REQUIRED_KEYS:
+            if key == "ev":
+                if not isinstance(ev.get("ev"), str):
+                    errors.append(f"{where}: 'ev' must be a string")
+                    bad = True
+            elif not isinstance(ev.get(key), int) or isinstance(
+                    ev.get(key), bool):
+                errors.append(f"{where}: '{key}' must be an integer")
+                bad = True
+        if bad:
+            continue
+        if ev["ev"] not in KNOWN_EVENTS:
+            errors.append(f"{where}: unknown event kind {ev['ev']!r}")
+            continue
+        if ev["req"] < 0 or ev["vt_ns"] < 0:
+            errors.append(f"{where}: req and vt_ns must be >= 0")
+            continue
+        per_req.setdefault(ev["req"], []).append(ev)
+
+    for req, req_events in sorted(per_req.items()):
+        submits = [e for e in req_events if e["ev"] == "submitted"]
+        if len(submits) != 1:
+            errors.append(
+                f"req {req}: expected exactly 1 'submitted' event, "
+                f"got {len(submits)}")
+        elif req_events[0]["ev"] != "submitted":
+            errors.append(
+                f"req {req}: 'submitted' must be the first event "
+                f"(line {submits[0]['_line']} comes after "
+                f"line {req_events[0]['_line']})")
+        terminals = [e for e in req_events if e["ev"] in TERMINAL_EVENTS]
+        if len(terminals) > 1:
+            errors.append(
+                f"req {req}: more than one terminal event "
+                f"({', '.join(e['ev'] for e in terminals)})")
+        elif terminals and req_events[-1] is not terminals[0]:
+            errors.append(
+                f"req {req}: event after terminal "
+                f"'{terminals[0]['ev']}' (line {req_events[-1]['_line']})")
+        prev = None
+        for e in req_events:
+            if prev is not None and e["vt_ns"] < prev["vt_ns"]:
+                errors.append(
+                    f"req {req}: vt_ns goes backwards at line {e['_line']} "
+                    f"({prev['vt_ns']} -> {e['vt_ns']})")
+            prev = e
+    return errors
+
+
+def summarize(events):
+    """Aggregates events into per-request rows.
+
+    Returns a list of dicts sorted by request id, each with keys: req,
+    outcome, ttft_ms, tbt_ms, queue_ms, compute_ms, generated, hit_blocks,
+    miss_blocks. Timing fields are None when the request never reached the
+    corresponding state (e.g. rejected requests have no queue/compute split).
+    """
+    per_req = {}
+    for ev in events:
+        if not isinstance(ev, dict) or not isinstance(ev.get("req"), int):
+            continue
+        per_req.setdefault(ev["req"], []).append(ev)
+
+    rows = []
+    for req, req_events in sorted(per_req.items()):
+        sub_vt = adm_vt = term_vt = None
+        outcome = "in-flight"
+        decode_vts = []
+        generated = 0
+        hit = miss = 0
+        for ev in req_events:
+            kind, vt = ev.get("ev"), ev.get("vt_ns")
+            if kind == "submitted":
+                sub_vt = vt
+            elif kind == "admitted":
+                adm_vt = vt
+            elif kind == "prefix_match":
+                hit += ev.get("hit_blocks", 0)
+                miss += ev.get("miss_blocks", 0)
+            elif kind == "decode":
+                decode_vts.append(vt)
+                generated = max(generated, ev.get("generated", 0))
+            elif kind in TERMINAL_EVENTS:
+                outcome, term_vt = kind, vt
+                generated = max(generated, ev.get("generated", 0))
+        ttft = (decode_vts[0] - sub_vt) / 1e6 \
+            if decode_vts and sub_vt is not None else None
+        tbt = (decode_vts[-1] - decode_vts[0]) / (len(decode_vts) - 1) / 1e6 \
+            if len(decode_vts) >= 2 else None
+        queue = (adm_vt - sub_vt) / 1e6 \
+            if adm_vt is not None and sub_vt is not None else None
+        compute = (term_vt - adm_vt) / 1e6 \
+            if term_vt is not None and adm_vt is not None else None
+        rows.append({
+            "req": req, "outcome": outcome, "ttft_ms": ttft, "tbt_ms": tbt,
+            "queue_ms": queue, "compute_ms": compute, "generated": generated,
+            "hit_blocks": hit, "miss_blocks": miss,
+        })
+    return rows
+
+
+def aggregate(rows):
+    """Fleet-level summary over per-request rows (dict of scalars)."""
+    outcomes = {}
+    for row in rows:
+        outcomes[row["outcome"]] = outcomes.get(row["outcome"], 0) + 1
+    ttfts = sorted(r["ttft_ms"] for r in rows if r["ttft_ms"] is not None)
+    tbts = sorted(r["tbt_ms"] for r in rows if r["tbt_ms"] is not None)
+    queue = sum(r["queue_ms"] for r in rows if r["queue_ms"] is not None)
+    compute = sum(r["compute_ms"] for r in rows if r["compute_ms"] is not None)
+    hit = sum(r["hit_blocks"] for r in rows)
+    miss = sum(r["miss_blocks"] for r in rows)
+    return {
+        "requests": len(rows),
+        "outcomes": outcomes,
+        "ttft_p50_ms": _percentile(ttfts, 0.50),
+        "ttft_p95_ms": _percentile(ttfts, 0.95),
+        "tbt_p50_ms": _percentile(tbts, 0.50),
+        "tbt_p95_ms": _percentile(tbts, 0.95),
+        "queue_ms": queue,
+        "compute_ms": compute,
+        "prefix_hit_ratio": hit / (hit + miss) if hit + miss > 0 else None,
+        "generated_tokens": sum(r["generated"] for r in rows),
+    }
+
+
+def _percentile(sorted_values, q):
+    """Nearest-rank percentile (q in [0, 1]) of an ascending list."""
+    if not sorted_values:
+        return None
+    rank = max(1, -(-len(sorted_values) * q // 1))
+    return sorted_values[min(len(sorted_values), int(rank)) - 1]
+
+
+def _fmt(value):
+    return "-" if value is None else f"{value:.3f}"
+
+
+def render(rows, agg):
+    """Formats the per-request table and summary (list of lines)."""
+    header = ("req", "outcome", "ttft ms", "tbt ms", "queue ms",
+              "compute ms", "tokens", "prefix hit")
+    body = []
+    for r in rows:
+        denom = r["hit_blocks"] + r["miss_blocks"]
+        ratio = f"{r['hit_blocks'] / denom:.2f}" if denom else "-"
+        body.append((str(r["req"]), r["outcome"], _fmt(r["ttft_ms"]),
+                     _fmt(r["tbt_ms"]), _fmt(r["queue_ms"]),
+                     _fmt(r["compute_ms"]), str(r["generated"]), ratio))
+    widths = [max(len(row[i]) for row in [header] + body)
+              for i in range(len(header))]
+    lines = []
+    for row in [header] + body:
+        cells = [row[0].rjust(widths[0]), row[1].ljust(widths[1])]
+        cells += [row[i].rjust(widths[i]) for i in range(2, len(row))]
+        lines.append("  ".join(cells).rstrip())
+
+    lines.append("")
+    outcomes = " ".join(f"{k}={v}" for k, v in sorted(agg["outcomes"].items()))
+    lines.append(f"requests: {agg['requests']} ({outcomes})")
+    lines.append(
+        f"ttft ms: p50={_fmt(agg['ttft_p50_ms'])} "
+        f"p95={_fmt(agg['ttft_p95_ms'])}  "
+        f"tbt ms: p50={_fmt(agg['tbt_p50_ms'])} p95={_fmt(agg['tbt_p95_ms'])}")
+    total = agg["queue_ms"] + agg["compute_ms"]
+    if total > 0:
+        lines.append(
+            f"time split: queue={agg['queue_ms']:.3f} ms "
+            f"({100.0 * agg['queue_ms'] / total:.1f}%) "
+            f"compute={agg['compute_ms']:.3f} ms "
+            f"({100.0 * agg['compute_ms'] / total:.1f}%)")
+    ratio = agg["prefix_hit_ratio"]
+    lines.append(
+        f"prefix hit ratio: {'-' if ratio is None else f'{ratio:.2f}'}  "
+        f"generated tokens: {agg['generated_tokens']}")
+    return lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Summarize a RequestLog timeline JSONL file.")
+    parser.add_argument("timeline", help="path to the timeline JSONL file")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check only; exit 1 on any violation")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.timeline, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        print(f"request_timeline: cannot read {args.timeline}: {err}",
+              file=sys.stderr)
+        return 1
+
+    events, errors = parse_jsonl(text)
+    errors.extend(validate(events))
+    if errors:
+        for err in errors[:20]:
+            print(f"request_timeline: {err}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"request_timeline: ... and {len(errors) - 20} more",
+                  file=sys.stderr)
+        return 1
+    if args.validate:
+        reqs = len({ev["req"] for ev in events})
+        print(f"OK: {len(events)} events, {reqs} requests, schema valid")
+        return 0
+
+    rows = summarize(events)
+    for line in render(rows, aggregate(rows)):
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        os._exit(0)

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Self-test for request_timeline.py (stdlib-only; run directly or via CTest)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import request_timeline
+
+
+def ev(req, kind, iter_=0, vt_ns=0, wall_ns=0, **args):
+    base = {"req": req, "ev": kind, "iter": iter_, "vt_ns": vt_ns,
+            "wall_ns": wall_ns}
+    base.update(args)
+    return base
+
+
+def jsonl(events):
+    return "".join(json.dumps(e) + "\n" for e in events)
+
+
+def full_request(req=0, base_vt=0):
+    """A healthy submitted->admitted->decode*3->finished lifecycle."""
+    return [
+        ev(req, "submitted", iter_=-1, vt_ns=base_vt, prompt_tokens=8,
+           max_new=3),
+        ev(req, "admitted", vt_ns=base_vt + 1_000_000, fresh_blocks=2,
+           shared_blocks=1),
+        ev(req, "prefix_match", vt_ns=base_vt + 1_000_000, hit_blocks=1,
+           miss_blocks=2, cached_tokens=4),
+        ev(req, "chunk_scheduled", vt_ns=base_vt + 1_000_000, start=0,
+           tokens=8),
+        ev(req, "decode", iter_=1, vt_ns=base_vt + 3_000_000, token=5,
+           generated=1),
+        ev(req, "decode", iter_=2, vt_ns=base_vt + 4_000_000, token=6,
+           generated=2),
+        ev(req, "decode", iter_=3, vt_ns=base_vt + 5_000_000, token=7,
+           generated=3),
+        ev(req, "finished", iter_=3, vt_ns=base_vt + 5_000_000, generated=3,
+           eos=0),
+    ]
+
+
+class ParseAndValidateTest(unittest.TestCase):
+    def parse_validate(self, events):
+        parsed, errors = request_timeline.parse_jsonl(jsonl(events))
+        return errors + request_timeline.validate(parsed)
+
+    def test_valid_lifecycle_passes(self):
+        self.assertEqual(self.parse_validate(full_request()), [])
+
+    def test_rejected_and_cancelled_lifecycles_pass(self):
+        events = [
+            ev(1, "submitted", iter_=-1, vt_ns=0),
+            ev(1, "rejected", vt_ns=100),
+            ev(2, "submitted", iter_=-1, vt_ns=0),
+            ev(2, "cancelled", vt_ns=200, generated=0),
+        ]
+        self.assertEqual(self.parse_validate(events), [])
+
+    def test_invalid_json_line_reported(self):
+        parsed, errors = request_timeline.parse_jsonl(
+            '{"req": 0, "ev": "submitted"\nnot json\n')
+        self.assertEqual(len(errors), 2)
+        self.assertEqual(parsed, [])
+
+    def test_missing_required_key_reported(self):
+        bad = ev(0, "submitted")
+        del bad["vt_ns"]
+        self.assertTrue(self.parse_validate([bad]))
+
+    def test_unknown_event_kind_reported(self):
+        errors = self.parse_validate(
+            [ev(0, "submitted"), ev(0, "teleported", vt_ns=5)])
+        self.assertTrue(any("teleported" in e for e in errors))
+
+    def test_missing_submitted_reported(self):
+        errors = self.parse_validate([ev(3, "decode", vt_ns=5, generated=1)])
+        self.assertTrue(any("exactly 1 'submitted'" in e for e in errors))
+
+    def test_double_terminal_reported(self):
+        errors = self.parse_validate([
+            ev(0, "submitted"),
+            ev(0, "finished", vt_ns=10, generated=1),
+            ev(0, "evicted", vt_ns=20, generated=1),
+        ])
+        self.assertTrue(any("more than one terminal" in e for e in errors))
+
+    def test_event_after_terminal_reported(self):
+        errors = self.parse_validate([
+            ev(0, "submitted"),
+            ev(0, "finished", vt_ns=10, generated=1),
+            ev(0, "decode", vt_ns=20, generated=2),
+        ])
+        self.assertTrue(any("after terminal" in e for e in errors))
+
+    def test_backwards_virtual_time_reported(self):
+        errors = self.parse_validate([
+            ev(0, "submitted", vt_ns=1000),
+            ev(0, "admitted", vt_ns=500),
+        ])
+        self.assertTrue(any("backwards" in e for e in errors))
+
+
+class SummarizeTest(unittest.TestCase):
+    def test_latency_split_and_prefix_ratio(self):
+        rows = request_timeline.summarize(full_request())
+        self.assertEqual(len(rows), 1)
+        r = rows[0]
+        self.assertEqual(r["outcome"], "finished")
+        # First decode at vt 3ms, submitted at 0 -> TTFT 3ms.
+        self.assertAlmostEqual(r["ttft_ms"], 3.0)
+        # Decodes at 3/4/5 ms -> mean inter-token gap 1ms.
+        self.assertAlmostEqual(r["tbt_ms"], 1.0)
+        self.assertAlmostEqual(r["queue_ms"], 1.0)    # submit -> admit
+        self.assertAlmostEqual(r["compute_ms"], 4.0)  # admit -> finished
+        self.assertEqual(r["generated"], 3)
+        self.assertEqual((r["hit_blocks"], r["miss_blocks"]), (1, 2))
+
+    def test_rejected_request_has_no_latency_fields(self):
+        rows = request_timeline.summarize([
+            ev(4, "submitted", iter_=-1, vt_ns=0),
+            ev(4, "rejected", vt_ns=100),
+        ])
+        r = rows[0]
+        self.assertEqual(r["outcome"], "rejected")
+        self.assertIsNone(r["ttft_ms"])
+        self.assertIsNone(r["queue_ms"])
+        self.assertIsNone(r["compute_ms"])
+
+    def test_aggregate_counts_outcomes_and_pools_prefix_blocks(self):
+        events = full_request(req=0) + full_request(req=1, base_vt=2_000_000)
+        events += [ev(2, "submitted", iter_=-1, vt_ns=0),
+                   ev(2, "rejected", vt_ns=10)]
+        agg = request_timeline.aggregate(request_timeline.summarize(events))
+        self.assertEqual(agg["requests"], 3)
+        self.assertEqual(agg["outcomes"], {"finished": 2, "rejected": 1})
+        self.assertAlmostEqual(agg["prefix_hit_ratio"], 2 / 6)
+        self.assertEqual(agg["generated_tokens"], 6)
+        self.assertAlmostEqual(agg["ttft_p50_ms"], 3.0)
+        self.assertAlmostEqual(agg["queue_ms"], 2.0)
+        self.assertAlmostEqual(agg["compute_ms"], 8.0)
+
+    def test_render_includes_header_rows_and_summary(self):
+        rows = request_timeline.summarize(full_request())
+        lines = request_timeline.render(rows, request_timeline.aggregate(rows))
+        self.assertIn("outcome", lines[0])
+        self.assertIn("prefix hit", lines[0])
+        self.assertTrue(any("finished" in line for line in lines[1:]))
+        self.assertTrue(any(line.startswith("time split:") for line in lines))
+
+
+class MainTest(unittest.TestCase):
+    def test_validate_and_table_roundtrip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            good = os.path.join(tmp, "good.jsonl")
+            with open(good, "w", encoding="utf-8") as f:
+                f.write(jsonl(full_request()))
+            self.assertEqual(request_timeline.main([good, "--validate"]), 0)
+            self.assertEqual(request_timeline.main([good]), 0)
+
+            bad = os.path.join(tmp, "bad.jsonl")
+            with open(bad, "w", encoding="utf-8") as f:
+                f.write('{"req": 0}\n')
+            self.assertEqual(request_timeline.main([bad, "--validate"]), 1)
+            self.assertEqual(
+                request_timeline.main([os.path.join(tmp, "nope.jsonl")]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -11,13 +11,19 @@ percentage of that parent.
 Stdlib-only on purpose: this must run on a bare CI runner and in the CTest
 wiring (tools/CMakeLists.txt) with no pip installs.
 
+Traces may also carry nestable async events ("b"/"e" pairs keyed by
+(cat, id) — the per-request spans RequestLog::ChromeAsyncSpans emits). Those
+are rendered as a second, per-request latency table: one row per matched
+begin/end pair with its request id, phase name, start, and duration.
+
 Usage:
-  trace_report.py TRACE.json            # print the per-span table
+  trace_report.py TRACE.json            # print the per-span table(s)
   trace_report.py TRACE.json --validate # schema-check only; exit 1 on errors
 
 --validate asserts the invariants Perfetto/chrome://tracing rely on (object
 top level, traceEvents array, X events with string name + numeric ts/dur,
-thread_name metadata shape) so a trace that passes loads with no fixups.
+"b"/"e" events with an id and a matching partner, thread_name metadata shape)
+so a trace that passes loads with no fixups.
 """
 
 import argparse
@@ -40,14 +46,30 @@ def validate(trace):
             errors.append(f"{where}: expected an object")
             continue
         ph = ev.get("ph")
-        if ph not in ("X", "M"):
-            errors.append(f"{where}: ph must be 'X' or 'M', got {ph!r}")
+        if ph not in ("X", "M", "b", "e"):
+            errors.append(
+                f"{where}: ph must be one of 'X', 'M', 'b', 'e', got {ph!r}")
             continue
         if not isinstance(ev.get("name"), str) or not ev["name"]:
             errors.append(f"{where}: name must be a non-empty string")
         for key in ("pid", "tid"):
             if not isinstance(ev.get(key), int):
                 errors.append(f"{where}: {key} must be an integer")
+        if ph in ("b", "e"):
+            # Nestable async events: viewers match them on (cat, id), so both
+            # must be present; the id may be a string (the writer's form, so
+            # 64-bit ids survive double-coercing parsers) or an integer.
+            if not isinstance(ev.get("cat"), str) or not ev["cat"]:
+                errors.append(f"{where}: async event needs a non-empty cat")
+            if not isinstance(ev.get("id"), (str, int)) or isinstance(
+                    ev.get("id"), bool):
+                errors.append(f"{where}: async event needs a string/int id")
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                errors.append(f"{where}: ts must be a number")
+            elif ts < 0:
+                errors.append(f"{where}: ts must be >= 0, got {ts}")
+            continue
         if ph == "X":
             for key in ("ts", "dur"):
                 val = ev.get(key)
@@ -64,6 +86,41 @@ def validate(trace):
                         args.get("name"), str):
                     errors.append(
                         f"{where}: thread_name metadata needs args.name string")
+    errors.extend(_validate_async_pairing(events))
+    return errors
+
+
+def _async_key(ev):
+    """Span identity for pairing: viewers match b/e on (cat, id); the name
+    disambiguates the writer's multiple phases per request id."""
+    return (ev.get("cat"), str(ev.get("id")), ev.get("name"))
+
+
+def _validate_async_pairing(events):
+    """Every 'b' needs a later 'e' with the same (cat, id, name), and vice
+    versa — an unbalanced pair renders as an open-ended span in viewers."""
+    errors = []
+    open_begins = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") not in ("b", "e"):
+            continue
+        key = _async_key(ev)
+        if ev["ph"] == "b":
+            open_begins.setdefault(key, []).append(i)
+        else:
+            stack = open_begins.get(key)
+            if not stack:
+                errors.append(
+                    f"traceEvents[{i}]: 'e' event with no matching 'b' "
+                    f"for (cat={key[0]!r}, id={key[1]!r}, name={key[2]!r})")
+            else:
+                stack.pop()
+    for key, indices in sorted(open_begins.items(),
+                               key=lambda kv: kv[1] and kv[1][0] or 0):
+        for i in indices:
+            errors.append(
+                f"traceEvents[{i}]: 'b' event with no matching 'e' "
+                f"for (cat={key[0]!r}, id={key[1]!r}, name={key[2]!r})")
     return errors
 
 
@@ -144,6 +201,56 @@ def build_rows(trace):
     return rows
 
 
+def build_async_rows(trace):
+    """Matches "b"/"e" pairs into per-request latency rows.
+
+    Returns rows sorted by (start, id, name):
+      (cat, id, name, start_ms, dur_ms)
+    one per matched pair — for RequestLog traces that is one row per request
+    phase (request/<outcome>, queued, exec), i.e. the per-request latency
+    table. Unmatched events are skipped (validate reports them).
+    """
+    rows = []
+    open_begins = {}
+    for ev in trace.get("traceEvents", []):
+        if not isinstance(ev, dict) or ev.get("ph") not in ("b", "e"):
+            continue
+        key = _async_key(ev)
+        if ev["ph"] == "b":
+            open_begins.setdefault(key, []).append(ev)
+        elif open_begins.get(key):
+            begin = open_begins[key].pop()
+            cat, span_id, name = key
+            rows.append((cat, span_id, name, begin["ts"] / 1e3,
+                         (ev["ts"] - begin["ts"]) / 1e3))
+    rows.sort(key=lambda r: (r[3], _numeric_id(r[1]), r[2]))
+    return rows
+
+
+def _numeric_id(span_id):
+    """Sort request ids numerically when they are numeric strings."""
+    try:
+        return (0, int(span_id))
+    except (TypeError, ValueError):
+        return (1, span_id)
+
+
+def render_async(rows):
+    """Formats per-request async rows as an aligned table (list of lines)."""
+    header = ("cat", "id", "span", "start ms", "dur ms")
+    body = [(cat, str(span_id), name, f"{start:.3f}", f"{dur:.3f}")
+            for cat, span_id, name, start, dur in rows]
+    widths = [max(len(row[i]) for row in [header] + body)
+              for i in range(len(header))]
+    lines = []
+    for row in [header] + body:
+        cells = [row[0].ljust(widths[0]), row[1].rjust(widths[1]),
+                 row[2].ljust(widths[2])]
+        cells += [row[i].rjust(widths[i]) for i in range(3, len(row))]
+        lines.append("  ".join(cells).rstrip())
+    return lines
+
+
 def render(rows):
     """Formats aggregate rows as an aligned text table (list of lines)."""
     header = ("span", "count", "total ms", "mean ms", "p95 ms", "parent",
@@ -186,11 +293,19 @@ def main(argv=None):
         return 1
     if args.validate:
         n = sum(1 for ev in trace["traceEvents"] if ev.get("ph") == "X")
-        print(f"OK: {n} spans, schema valid")
+        n_async = sum(
+            1 for ev in trace["traceEvents"] if ev.get("ph") == "b")
+        print(f"OK: {n} spans, {n_async} async spans, schema valid")
         return 0
 
     for line in render(build_rows(trace)):
         print(line)
+    async_rows = build_async_rows(trace)
+    if async_rows:
+        print()
+        print("per-request async spans:")
+        for line in render_async(async_rows):
+            print(line)
     return 0
 
 

@@ -29,6 +29,14 @@ def trace(events):
     return {"displayTimeUnit": "ms", "traceEvents": events}
 
 
+def ab(ph, name, ts, span_id="0", cat="srv.request", args=None):
+    ev = {"ph": ph, "pid": 0, "tid": 0, "id": span_id, "ts": ts,
+          "name": name, "cat": cat}
+    if args is not None:
+        ev["args"] = args
+    return ev
+
+
 class ValidateTest(unittest.TestCase):
     def test_valid_trace_passes(self):
         t = trace([meta(), x("a", 0, 100, args={"m": 4}), x("b", 10, 20)])
@@ -55,6 +63,45 @@ class ValidateTest(unittest.TestCase):
 
     def test_empty_name_rejected(self):
         self.assertTrue(trace_report.validate(trace([x("", 0, 1)])))
+
+    def test_async_pairs_pass(self):
+        t = trace([
+            ab("b", "request/finished", 0, args={"generated": 4}),
+            ab("e", "request/finished", 2500),
+            ab("b", "queued", 0),
+            ab("e", "queued", 1500),
+        ])
+        self.assertEqual(trace_report.validate(t), [])
+
+    def test_async_event_requires_cat_and_id(self):
+        no_cat = ab("b", "queued", 0)
+        del no_cat["cat"]
+        no_id = ab("b", "queued", 0)
+        del no_id["id"]
+        for bad in (no_cat, no_id,
+                    ab("b", "queued", -1),
+                    ab("b", "queued", "soon")):
+            paired = dict(bad, ph="e") if bad.get("ph") == "b" else bad
+            self.assertTrue(
+                trace_report.validate(trace([bad, paired])), bad)
+
+    def test_async_unbalanced_pairs_rejected(self):
+        # 'e' without 'b', and 'b' without 'e'.
+        self.assertTrue(trace_report.validate(
+            trace([ab("e", "queued", 10)])))
+        self.assertTrue(trace_report.validate(
+            trace([ab("b", "queued", 0)])))
+        # Matching is per (cat, id, name): same name under another id does
+        # not satisfy the pair.
+        self.assertTrue(trace_report.validate(trace([
+            ab("b", "queued", 0, span_id="1"),
+            ab("e", "queued", 10, span_id="2"),
+        ])))
+
+    def test_integer_ids_accepted(self):
+        t = trace([ab("b", "exec", 0, span_id=7),
+                   ab("e", "exec", 10, span_id=7)])
+        self.assertEqual(trace_report.validate(t), [])
 
 
 class RowsTest(unittest.TestCase):
