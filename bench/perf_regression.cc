@@ -43,8 +43,10 @@
 #include "src/core/spinfer_kernel.h"
 #include "src/format/tca_bme.h"
 #include "src/gpusim/device_spec.h"
+#include "src/llm/disagg_cluster.h"
 #include "src/llm/model_config.h"
 #include "src/llm/serving_engine.h"
+#include "src/llm/sharded_engine.h"
 #include "src/llm/tiny_transformer.h"
 #include "src/numeric/matrix.h"
 #include "src/obs/chrome_trace.h"
@@ -598,6 +600,83 @@ int Main(int argc, char** argv) {
     if (!trace_path.empty()) {
       request_spans = obs_engine->request_log()->ChromeAsyncSpans();
     }
+  }
+
+  // --- Multi-instance serving: TP shards and prefill/decode clusters. ------
+  // serving_tp{2,4} run the serving_engine_b8 workload through the sharded
+  // substrate; the delta over the single-instance point is the real cost of
+  // slicing one step across N shards on one host (per-shard matmul calls +
+  // copy-gathers — the virtual ring itself is priced, not executed).
+  // serving_disagg runs the same 8 requests through the two-pool cluster
+  // (prefill -> KV handoff -> decode), timing the executing pipeline.
+  {
+    TinyConfig big;
+    big.vocab = 256;
+    big.hidden = 256;
+    big.layers = 4;
+    big.heads = 8;
+    big.ffn = 1024;
+    big.max_seq = 128;
+    TinyTransformer model(big, 1013);
+    model.PruneWeights(MagnitudePruner(), 0.6);
+    constexpr int64_t kTpSeqs = 8;
+    constexpr int64_t kTpPrompt = 32;
+    constexpr int64_t kTpMaxNew = 16;
+    Rng rng(1014);
+    std::vector<std::vector<int32_t>> prompts;
+    for (int64_t s = 0; s < kTpSeqs; ++s) {
+      std::vector<int32_t> p(static_cast<size_t>(kTpPrompt));
+      for (auto& t : p) {
+        t = static_cast<int32_t>(rng.Below(static_cast<uint64_t>(big.vocab)));
+      }
+      prompts.push_back(std::move(p));
+    }
+    const auto run_tp = [&](int shards) {
+      ServingEngineConfig cfg;
+      cfg.max_batch = 8;
+      cfg.kv_block_tokens = 16;
+      cfg.kv_num_blocks = 64;
+      cfg.cost.model = Opt13B();
+      cfg.cost.framework = Framework::kSpInfer;
+      cfg.cost.device = Rtx4090();
+      cfg.cost.sparsity = 0.6;
+      ShardedEngineConfig scfg;
+      scfg.shards = shards;
+      scfg.kv_block_tokens = 16;
+      scfg.kv_num_blocks = 64;
+      scfg.device = Rtx4090();
+      ShardedEngine substrate(&model, scfg);
+      ServingEngine engine(&substrate, cfg);
+      for (int64_t s = 0; s < kTpSeqs; ++s) {
+        engine.Submit(prompts[static_cast<size_t>(s)], kTpMaxNew,
+                      static_cast<double>(s) * 0.0005);
+      }
+      const ExecServingReport rep = engine.Run();
+      g_sink = static_cast<float>(rep.tokens_generated);
+    };
+    bench("serving_tp2", [&] { run_tp(2); });
+    bench("serving_tp4", [&] { run_tp(4); });
+    const auto run_disagg = [&] {
+      DisaggClusterConfig cfg;
+      cfg.prefill_instances = 2;
+      cfg.decode_instances = 1;
+      cfg.max_decode_batch = 8;
+      cfg.kv_block_tokens = 16;
+      cfg.kv_num_blocks = 64;
+      cfg.prefill_cost.model = Opt13B();
+      cfg.prefill_cost.framework = Framework::kSpInfer;
+      cfg.prefill_cost.device = Rtx4090();
+      cfg.prefill_cost.sparsity = 0.6;
+      cfg.decode_cost = cfg.prefill_cost;
+      DisaggCluster cluster(&model, cfg);
+      for (int64_t s = 0; s < kTpSeqs; ++s) {
+        cluster.Submit(prompts[static_cast<size_t>(s)], kTpMaxNew,
+                       static_cast<double>(s) * 0.0005);
+      }
+      const DisaggClusterReport rep = cluster.Run();
+      g_sink = static_cast<float>(rep.completed);
+    };
+    bench("serving_disagg", [&] { run_disagg(); });
   }
 
   WriteBenchJson(out_path, records);

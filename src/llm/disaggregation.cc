@@ -10,8 +10,16 @@
 namespace spinfer {
 
 DisaggReport PlanDisaggregation(const DisaggConfig& cfg) {
-  SPINFER_CHECK(cfg.request_rate_rps > 0.0);
   DisaggReport report;
+  // A plan that cannot be meaningfully sized — non-positive rate or lengths,
+  // an empty cluster side, or a zero-capacity scheduler — reports "nothing
+  // fits" (all-false, all-zero) instead of CHECK-crashing: planners get fed
+  // swept configs, and a hole in the sweep is data, not a bug.
+  if (cfg.request_rate_rps <= 0.0 || cfg.input_len <= 0 ||
+      cfg.output_len <= 0 || cfg.max_decode_batch <= 0 ||
+      cfg.prefill_gpus < 1 || cfg.decode_gpus < 1) {
+    return report;
+  }
 
   const WeightFormat format = FrameworkWeightFormat(cfg.framework);
   const double weight_sparsity =

@@ -6,7 +6,9 @@ namespace spinfer {
 
 double AllReduceTimeUs(uint64_t bytes, int num_gpus, const DeviceSpec& dev) {
   SPINFER_CHECK(num_gpus >= 1);
-  if (num_gpus == 1) {
+  if (num_gpus == 1 || bytes == 0) {
+    // One rank never leaves the die, and a zero-token batch moves nothing —
+    // neither schedule should pay the ring's per-step latency.
     return 0.0;
   }
   const double g = static_cast<double>(num_gpus);

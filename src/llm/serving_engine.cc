@@ -81,7 +81,7 @@ ModelConfig ModelConfigFor(const TinyConfig& cfg) {
   m.hidden = cfg.hidden;
   m.layers = cfg.layers;
   m.heads = cfg.heads;
-  m.kv_heads = cfg.heads;
+  m.kv_heads = cfg.kv_head_count();
   m.ffn_hidden = cfg.ffn;
   m.vocab = cfg.vocab;
   return m;
@@ -129,10 +129,32 @@ std::string ExecServingReport::ToString() const {
 
 ServingEngine::ServingEngine(const TinyTransformer* model,
                              const ServingEngineConfig& cfg)
-    : model_(model),
-      cfg_(cfg),
-      cache_(model->KvCacheConfig(cfg.kv_block_tokens, cfg.kv_num_blocks)) {
-  SPINFER_CHECK(model != nullptr);
+    : owned_substrate_(std::make_unique<SingleInstanceSubstrate>(
+          model, cfg.kv_block_tokens, cfg.kv_num_blocks)),
+      substrate_(owned_substrate_.get()),
+      cfg_(cfg) {
+  SPINFER_CHECK(cfg.max_batch > 0);
+  SPINFER_CHECK(cfg.prefill_chunk_tokens >= 0);
+  if (kServingObs) {
+    if (cfg.obs.request_timeline) {
+      request_log_ = std::make_unique<obs::RequestLog>(cfg.obs.wall_clock);
+    }
+    if (cfg.obs.flight_recorder_iters > 0) {
+      flight_recorder_ =
+          std::make_unique<obs::FlightRecorder>(cfg.obs.flight_recorder_iters);
+    }
+    if (cfg.obs.slo_tracker) {
+      obs::SloTrackerConfig slo;
+      slo.window_iters = cfg.obs.slo_window_iters;
+      slo_tracker_ = std::make_unique<obs::SloTracker>(slo);
+    }
+  }
+}
+
+ServingEngine::ServingEngine(ServingSubstrate* substrate,
+                             const ServingEngineConfig& cfg)
+    : substrate_(substrate), cfg_(cfg) {
+  SPINFER_CHECK(substrate != nullptr);
   SPINFER_CHECK(cfg.max_batch > 0);
   SPINFER_CHECK(cfg.prefill_chunk_tokens >= 0);
   if (kServingObs) {
@@ -186,7 +208,7 @@ void ServingEngine::InjectPoissonArrivals(const PoissonTraffic& t) {
   // content comes from a second stream so it cannot perturb the process.
   Rng time_rng(t.seed);
   Rng content_rng(t.seed ^ 0x9e3779b97f4a7c15ull);
-  const int64_t vocab = model_->config().vocab;
+  const int64_t vocab = substrate_->model_config().vocab;
   double now = 0.0;
   while (true) {
     now += -std::log(1.0 - time_rng.Uniform()) / t.arrival_rate_rps;
@@ -213,11 +235,11 @@ bool ServingEngine::IsServable(const RequestRecord& r) const {
   if (prompt_len < 1 || r.max_new_tokens < 1) {
     return false;
   }
-  if (prompt_len + r.max_new_tokens > model_->config().max_seq) {
+  if (prompt_len + r.max_new_tokens > substrate_->model_config().max_seq) {
     return false;
   }
-  return cache_.BlocksForTokens(prompt_len + r.max_new_tokens) <=
-         cache_.total_blocks();
+  return substrate_->cache().BlocksForTokens(prompt_len + r.max_new_tokens) <=
+         substrate_->cache().total_blocks();
 }
 
 ExecServingReport ServingEngine::Run() {
@@ -264,7 +286,7 @@ ExecServingReport ServingEngine::Run() {
   std::vector<int64_t> fr_admitted_ids;
 
   const auto footprint_of = [this](const RequestRecord& r) {
-    return cache_.BlocksForTokens(static_cast<int64_t>(r.prompt.size()) +
+    return substrate_->cache().BlocksForTokens(static_cast<int64_t>(r.prompt.size()) +
                                   r.max_new_tokens);
   };
 
@@ -332,7 +354,7 @@ ExecServingReport ServingEngine::Run() {
                        [id](const Active& a) { return a.id == id; });
       const bool was_running = run_it != running.end();
       if (was_running) {
-        cache_.RemoveSequence(id);  // refcount-aware: shared blocks survive
+        substrate_->RemoveSequence(id);  // refcount-aware: shared blocks survive
         running.erase(run_it);
       } else {
         queue.erase(std::find(queue.begin(), queue.end(), id));
@@ -360,7 +382,8 @@ ExecServingReport ServingEngine::Run() {
     int64_t reserve = 0;
     for (const Active& a : running) {
       reserve += footprint_of(records_[static_cast<size_t>(a.id)]) -
-                 cache_.BlocksForTokens(cache_.SequenceTokens(a.id));
+                 substrate_->cache().BlocksForTokens(
+                     substrate_->cache().SequenceTokens(a.id));
     }
     while (!queue.empty()) {
       RequestRecord& r = records_[static_cast<size_t>(queue.front())];
@@ -385,18 +408,19 @@ ExecServingReport ServingEngine::Run() {
       const int64_t prompt_len = static_cast<int64_t>(r.prompt.size());
       PagedKvCache::PrefixMatch match;
       if (cfg_.enable_prefix_cache) {
-        match = cache_.MatchPrefix(r.prompt);
+        match = substrate_->MatchPrefix(r.prompt);
       }
-      const int64_t prompt_blocks = cache_.BlocksForTokens(prompt_len);
+      const int64_t prompt_blocks = substrate_->cache().BlocksForTokens(prompt_len);
       const int64_t fresh_blocks =
           prompt_blocks - static_cast<int64_t>(match.blocks.size());
       const int64_t growth = footprint_of(r) - prompt_blocks;
-      if (cache_.used_blocks() + fresh_blocks + reserve + growth >
-          cache_.total_blocks()) {
+      if (substrate_->cache().used_blocks() + fresh_blocks + reserve + growth >
+          substrate_->cache().total_blocks()) {
         break;
       }
       queue.pop_front();
-      SPINFER_CHECK(cache_.AddSequenceSharing(r.id, prompt_len, match));
+      SPINFER_CHECK(
+          substrate_->AddSequenceSharing(r.id, r.prompt, prompt_len, match));
       reserve += growth;
       r.admit_s = now_s;
       r.cached_prompt_tokens = match.tokens;
@@ -477,7 +501,8 @@ ExecServingReport ServingEngine::Run() {
     ++report.iterations;
     metrics.iterations->Increment();
     report.peak_batch = std::max(report.peak_batch, batch);
-    report.peak_kv_blocks = std::max(report.peak_kv_blocks, cache_.used_blocks());
+    report.peak_kv_blocks =
+        std::max(report.peak_kv_blocks, substrate_->cache().used_blocks());
     SPINFER_TRACE_SCOPE_ARG("srv.step", "batch", batch);
 
     if (kServingObs && tl != nullptr) {
@@ -499,9 +524,9 @@ ExecServingReport ServingEngine::Run() {
       fr_snap.admitted = fr_admitted;
       fr_snap.rejected = fr_rejected;
       fr_snap.queue_depth = static_cast<int64_t>(queue.size());
-      fr_snap.kv_used_blocks = cache_.used_blocks();
-      fr_snap.kv_total_blocks = cache_.total_blocks();
-      fr_snap.kv_wasted_slots = cache_.WastedTokenSlots();
+      fr_snap.kv_used_blocks = substrate_->cache().used_blocks();
+      fr_snap.kv_total_blocks = substrate_->cache().total_blocks();
+      fr_snap.kv_wasted_slots = substrate_->cache().WastedTokenSlots();
       fr_snap.batch_ids.reserve(running.size());
       for (const Active& a : running) {
         fr_snap.batch_ids.push_back(a.id);
@@ -510,7 +535,7 @@ ExecServingReport ServingEngine::Run() {
     }
 
     // --- Execute: ONE matmul per weight with N = decode + chunk columns. ---
-    model_->MixedStep(dec_ids, dec_last, chunks, cfg_.backend, &cache_,
+    substrate_->MixedStep(dec_ids, dec_last, chunks, cfg_.backend,
                       &dec_next, &chunk_next);
     for (size_t i = 0; i < dec_ids.size(); ++i) {
       records_[static_cast<size_t>(dec_ids[i])].generated.push_back(dec_next[i]);
@@ -527,7 +552,7 @@ ExecServingReport ServingEngine::Run() {
       }
       if (cfg_.enable_prefix_cache) {
         // Newly filled full blocks become adoptable by later arrivals.
-        cache_.IndexPrefix(id, r.prompt, a.prefill_pos);
+        substrate_->IndexPrefix(id, r.prompt, a.prefill_pos);
       }
     }
 
@@ -619,7 +644,7 @@ ExecServingReport ServingEngine::Run() {
       metrics.ttft_ms->Record(r.ttft_ms);
       metrics.completed->Increment();
       ++report.completed;
-      cache_.RemoveSequence(r.id);
+      substrate_->RemoveSequence(r.id);
       record_terminal_span(r);
       if (kServingObs && tl != nullptr) {
         tl->Append(r.id, obs::RequestEventKind::kFinished, iter_idx, now_s,
@@ -635,22 +660,25 @@ ExecServingReport ServingEngine::Run() {
       fr->Record(std::move(fr_snap));
     }
     if (kServingObs && slo != nullptr) {
-      slo->EndIteration(cache_.Utilization(), &obs::MetricsRegistry::Global());
+      slo->EndIteration(substrate_->cache().Utilization(),
+                        &obs::MetricsRegistry::Global());
     }
 
     metrics.queue_depth->Set(static_cast<double>(queue.size()));
     metrics.batch_size->Set(static_cast<double>(running.size()));
-    metrics.kv_used_blocks->Set(static_cast<double>(cache_.used_blocks()));
-    metrics.kv_utilization->Set(cache_.Utilization());
-    metrics.kv_wasted_slots->Set(static_cast<double>(cache_.WastedTokenSlots()));
-    if (cache_.cow_copies() > published_cow) {
+    metrics.kv_used_blocks->Set(
+        static_cast<double>(substrate_->cache().used_blocks()));
+    metrics.kv_utilization->Set(substrate_->cache().Utilization());
+    metrics.kv_wasted_slots->Set(
+        static_cast<double>(substrate_->cache().WastedTokenSlots()));
+    if (substrate_->cache().cow_copies() > published_cow) {
       metrics.cow_copies->Add(
-          static_cast<uint64_t>(cache_.cow_copies() - published_cow));
-      published_cow = cache_.cow_copies();
+          static_cast<uint64_t>(substrate_->cache().cow_copies() - published_cow));
+      published_cow = substrate_->cache().cow_copies();
     }
   }
 
-  report.cow_copies = cache_.cow_copies();
+  report.cow_copies = substrate_->cache().cow_copies();
   report.sim_time_s = now_s;
   report.throughput_tps =
       static_cast<double>(report.tokens_generated) / std::max(now_s, 1e-9);

@@ -51,6 +51,7 @@
 
 #include "src/llm/engine.h"
 #include "src/llm/kv_allocator.h"
+#include "src/llm/serving_substrate.h"
 #include "src/llm/tiny_transformer.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/request_log.h"
@@ -187,8 +188,15 @@ struct ExecServingReport {
 class ServingEngine {
  public:
   // `model` is borrowed and must outlive the engine. The KV pool
-  // (kv_num_blocks x kv_block_tokens slots per layer) is allocated here.
+  // (kv_num_blocks x kv_block_tokens slots per layer) is allocated here,
+  // inside an owned SingleInstanceSubstrate.
   ServingEngine(const TinyTransformer* model, const ServingEngineConfig& cfg);
+  // Runs the same scheduler over a caller-owned execution substrate (e.g. a
+  // tensor-parallel ShardedEngine). `substrate` is borrowed, must outlive the
+  // engine, and must not be shared with another engine (the scheduler owns
+  // its sequence-id space). cfg.kv_block_tokens/kv_num_blocks are ignored —
+  // the substrate brings its own pool.
+  ServingEngine(ServingSubstrate* substrate, const ServingEngineConfig& cfg);
   // Uninstalls this engine's crash-dump hook (if it installed one).
   ~ServingEngine();
 
@@ -219,7 +227,7 @@ class ServingEngine {
   // Request ids in the order the scheduler admitted them (strict FIFO by
   // (arrival, id) — the no-starvation property tests assert on this).
   const std::vector<int64_t>& admission_order() const { return admission_order_; }
-  const PagedKvCache& kv_cache() const { return cache_; }
+  const PagedKvCache& kv_cache() const { return substrate_->cache(); }
 
   // Observability surfaces; nullptr when the corresponding ServingObsConfig
   // knob is off (always nullptr under SPINFER_TRACING_DISABLED).
@@ -239,9 +247,11 @@ class ServingEngine {
   // context window, is rejected at queue-head time.
   bool IsServable(const RequestRecord& r) const;
 
-  const TinyTransformer* model_;
+  // Owned when constructed from a TinyTransformer; null when the substrate
+  // is borrowed. `substrate_` is the working pointer either way.
+  std::unique_ptr<SingleInstanceSubstrate> owned_substrate_;
+  ServingSubstrate* substrate_;
   ServingEngineConfig cfg_;
-  PagedKvCache cache_;
 
   std::mutex submit_mu_;
   std::vector<RequestRecord> records_;

@@ -1,0 +1,134 @@
+// Executing tensor-parallel serving substrate: N virtual shards of one
+// TinyTransformer behind the ServingSubstrate seam, bit-identical to the
+// single-instance engine at any shard count.
+//
+// Partitioning. Megatron splits each layer column/row-wise and joins the
+// K-dim partial sums with a floating-point all-reduce — which reassociates
+// additions and cannot be bit-identical to the unsharded model. This engine
+// instead partitions every weight matrix (wq/wk/wv/wo/fc1/fc2) by OUTPUT
+// rows: each shard computes a disjoint row band of every projection from the
+// full activation panel, so every output element's scalar accumulation chain
+// is exactly the whole-matrix kernel's. The inter-shard "collectives" are
+// pure row gathers (copies, no arithmetic), and the TCA-BME row slices are
+// cut at GroupTile (gt_rows) boundaries so the sliced sparse kernels traverse
+// the same tiles in the same order as the whole-matrix encode. Consequences:
+//   * Token streams, logits, and KV bytes are bit-identical to
+//     TinyTransformer::MixedStep for any shard count, batch mix, and thread
+//     count.
+//   * Attention shards by query head (heads % shards == 0); under GQA the kv
+//     groups must not straddle a shard cut (kv_heads % shards == 0), so each
+//     shard's cache holds exactly its own kv heads' rows (kv_dim / shards).
+//
+// Time model ("execution real, clock virtual", like ServingEngine): the
+// virtual interconnect still prices the canonical Megatron schedule — two
+// ring all-reduces of the (hidden x panel) FP16 activations per layer, via
+// LayerCommTimeUs on the configured DeviceSpec — accumulated in comm_us().
+// The analytic cross-check tests recompute that expression per step from
+// step_panel_cols() and match it exactly.
+//
+// KV discipline: per-shard PagedKvCache pools (kv_dim / shards rows each)
+// driven in lockstep — every allocator mutation is applied to all shards in
+// the same order, so block tables, free lists, and prefix indexes are
+// identical across shards and shard 0 serves as the scheduler's exact
+// accounting view (ServingSubstrate::cache()).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/gpusim/device_spec.h"
+#include "src/llm/serving_substrate.h"
+
+namespace spinfer {
+
+struct ShardedEngineConfig {
+  int shards = 2;
+  int64_t kv_block_tokens = 16;
+  int64_t kv_num_blocks = 64;  // per shard
+  // Interconnect pricing the virtual ring all-reduces (link_bw_gbs /
+  // link_latency_us are the fields that matter).
+  DeviceSpec device;
+};
+
+class ShardedEngine : public ServingSubstrate {
+ public:
+  // `model` is borrowed and must outlive the engine. Requires (CHECKed):
+  // heads, kv_head_count, and hidden/kv_dim/ffn row counts all divisible so
+  // every slice boundary lands on a head boundary and a TCA-BME GroupTile
+  // boundary (see file comment).
+  ShardedEngine(const TinyTransformer* model, const ShardedEngineConfig& cfg);
+
+  // --- ServingSubstrate ------------------------------------------------------
+  const TinyConfig& model_config() const override { return model_->config(); }
+  const PagedKvCache& cache() const override { return shards_[0].cache; }
+  PagedKvCache::PrefixMatch MatchPrefix(
+      const std::vector<int32_t>& prompt) const override;
+  bool AddSequenceSharing(int64_t seq_id, const std::vector<int32_t>& prompt,
+                          int64_t tokens,
+                          const PagedKvCache::PrefixMatch& match) override;
+  void RemoveSequence(int64_t seq_id) override;
+  void IndexPrefix(int64_t seq_id, const std::vector<int32_t>& prompt,
+                   int64_t filled) override;
+  void MixedStep(const std::vector<int64_t>& dec_ids,
+                 const std::vector<int32_t>& dec_last,
+                 const std::vector<PrefillChunk>& chunks, MatmulBackend backend,
+                 std::vector<int32_t>* dec_next,
+                 std::vector<int32_t>* chunk_next) override;
+
+  // --- Introspection ---------------------------------------------------------
+  int shards() const { return cfg_.shards; }
+  // MixedStep iterations executed.
+  int64_t steps() const { return steps_; }
+  // Accumulated virtual interconnect time: for each step with panel width n,
+  // layers * LayerCommTimeUs(n, hidden, shards, device).
+  double comm_us() const { return comm_us_; }
+  // Panel width (decode columns + chunk tokens) of each executed step, in
+  // order — the cross-check tests re-price the comm from these.
+  const std::vector<int64_t>& step_panel_cols() const { return step_cols_; }
+  // Byte-stable rendering ("shards=%d steps=%lld comm_us=%.6f"); the
+  // determinism tests compare it across thread counts.
+  std::string StatsToString() const;
+
+ private:
+  struct ShardLayer {
+    // Output-row slices: wq/wo rows [s*h/g, (s+1)*h/g), wk/wv rows
+    // [s*kvd/g, ...), fc1 rows [s*ffn/g, ...), fc2 rows [s*h/g, ...). All
+    // span the full input (K) dimension.
+    HalfMatrix wq, wk, wv, wo, fc1, fc2;
+    TcaBmeMatrix enc_wq, enc_wk, enc_wv, enc_wo, enc_fc1, enc_fc2;
+  };
+  struct Shard {
+    std::vector<ShardLayer> layers;
+    PagedKvCache cache;  // kv_dim / shards rows per token
+    // Per-shard output panels (row bands before the gather).
+    FloatMatrix q, kk, v, attn_out, proj, hidden_act, ffn_out;
+
+    explicit Shard(const PagedKvCacheConfig& kv) : cache(kv) {}
+  };
+
+  // out = W_slice * x on `backend` (same numerics as TinyTransformer's
+  // MatmulInto, against one shard's row slice).
+  void MatmulInto(const HalfMatrix& dense, const TcaBmeMatrix& encoded,
+                  const FloatMatrix& x, MatmulBackend backend,
+                  const char* label, FloatMatrix* out);
+
+  const TinyTransformer* model_;
+  ShardedEngineConfig cfg_;
+  std::vector<Shard> shards_;
+
+  // Shared (sequential across shards) scratch: the full activation panel and
+  // the gathered projections, plus the matmul/attention workspaces.
+  FloatMatrix act_, normed_, attn_full_, proj_full_, ffn_in_, hidden_full_,
+      ffn_out_full_, logits_;
+  HalfMatrix xh_;
+  SpmmWorkspace ws_;
+  PagedAttentionScratch attn_scratch_;
+  std::vector<PagedAttentionItem> attn_items_;
+
+  int64_t steps_ = 0;
+  double comm_us_ = 0.0;
+  std::vector<int64_t> step_cols_;
+};
+
+}  // namespace spinfer

@@ -82,14 +82,15 @@ int32_t GreedyToken(const FloatMatrix& logits, int64_t row) {
 TinyTransformer::TinyTransformer(const TinyConfig& config, uint64_t seed)
     : config_(config) {
   SPINFER_CHECK(config.hidden % config.heads == 0);
+  SPINFER_CHECK(config.heads % config.kv_head_count() == 0);
   Rng rng(seed);
   const float scale = 1.0f / std::sqrt(static_cast<float>(config.hidden));
   embedding_ = HalfMatrix::Random(config.vocab, config.hidden, rng, scale);
   layers_.resize(static_cast<size_t>(config.layers));
   for (Layer& l : layers_) {
     l.wq = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
-    l.wk = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
-    l.wv = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
+    l.wk = HalfMatrix::Random(config.kv_dim(), config.hidden, rng, scale);
+    l.wv = HalfMatrix::Random(config.kv_dim(), config.hidden, rng, scale);
     l.wo = HalfMatrix::Random(config.hidden, config.hidden, rng, scale);
     l.fc1 = HalfMatrix::Random(config.ffn, config.hidden, rng, scale);
     l.fc2 = HalfMatrix::Random(config.hidden, config.ffn, rng,
@@ -174,11 +175,18 @@ FloatMatrix TinyTransformer::Forward(const std::vector<int32_t>& tokens,
   return ForwardImpl(tokens, backend, /*cache=*/nullptr, /*seq_id=*/-1);
 }
 
+TinyTransformer::LayerWeights TinyTransformer::layer_weights(int64_t layer) const {
+  const Layer& l = layers_[static_cast<size_t>(layer)];
+  return LayerWeights{&l.wq, &l.wk, &l.wv, &l.wo, &l.fc1, &l.fc2};
+}
+
+TcaBmeConfig TinyTransformer::EncodeFormat() { return TinyFormat(); }
+
 PagedKvCacheConfig TinyTransformer::KvCacheConfig(int64_t block_tokens,
                                                   int64_t num_blocks) const {
   PagedKvCacheConfig cfg;
   cfg.layers = config_.layers;
-  cfg.kv_dim = config_.hidden;
+  cfg.kv_dim = config_.kv_dim();
   cfg.block_tokens = block_tokens;
   cfg.num_blocks = num_blocks;
   return cfg;
@@ -200,6 +208,9 @@ FloatMatrix TinyTransformer::ForwardImpl(const std::vector<int32_t>& tokens,
   SPINFER_CHECK(seq > 0 && seq <= config_.max_seq);
   const int64_t h = config_.hidden;
   const int64_t hd = config_.head_dim();
+  const int64_t kvd = config_.kv_dim();
+  // Grouped-query attention: query head `head` reads kv head `head / group`.
+  const int64_t group = config_.heads / config_.kv_head_count();
 
   SPINFER_TRACE_SCOPE_ARG("tt.forward", "seq", seq);
 
@@ -232,7 +243,7 @@ FloatMatrix TinyTransformer::ForwardImpl(const std::vector<int32_t>& tokens,
       for (int64_t t = 0; t < seq; ++t) {
         float* krow = cache->KRow(static_cast<int64_t>(layer_idx), seq_id, t);
         float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), seq_id, t);
-        for (int64_t r = 0; r < h; ++r) {
+        for (int64_t r = 0; r < kvd; ++r) {
           krow[r] = kk.at(r, t);
           vrow[r] = v.at(r, t);
         }
@@ -248,13 +259,14 @@ FloatMatrix TinyTransformer::ForwardImpl(const std::vector<int32_t>& tokens,
       SPINFER_TRACE_SCOPE("tt.attention");
       for (int64_t head = 0; head < config_.heads; ++head) {
         const int64_t r0 = head * hd;
+        const int64_t kv0 = (head / group) * hd;  // kv-head row base
         for (int64_t t = 0; t < seq; ++t) {
           // Causal scores for query t against keys 0..t.
           float max_score = -1e30f;
           for (int64_t s = 0; s <= t; ++s) {
             float dot = 0.0f;
             for (int64_t r = 0; r < hd; ++r) {
-              dot += q.at(r0 + r, t) * kk.at(r0 + r, s);
+              dot += q.at(r0 + r, t) * kk.at(kv0 + r, s);
             }
             scores[s] = dot * inv_sqrt_d;
             max_score = std::max(max_score, scores[s]);
@@ -267,7 +279,7 @@ FloatMatrix TinyTransformer::ForwardImpl(const std::vector<int32_t>& tokens,
           for (int64_t r = 0; r < hd; ++r) {
             float acc = 0.0f;
             for (int64_t s = 0; s <= t; ++s) {
-              acc += scores[s] * v.at(r0 + r, s);
+              acc += scores[s] * v.at(kv0 + r, s);
             }
             attn_out.at(r0 + r, t) = acc / denom;
           }
@@ -335,6 +347,7 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
   SPINFER_CHECK(dec_next != nullptr || dec == 0);
   SPINFER_CHECK(chunk_next != nullptr || chunks.empty());
   const int64_t h = config_.hidden;
+  const int64_t kvd = config_.kv_dim();
 
   // Panel width: one column per decode sequence plus one per chunk token.
   int64_t n = dec;
@@ -391,7 +404,7 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
                                 positions[i]);
       float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), dec_ids[i],
                                 positions[i]);
-      for (int64_t r = 0; r < h; ++r) {
+      for (int64_t r = 0; r < kvd; ++r) {
         krow[r] = s.kk.at(r, i);
         vrow[r] = s.v.at(r, i);
       }
@@ -404,7 +417,7 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
                                     c.start + j);
           float* vrow = cache->VRow(static_cast<int64_t>(layer_idx), c.seq_id,
                                     c.start + j);
-          for (int64_t r = 0; r < h; ++r) {
+          for (int64_t r = 0; r < kvd; ++r) {
             krow[r] = s.kk.at(r, col);
             vrow[r] = s.v.at(r, col);
           }
@@ -418,7 +431,7 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
       // One fused batched call covers every column: decode columns attend
       // their full cached context, chunk columns attend the causal horizon
       // [0, pos] even though later slots of their chunk are already written
-      // above. This model is classic MHA, so kv_heads == heads.
+      // above.
       s.attn_items.clear();
       for (int64_t i = 0; i < dec; ++i) {
         s.attn_items.push_back({dec_ids[i], /*col=*/i, /*context=*/-1});
@@ -430,7 +443,7 @@ void TinyTransformer::MixedStep(const std::vector<int64_t>& dec_ids,
         }
       }
       PagedAttentionDecodeBatch(*cache, static_cast<int64_t>(layer_idx),
-                                config_.heads, /*kv_heads=*/config_.heads, s.q,
+                                config_.heads, config_.kv_head_count(), s.q,
                                 s.attn_items, &s.attn_out, &s.attn);
     }
     MatmulInto(l.wo, l.enc_wo, s.attn_out, backend, "tt.matmul.wo", &s.proj);

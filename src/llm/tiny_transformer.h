@@ -38,8 +38,15 @@ struct TinyConfig {
   int64_t heads = 4;
   int64_t ffn = 256;
   int64_t max_seq = 64;
+  // Key/value heads for grouped-query attention; 0 means == heads (classic
+  // MHA, the default — and bit-for-bit the pre-GQA model, including its Rng
+  // weight-draw order, since wk/wv keep their hidden x hidden shape).
+  int64_t kv_heads = 0;
 
   int64_t head_dim() const { return hidden / heads; }
+  int64_t kv_head_count() const { return kv_heads > 0 ? kv_heads : heads; }
+  // Rows of wk/wv and of one K (or V) cache row: kv heads x head_dim.
+  int64_t kv_dim() const { return kv_head_count() * head_dim(); }
 };
 
 // Which engine executes the weight matmuls.
@@ -126,6 +133,31 @@ class TinyTransformer {
                  FloatMatrix* dec_logits_out = nullptr) const;
 
   const TinyConfig& config() const { return config_; }
+
+  // --- Weight-partition support (tensor-parallel sharding) ------------------
+  // The sharded engine slices every weight matrix by output rows and re-
+  // encodes the slices; these accessors expose exactly what it needs and
+  // nothing mutable.
+  struct LayerWeights {
+    const HalfMatrix* wq;
+    const HalfMatrix* wk;
+    const HalfMatrix* wv;
+    const HalfMatrix* wo;
+    const HalfMatrix* fc1;
+    const HalfMatrix* fc2;
+  };
+  LayerWeights layer_weights(int64_t layer) const;
+  // Tied embedding / LM head (vocab x hidden); replicated on every shard.
+  const HalfMatrix& embedding() const { return embedding_; }
+  // The TCA-BME geometry the model's own matmuls encode with. Row slices must
+  // be encoded with the same tile shape — and sliced at multiples of its
+  // gt_rows — for the sliced kernels to be bit-identical to the whole-matrix
+  // kernel.
+  static TcaBmeConfig EncodeFormat();
+  // Embeds `token` at absolute position `pos` into column `col` of `act`.
+  // Public so the sharded engine's replicated embedding stage produces the
+  // exact bits of the single-instance panel.
+  void EmbedInto(int32_t token, int64_t pos, int64_t col, FloatMatrix* act) const;
   // Observability for the zero-allocation serving contract (tests, benches).
   // Grow count / capacity of the reusable matmul-path scratch: once a
   // Forward/DecodeStep at the serving shapes has warmed it, further calls at
@@ -141,7 +173,8 @@ class TinyTransformer {
 
  private:
   struct Layer {
-    HalfMatrix wq, wk, wv, wo;  // hidden x hidden
+    HalfMatrix wq, wo;          // hidden x hidden
+    HalfMatrix wk, wv;          // kv_dim x hidden (== hidden x hidden for MHA)
     HalfMatrix fc1;             // ffn x hidden
     HalfMatrix fc2;             // hidden x ffn
     TcaBmeMatrix enc_wq, enc_wk, enc_wv, enc_wo, enc_fc1, enc_fc2;
@@ -178,9 +211,6 @@ class TinyTransformer {
   // written into `seq_id`'s slots (the prefill path).
   FloatMatrix ForwardImpl(const std::vector<int32_t>& tokens, MatmulBackend backend,
                           PagedKvCache* cache, int64_t seq_id) const;
-
-  // Embeds `token` at absolute position `pos` into column `col` of `act`.
-  void EmbedInto(int32_t token, int64_t pos, int64_t col, FloatMatrix* act) const;
 
   void EncodeAll();
 

@@ -73,5 +73,39 @@ TEST(DisaggregationTest, TpotBeatsTtftPerToken) {
   EXPECT_LT(r.tpot_ms, r.ttft_ms);
 }
 
+// Swept planner inputs include degenerate points — zero rate, empty shapes,
+// a zero-capacity scheduler, an empty cluster side. Each must come back as
+// an all-false, all-zero report (a hole in the sweep), not a crash.
+TEST(DisaggregationTest, DegenerateConfigsReportNothingFitsGracefully) {
+  const auto degenerate = [](DisaggConfig cfg) {
+    const DisaggReport r = PlanDisaggregation(cfg);
+    EXPECT_FALSE(r.prefill_fits);
+    EXPECT_FALSE(r.decode_fits);
+    EXPECT_EQ(r.decode_batch, 0);
+    EXPECT_DOUBLE_EQ(r.ttft_ms, 0.0);
+    EXPECT_DOUBLE_EQ(r.tpot_ms, 0.0);
+    EXPECT_DOUBLE_EQ(r.decode_tokens_per_s, 0.0);
+    EXPECT_DOUBLE_EQ(r.total_gpus, 0.0);
+  };
+  DisaggConfig cfg = Base(Framework::kSpInfer);
+  cfg.request_rate_rps = 0.0;
+  degenerate(cfg);
+  cfg = Base(Framework::kSpInfer);
+  cfg.input_len = 0;
+  degenerate(cfg);
+  cfg = Base(Framework::kSpInfer);
+  cfg.output_len = 0;
+  degenerate(cfg);
+  cfg = Base(Framework::kSpInfer);
+  cfg.max_decode_batch = 0;
+  degenerate(cfg);
+  cfg = Base(Framework::kSpInfer);
+  cfg.prefill_gpus = 0;
+  degenerate(cfg);
+  cfg = Base(Framework::kSpInfer);
+  cfg.decode_gpus = 0;
+  degenerate(cfg);
+}
+
 }  // namespace
 }  // namespace spinfer

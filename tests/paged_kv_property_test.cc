@@ -437,6 +437,130 @@ TEST(PagedKvPropertyTest, CopyOnWriteIsolatesDivergentAppends) {
   EXPECT_EQ(cache.KRow(0, 1, 6)[0], SharedPatternK(42, 6, 0, 0));
 }
 
+// --- Cross-pool migration fuzz ----------------------------------------------
+//
+// MigrateKvSequence is the disaggregated handoff primitive: a sequence's
+// pages leave the prefill pool and land in the decode pool. The oracle runs
+// TWO caches with independent shadows and randomly adds, appends, removes,
+// and migrates in both directions. On top of each pool's own invariants
+// (conservation, isolation, token counts, bit-exact rows) this enforces:
+//   * Refcount conservation across pools: a migrated sequence's blocks are
+//     released at the source and claimed at the target — never both, never
+//     neither — so each pool's used+free always equals its total.
+//   * No cross-pool aliasing: pools never share storage, so mutating one
+//     pool after a handoff can never corrupt rows the other pool still
+//     holds (every row of both pools is re-read after every op).
+//   * Bit-exact transport: the Pattern oracle is keyed by (seq, token), not
+//     by pool, so a migrated sequence must read back the same bits through
+//     its new pages.
+//   * A migration the target cannot hold fails cleanly: false, source
+//     untouched.
+//   * Full reclamation of both pools after a drain.
+TEST(PagedKvPropertyTest, MigrationFuzzConservesBlocksAndBits) {
+  for (uint64_t seed : {11ull, 12ull, 13ull, 14ull, 15ull}) {
+    const PagedKvCacheConfig cfg = SmallCache();
+    PagedKvCache pool_a(cfg);  // "prefill"
+    PagedKvCache pool_b(cfg);  // "decode"
+    Shadow shadow_a(cfg), shadow_b(cfg);
+    Rng rng(seed);
+    int64_t next_seq = 0;
+    int64_t migrations = 0;
+
+    auto check_both = [&]() {
+      shadow_a.Check(pool_a);
+      shadow_b.Check(pool_b);
+    };
+
+    for (int op = 0; op < 400; ++op) {
+      const uint64_t kind = rng.Below(10);
+      const bool pick_a = rng.Below(2) == 0;
+      PagedKvCache& pool = pick_a ? pool_a : pool_b;
+      Shadow& shadow = pick_a ? shadow_a : shadow_b;
+      if (kind < 3 || (shadow_a.tokens_.empty() && shadow_b.tokens_.empty())) {
+        const int64_t prompt = 1 + static_cast<int64_t>(rng.Below(20));
+        const int64_t seq = next_seq++;
+        const bool fits =
+            (prompt + cfg.block_tokens - 1) / cfg.block_tokens <=
+            pool.free_blocks();
+        ASSERT_EQ(pool.AddSequence(seq, prompt), fits)
+            << "seed=" << seed << " op=" << op;
+        if (fits) {
+          shadow.tokens_[seq] = prompt;
+          for (int64_t t = 0; t < prompt; ++t) {
+            FillToken(&pool, seq, t);
+          }
+        }
+      } else if (kind < 6) {
+        // Migrate a random live sequence to the other pool.
+        Shadow& from_shadow = shadow_a.tokens_.empty() ? shadow_b
+                              : shadow_b.tokens_.empty()
+                                  ? shadow_a
+                                  : (pick_a ? shadow_a : shadow_b);
+        PagedKvCache& from = &from_shadow == &shadow_a ? pool_a : pool_b;
+        PagedKvCache& to = &from_shadow == &shadow_a ? pool_b : pool_a;
+        Shadow& to_shadow = &from_shadow == &shadow_a ? shadow_b : shadow_a;
+        auto it = from_shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(static_cast<uint64_t>(
+                             from_shadow.tokens_.size()))));
+        const int64_t seq = it->first;
+        const int64_t tokens = it->second;
+        const bool fits =
+            (tokens + cfg.block_tokens - 1) / cfg.block_tokens <=
+            to.free_blocks();
+        ASSERT_EQ(MigrateKvSequence(&from, &to, seq), fits)
+            << "seed=" << seed << " op=" << op;
+        if (fits) {
+          to_shadow.tokens_[seq] = tokens;
+          from_shadow.tokens_.erase(it);
+          ++migrations;
+        } else {
+          // Failed handoff leaves the source holding the sequence.
+          ASSERT_EQ(from.SequenceTokens(seq), tokens);
+        }
+      } else if (kind < 8 && !shadow.tokens_.empty()) {
+        auto it = shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(
+                             static_cast<uint64_t>(shadow.tokens_.size()))));
+        const bool needs_block = it->second % cfg.block_tokens == 0;
+        const bool fits = !needs_block || pool.free_blocks() > 0;
+        ASSERT_EQ(pool.AppendToken(it->first), fits)
+            << "seed=" << seed << " op=" << op;
+        if (fits) {
+          FillToken(&pool, it->first, it->second);
+          it->second += 1;
+        }
+      } else if (!shadow.tokens_.empty()) {
+        auto it = shadow.tokens_.begin();
+        std::advance(it, static_cast<int64_t>(rng.Below(
+                             static_cast<uint64_t>(shadow.tokens_.size()))));
+        pool.RemoveSequence(it->first);
+        shadow.tokens_.erase(it);
+      }
+      check_both();
+      if (::testing::Test::HasFatalFailure()) {
+        return;
+      }
+    }
+    EXPECT_GT(migrations, 10) << "seed=" << seed;  // the fuzz actually migrated
+
+    // Drain both pools: every block comes back on both sides.
+    while (!shadow_a.tokens_.empty()) {
+      pool_a.RemoveSequence(shadow_a.tokens_.begin()->first);
+      shadow_a.tokens_.erase(shadow_a.tokens_.begin());
+    }
+    while (!shadow_b.tokens_.empty()) {
+      pool_b.RemoveSequence(shadow_b.tokens_.begin()->first);
+      shadow_b.tokens_.erase(shadow_b.tokens_.begin());
+    }
+    check_both();
+    for (PagedKvCache* pool : {&pool_a, &pool_b}) {
+      EXPECT_EQ(pool->free_blocks(), cfg.num_blocks);
+      EXPECT_EQ(pool->used_blocks(), 0);
+      EXPECT_EQ(pool->WastedTokenSlots(), 0);
+    }
+  }
+}
+
 // Growth across a block boundary must not move data already written — the
 // page table grows, the rows stay put.
 TEST(PagedKvPropertyTest, AppendAcrossBlockBoundaryKeepsEarlierRows) {

@@ -10,6 +10,16 @@ TEST(ParallelTest, SingleGpuIsFree) {
   EXPECT_DOUBLE_EQ(LayerCommTimeUs(128, 5120, 1, Rtx4090()), 0.0);
 }
 
+// Zero traffic moves nothing: a zero-byte all-reduce and a zero-token layer
+// must not be charged the ring's per-step latency even on multi-GPU rings.
+// (A sharded engine step with an empty panel prices exactly 0 comm.)
+TEST(ParallelTest, ZeroBytesIsFreeOnAnyRing) {
+  for (int gpus : {2, 4, 8}) {
+    EXPECT_DOUBLE_EQ(AllReduceTimeUs(0, gpus, Rtx4090()), 0.0);
+    EXPECT_DOUBLE_EQ(LayerCommTimeUs(0, 5120, gpus, Rtx4090()), 0.0);
+  }
+}
+
 TEST(ParallelTest, RingVolumeAndLatency) {
   const DeviceSpec dev = Rtx4090();
   const uint64_t bytes = 10'000'000;
